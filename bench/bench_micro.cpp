@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
+// the protocol data structures: scheduler throughput, topic matching, event
+// table GC, codec round trips, and medium broadcast fan-out.
+
+#include <benchmark/benchmark.h>
+
+#include "core/event_table.hpp"
+#include "core/neighborhood_table.hpp"
+#include "core/wire.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "topics/subscription_set.hpp"
+
+namespace {
+
+using namespace frugal;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    for (int i = 0; i < state.range(0); ++i) {
+      scheduler.schedule_at(SimTime::from_us(i), [] {});
+    }
+    scheduler.run_all();
+    benchmark::DoNotOptimize(scheduler.executed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_SchedulerCancelHalf(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    std::vector<sim::TaskHandle> handles;
+    for (int i = 0; i < state.range(0); ++i) {
+      handles.push_back(scheduler.schedule_at(SimTime::from_us(i), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    scheduler.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerCancelHalf)->Arg(10000);
+
+void BM_TopicCovers(benchmark::State& state) {
+  const auto broad = topics::Topic::parse(".a.b");
+  const auto deep = topics::Topic::parse(".a.b.c.d.e.f.g.h");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broad.covers(deep));
+    benchmark::DoNotOptimize(deep.covers(broad));
+  }
+}
+BENCHMARK(BM_TopicCovers);
+
+void BM_SubscriptionOverlap(benchmark::State& state) {
+  topics::SubscriptionSet a;
+  topics::SubscriptionSet b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.add(topics::Topic::parse(".a.t" + std::to_string(i)));
+    b.add(topics::Topic::parse(".b.t" + std::to_string(i)));
+  }
+  b.add(topics::Topic::parse(".a.t0.deep"));  // single overlap, worst case
+  for (auto _ : state) benchmark::DoNotOptimize(a.overlaps(b));
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_SubscriptionOverlap)->Arg(4)->Arg(16);
+
+void BM_EventTableInsertWithGc(benchmark::State& state) {
+  using namespace frugal::core;
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    EventTable table{capacity};
+    for (std::uint32_t i = 0; i < 2 * capacity; ++i) {
+      Event e;
+      e.id = EventId{1, i};
+      e.topic = topics::Topic::parse(".t");
+      e.validity = SimDuration::from_seconds(60 + i % 120);
+      table.insert(std::move(e), SimTime::from_us(i));
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_EventTableInsertWithGc)->Arg(64)->Arg(1024);
+
+void BM_NeighborhoodRecordEvent(benchmark::State& state) {
+  using namespace frugal::core;
+  NeighborhoodTable table;
+  topics::SubscriptionSet subs;
+  subs.add(topics::Topic::parse(".a"));
+  for (NodeId n = 0; n < 32; ++n) {
+    table.upsert(n, subs, std::nullopt, SimTime::zero());
+  }
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    table.record_event(seq % 32, core::EventId{1, seq % 4096});
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborhoodRecordEvent);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  using namespace frugal::core;
+  EventBundle bundle;
+  bundle.sender = 1;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    Event e;
+    e.id = EventId{1, i};
+    e.topic = topics::Topic::parse(".news.local.traffic");
+    e.validity = SimDuration::from_seconds(180);
+    e.payload = std::string(64, 'x');
+    bundle.events.push_back(std::move(e));
+  }
+  bundle.presumed_receivers = {2, 3, 4, 5};
+  const Message message{bundle};
+  for (auto _ : state) {
+    const auto bytes = encode(message);
+    auto decoded = decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_MediumBroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  struct Null final : net::MediumClient {
+    void on_frame(const net::Frame&) override {}
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Scheduler scheduler;
+    mobility::RandomWaypointConfig rwp_config;
+    rwp_config.width_m = 1000;
+    rwp_config.height_m = 1000;
+    rwp_config.speed_min_mps = 1;
+    rwp_config.speed_max_mps = 1;
+    mobility::RandomWaypoint mobility{rwp_config, n, Rng{1}};
+    net::MediumConfig medium_config;
+    medium_config.range_m = 300;
+    net::Medium medium{scheduler, mobility, medium_config, Rng{2}};
+    std::vector<Null> clients(n);
+    for (NodeId id = 0; id < n; ++id) medium.attach(id, &clients[id]);
+    state.ResumeTiming();
+
+    for (NodeId id = 0; id < n; ++id) medium.broadcast(id, 400, 0);
+    scheduler.run_all();
+    benchmark::DoNotOptimize(medium.counters(0).frames_sent);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MediumBroadcastFanout)->Arg(50)->Arg(150);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Shared setup for the figure-reproduction harnesses.
+//
+// Each bench binary regenerates one figure of the paper's §5. The paper
+// averaged every point over 30 seeded runs; that is expensive, so the seed
+// count defaults low and scales with FRUGAL_SEEDS (set FRUGAL_SEEDS=30 for
+// paper-strength averaging). FRUGAL_FULL=1 selects the paper's full parameter
+// grids instead of the coarser default sweeps. FRUGAL_CSV_DIR=<dir> writes
+// every emitted table as CSV.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "util/env.hpp"
+
+namespace frugal::bench {
+
+[[nodiscard]] inline int seed_count(int fallback = 3) {
+  return static_cast<int>(env_int("FRUGAL_SEEDS", fallback));
+}
+
+[[nodiscard]] inline bool full_sweep() {
+  return env_bool("FRUGAL_FULL", false);
+}
+
+/// The paper's random-waypoint world: 150 processes over 25 km^2, 802.11b
+/// basic-rate radio (442 m two-ray range), heartbeat upper bound 1 s, 600 s
+/// of warm-up before the publication (§5.1).
+[[nodiscard]] inline core::ExperimentConfig rwp_world(double speed_min_mps,
+                                                      double speed_max_mps,
+                                                      double interest,
+                                                      std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.node_count = 150;
+  config.interest_fraction = interest;
+  if (speed_max_mps <= 0.0) {
+    config.mobility = core::StaticSetup{5000.0, 5000.0};
+  } else {
+    core::RandomWaypointSetup rwp;
+    rwp.config.width_m = 5000.0;
+    rwp.config.height_m = 5000.0;
+    rwp.config.speed_min_mps = speed_min_mps;
+    rwp.config.speed_max_mps = speed_max_mps;
+    rwp.config.pause = SimDuration::from_seconds(1.0);  // paper §5.1
+    rwp.config.per_node_constant_speed = speed_min_mps != speed_max_mps;
+    config.mobility = rwp;
+  }
+  config.medium.range_m = 442.0;  // 1 Mbps sensitivity -93 dB (two-ray)
+  config.medium.rate_bps = 1e6;
+  config.frugal.hb_upper = SimDuration::from_seconds(1.0);
+  config.warmup = SimDuration::from_seconds(600.0);
+  config.event_validity = SimDuration::from_seconds(180.0);
+  config.seed = seed;
+  return config;
+}
+
+/// The paper's city-section world: 15 processes on a 1200 x 900 m campus
+/// street grid, 44 m radio range, speed limits 8-13 mps (§5.1).
+[[nodiscard]] inline core::ExperimentConfig city_world(double interest,
+                                                       std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.node_count = 15;
+  config.interest_fraction = interest;
+  core::CitySetup city;  // defaults already match the paper's campus
+  config.mobility = city;
+  config.medium.range_m = 44.0;  // city reception sensitivity -65 dB
+  config.medium.rate_bps = 1e6;
+  config.frugal.hb_upper = SimDuration::from_seconds(1.0);
+  // No explicit warm-up in the paper's city runs; a short one lets the
+  // processes leave their starting intersections.
+  config.warmup = SimDuration::from_seconds(30.0);
+  config.event_validity = SimDuration::from_seconds(150.0);
+  config.seed = seed;
+  return config;
+}
+
+/// Prints the standard harness banner.
+inline void banner(const char* figure, const char* what) {
+  std::printf("# %s — %s\n", figure, what);
+  std::printf("# seeds per point: %d%s (FRUGAL_SEEDS to change)\n",
+              seed_count(), full_sweep() ? ", full paper grid" : "");
+}
+
+}  // namespace frugal::bench

@@ -1,0 +1,57 @@
+// Events: the unit of dissemination (paper §2).
+//
+// Every event has a unique identifier (publisher id + per-publisher sequence
+// number), belongs to one topic of the hierarchy, and carries a validity
+// period after which its content is of no use and it may be garbage
+// collected anywhere in the system.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "topics/topic.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace frugal::core {
+
+/// Globally unique event identifier. The paper models ids as 128-bit values;
+/// our in-memory form is (publisher, seq) and the wire charge is
+/// kEventIdWireBytes (see wire.hpp).
+struct EventId {
+  NodeId publisher = kInvalidNode;
+  std::uint32_t seq = 0;
+
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+struct EventIdHash {
+  [[nodiscard]] std::size_t operator()(EventId id) const {
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(id.publisher) << 32) | id.seq;
+    // splitmix64 finalizer
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+struct Event {
+  EventId id;
+  topics::Topic topic;
+  SimTime published_at;
+  /// val(e): the validity period, fixed for the event's whole lifetime.
+  SimDuration validity;
+  /// Total on-air size of the event in bytes (payload plus headers); the
+  /// paper's evaluation uses 400-byte events.
+  std::uint32_t wire_bytes = 400;
+  /// Application payload (examples use it; the evaluation only needs sizes).
+  std::string payload;
+
+  [[nodiscard]] SimTime expiry() const { return published_at + validity; }
+  [[nodiscard]] bool valid_at(SimTime t) const { return expiry() > t; }
+};
+
+}  // namespace frugal::core

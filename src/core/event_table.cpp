@@ -1,0 +1,111 @@
+#include "core/event_table.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace frugal::core {
+
+EventTable::EventTable(std::size_t capacity, GcPolicy policy)
+    : capacity_{capacity}, policy_{policy} {
+  FRUGAL_EXPECT(capacity > 0);
+}
+
+std::optional<EventId> EventTable::insert(Event event, SimTime now) {
+  FRUGAL_EXPECT(!contains(event.id));
+  std::optional<EventId> victim;
+  if (full()) {
+    victim = pick_victim(now);
+    events_.erase(*victim);
+  }
+  StoredEvent stored;
+  stored.stored_at = now;
+  const EventId id = event.id;
+  stored.event = std::move(event);
+  events_.emplace(id, std::move(stored));
+  return victim;
+}
+
+const StoredEvent* EventTable::find(EventId id) const {
+  const auto it = events_.find(id);
+  return it != events_.end() ? &it->second : nullptr;
+}
+
+void EventTable::increment_forward_count(EventId id) {
+  const auto it = events_.find(id);
+  if (it != events_.end()) ++it->second.forward_count;
+}
+
+std::vector<EventId> EventTable::ids_matching(
+    const topics::SubscriptionSet& interests, SimTime now) const {
+  std::vector<EventId> out;
+  for (const auto& [id, stored] : events_) {
+    if (stored.event.valid_at(now) && interests.covers(stored.event.topic)) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const StoredEvent*> EventTable::events_by_id() const {
+  std::vector<const StoredEvent*> out;
+  out.reserve(events_.size());
+  for (const auto& [id, stored] : events_) out.push_back(&stored);
+  std::sort(out.begin(), out.end(),
+            [](const StoredEvent* a, const StoredEvent* b) {
+              return a->event.id < b->event.id;
+            });
+  return out;
+}
+
+std::size_t EventTable::drop_expired(SimTime now) {
+  return std::erase_if(events_, [&](const auto& kv) {
+    return !kv.second.event.valid_at(now);
+  });
+}
+
+topics::TopicTree<EventId> EventTable::topic_tree() const {
+  topics::TopicTree<EventId> tree;
+  for (const StoredEvent* stored : events_by_id()) {
+    tree.insert(stored->event.topic, stored->event.id);
+  }
+  return tree;
+}
+
+EventId EventTable::pick_victim(SimTime now) const {
+  FRUGAL_EXPECT(!events_.empty());
+  // Lower keys are evicted first; expired events sort below everything.
+  const auto key = [&](const StoredEvent& stored) {
+    switch (policy_) {
+      case GcPolicy::kPaperScore:
+        return gc_score(stored.event, stored.forward_count);
+      case GcPolicy::kFifo:
+        return static_cast<double>(stored.stored_at.us());
+      case GcPolicy::kMostForwarded:
+        return -static_cast<double>(stored.forward_count);
+    }
+    return 0.0;
+  };
+  const StoredEvent* best = nullptr;
+  bool best_expired = false;
+  double best_key = 0;
+  for (const auto& [id, stored] : events_) {
+    const bool expired = !stored.event.valid_at(now);
+    const double k = key(stored);
+    const bool better = [&] {
+      if (best == nullptr) return true;
+      if (expired != best_expired) return expired;  // expired first
+      if (k != best_key) return k < best_key;
+      return id < best->event.id;  // deterministic tie-break
+    }();
+    if (better) {
+      best = &stored;
+      best_expired = expired;
+      best_key = k;
+    }
+  }
+  return best->event.id;
+}
+
+}  // namespace frugal::core

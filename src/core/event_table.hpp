@@ -1,0 +1,105 @@
+// The event table (paper §4.1 Fig. 3, GC in §4.4 Fig. 10 / Equation 1).
+//
+// Bounded storage for received/published events, each with its forward
+// counter (the logical "age"). When an insert finds the table full, one
+// victim is collected: an expired event if any exists, otherwise the event
+// with the lowest GC score
+//
+//     gc(e) = val(e) / (fwd(e) + val(e))
+//
+// so long-lived events that have already been propagated many times make way
+// for fresh, rarely-forwarded ones (paper Equation 1; validity is measured in
+// seconds). The paper's Fig. 10 pseudo-code inverts the expiry comparison
+// (`val(e) > currentTime` selects a *valid* event); we implement the stated
+// intent — evict expired events first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.hpp"
+#include "topics/subscription_set.hpp"
+#include "topics/topic_tree.hpp"
+#include "util/time.hpp"
+
+namespace frugal::core {
+
+struct StoredEvent {
+  Event event;
+  std::uint32_t forward_count = 0;  ///< fwd(e)
+  SimTime stored_at;
+};
+
+/// GC score of Equation 1; lower scores are collected first.
+[[nodiscard]] inline double gc_score(const Event& event,
+                                     std::uint32_t forward_count) {
+  const double val = event.validity.seconds();
+  return val / (static_cast<double>(forward_count) + val);
+}
+
+/// Victim-selection policy when the table is full. Expired events are always
+/// collected first under every policy; the policy decides among valid ones.
+/// kPaperScore is the paper's Equation 1; the others exist for the GC
+/// ablation (bench_ablations) and as baselines.
+enum class GcPolicy : std::uint8_t {
+  kPaperScore,     ///< lowest val/(fwd+val) — the paper's Equation 1
+  kFifo,           ///< oldest stored_at
+  kMostForwarded,  ///< highest fwd(e), ignoring validity
+};
+
+class EventTable {
+ public:
+  /// `capacity` > 0: maximum number of stored events (the paper's limited
+  /// memory). An insert into a full table garbage collects exactly one
+  /// victim first.
+  explicit EventTable(std::size_t capacity,
+                      GcPolicy policy = GcPolicy::kPaperScore);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return events_.size() >= capacity_; }
+  [[nodiscard]] bool contains(EventId id) const {
+    return events_.contains(id);
+  }
+
+  /// Inserts an event, garbage collecting one victim when full. Returns the
+  /// id of the collected victim, if any. Inserting an already-present id is
+  /// a programming error (callers check contains() first — receiving a known
+  /// event counts as a duplicate, not a store).
+  std::optional<EventId> insert(Event event, SimTime now);
+
+  [[nodiscard]] const StoredEvent* find(EventId id) const;
+
+  /// Increments fwd(e); no-op when the event was collected meanwhile.
+  void increment_forward_count(EventId id);
+
+  /// Ids of stored events that are still valid at `now` and whose topic is
+  /// covered by `interests` (GETEVENTSIDS — what we advertise to a neighbor
+  /// with those interests).
+  [[nodiscard]] std::vector<EventId> ids_matching(
+      const topics::SubscriptionSet& interests, SimTime now) const;
+
+  /// All stored events, ascending id order (reproducible iteration).
+  [[nodiscard]] std::vector<const StoredEvent*> events_by_id() const;
+
+  /// Drops every expired event (not part of the paper's lazy scheme; used by
+  /// tests and the memory-pressure ablation).
+  std::size_t drop_expired(SimTime now);
+
+  /// The stored events arranged by the topic hierarchy, as in the paper's
+  /// Fig. 3 (introspection for applications and tooling).
+  [[nodiscard]] topics::TopicTree<EventId> topic_tree() const;
+
+ private:
+  /// Picks the victim per Fig. 10: any expired event first, otherwise by
+  /// the configured policy (ties: smaller id, for determinism).
+  [[nodiscard]] EventId pick_victim(SimTime now) const;
+
+  std::size_t capacity_;
+  GcPolicy policy_;
+  std::unordered_map<EventId, StoredEvent, EventIdHash> events_;
+};
+
+}  // namespace frugal::core

@@ -1,0 +1,320 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mobility/static_mobility.hpp"
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::core {
+
+const char* to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kFrugal:
+      return "frugal";
+    case Protocol::kFloodSimple:
+      return "simple-flooding";
+    case Protocol::kFloodInterestAware:
+      return "interests-aware-flooding";
+    case Protocol::kFloodNeighborInterest:
+      return "neighbors-interests-flooding";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<mobility::MobilityModel> build_mobility(
+    const MobilitySetup& setup, std::size_t node_count, Rng rng) {
+  if (const auto* fixed = std::get_if<StaticSetup>(&setup)) {
+    std::vector<Vec2> positions;
+    positions.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      positions.push_back(
+          {rng.uniform(0, fixed->width_m), rng.uniform(0, fixed->height_m)});
+    }
+    return std::make_unique<mobility::StaticMobility>(std::move(positions));
+  }
+  if (const auto* rwp = std::get_if<RandomWaypointSetup>(&setup)) {
+    return std::make_unique<mobility::RandomWaypoint>(rwp->config, node_count,
+                                                      rng);
+  }
+  const auto& city = std::get<CitySetup>(setup);
+  Rng grid_rng = rng.split(0xC17Fu);
+  // The graph must outlive the model; wrap both in one owner.
+  struct OwningCitySection final : mobility::MobilityModel {
+    OwningCitySection(mobility::StreetGraph g,
+                      const mobility::CitySectionConfig& cfg, std::size_t n,
+                      Rng r)
+        : graph{std::move(g)}, model{graph, cfg, n, r} {}
+    [[nodiscard]] Vec2 position(NodeId node, SimTime t) override {
+      return model.position(node, t);
+    }
+    [[nodiscard]] double speed(NodeId node, SimTime t) override {
+      return model.speed(node, t);
+    }
+    [[nodiscard]] std::size_t node_count() const override {
+      return model.node_count();
+    }
+    mobility::StreetGraph graph;
+    mobility::CitySection model;
+  };
+  return std::make_unique<OwningCitySection>(
+      mobility::make_campus_grid(city.grid, grid_rng), city.movement,
+      node_count, rng.split(0x30B11EULL));
+}
+
+FloodingVariant flooding_variant(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kFloodSimple:
+      return FloodingVariant::kSimple;
+    case Protocol::kFloodInterestAware:
+      return FloodingVariant::kInterestAware;
+    case Protocol::kFloodNeighborInterest:
+      return FloodingVariant::kNeighborInterest;
+    case Protocol::kFrugal:
+      break;
+  }
+  FRUGAL_ASSERT(false);
+  return FloodingVariant::kSimple;
+}
+
+struct MetricsSnapshot {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t events_sent = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t parasites = 0;
+};
+
+}  // namespace
+
+double RunResult::reliability_within(SimDuration validity) const {
+  if (events.empty()) return 0.0;
+  const std::size_t subscribers = subscriber_count();
+  if (subscribers == 0) return 0.0;
+  double total = 0;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    FRUGAL_EXPECT(validity <= events[e].validity);
+    const SimTime deadline = events[e].published_at + validity;
+    std::size_t reached = 0;
+    for (const NodeOutcome& node : nodes) {
+      if (!node.subscribed) continue;
+      const auto& at = node.delivered_at[e];
+      if (at.has_value() && *at <= deadline) ++reached;
+    }
+    total += static_cast<double>(reached) / static_cast<double>(subscribers);
+  }
+  return total / static_cast<double>(events.size());
+}
+
+double RunResult::reliability() const {
+  return events.empty() ? 0.0 : reliability_within(events.front().validity);
+}
+
+std::size_t RunResult::subscriber_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      nodes.begin(), nodes.end(),
+      [](const NodeOutcome& n) { return n.subscribed; }));
+}
+
+namespace {
+double mean_over_nodes(const std::vector<NodeOutcome>& nodes,
+                       double (*extract)(const NodeOutcome&)) {
+  if (nodes.empty()) return 0.0;
+  double total = 0;
+  for (const NodeOutcome& node : nodes) total += extract(node);
+  return total / static_cast<double>(nodes.size());
+}
+}  // namespace
+
+double RunResult::mean_bytes_sent_per_node() const {
+  return mean_over_nodes(nodes, [](const NodeOutcome& n) {
+    return static_cast<double>(n.traffic.bytes_sent);
+  });
+}
+double RunResult::mean_events_sent_per_node() const {
+  return mean_over_nodes(nodes, [](const NodeOutcome& n) {
+    return static_cast<double>(n.events_sent);
+  });
+}
+double RunResult::mean_duplicates_per_node() const {
+  return mean_over_nodes(nodes, [](const NodeOutcome& n) {
+    return static_cast<double>(n.duplicates);
+  });
+}
+double RunResult::mean_parasites_per_node() const {
+  return mean_over_nodes(nodes, [](const NodeOutcome& n) {
+    return static_cast<double>(n.parasites);
+  });
+}
+
+std::vector<double> RunResult::delivery_latencies_s() const {
+  std::vector<double> latencies;
+  for (const NodeOutcome& node : nodes) {
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (node.delivered_at[e].has_value()) {
+        latencies.push_back(
+            (*node.delivered_at[e] - events[e].published_at).seconds());
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return latencies;
+}
+
+double RunResult::mean_delivery_latency_s() const {
+  const auto latencies = delivery_latencies_s();
+  if (latencies.empty()) return 0.0;
+  double total = 0;
+  for (double latency : latencies) total += latency;
+  return total / static_cast<double>(latencies.size());
+}
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  FRUGAL_EXPECT(config.node_count > 0);
+  FRUGAL_EXPECT(config.interest_fraction >= 0 &&
+                config.interest_fraction <= 1);
+  FRUGAL_EXPECT(config.event_count > 0);
+  FRUGAL_EXPECT(config.event_validity.us() > 0);
+
+  sim::Simulator simulator{config.seed};
+  auto mobility = build_mobility(config.mobility, config.node_count,
+                                 simulator.stream("mobility"));
+  net::Medium medium{simulator.scheduler(), *mobility, config.medium,
+                     simulator.stream("mac-jitter")};
+
+  // Draw subscribers: a seeded shuffle, first k nodes subscribe.
+  Rng workload = simulator.stream("workload");
+  std::vector<NodeId> order(config.node_count);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[workload.uniform_u64(i)]);
+  }
+  const auto subscriber_count = static_cast<std::size_t>(
+      std::llround(config.interest_fraction *
+                   static_cast<double>(config.node_count)));
+  std::vector<bool> subscribed(config.node_count, false);
+  for (std::size_t i = 0; i < subscriber_count; ++i) {
+    subscribed[order[i]] = true;
+  }
+
+  const topics::Topic event_topic = topics::Topic::parse(".news.local");
+  const topics::Topic subscription = topics::Topic::parse(".news");
+
+  // Build protocol nodes.
+  std::vector<std::unique_ptr<ProtocolNode>> nodes;
+  nodes.reserve(config.node_count);
+  for (NodeId id = 0; id < config.node_count; ++id) {
+    if (config.protocol == Protocol::kFrugal) {
+      auto speed_provider = [model = mobility.get(), id,
+                             sched = &simulator.scheduler()] {
+        return model->speed(id, sched->now());
+      };
+      nodes.push_back(std::make_unique<FrugalNode>(
+          id, simulator.scheduler(), medium, config.frugal,
+          std::move(speed_provider)));
+    } else {
+      FloodingConfig flooding = config.flooding;
+      flooding.variant = flooding_variant(config.protocol);
+      nodes.push_back(std::make_unique<FloodingNode>(
+          id, simulator.scheduler(), medium, flooding));
+    }
+    if (subscribed[id]) nodes.back()->subscribe(subscription);
+  }
+
+  const NodeId publisher =
+      config.publisher.value_or(subscriber_count > 0 ? order[0] : NodeId{0});
+  FRUGAL_EXPECT(publisher < config.node_count);
+
+  // Schedule the workload: event i at warmup + i * spacing.
+  std::vector<PublishedEventRecord> records(config.event_count);
+  for (std::uint32_t i = 0; i < config.event_count; ++i) {
+    const SimTime at =
+        SimTime::zero() + config.warmup + config.publish_spacing * static_cast<std::int64_t>(i);
+    simulator.scheduler().schedule_at(at, [&, i] {
+      Event event;
+      event.topic = event_topic;
+      event.validity = config.event_validity;
+      event.wire_bytes = config.event_bytes;
+      nodes[publisher]->publish(event);
+      // publish() assigned the id; record it for result extraction.
+      records[i] = PublishedEventRecord{EventId{publisher, i},
+                                        simulator.now(), config.event_validity};
+    });
+  }
+
+  // Snapshot traffic and frugality counters when measurement starts (the
+  // paper's numbers cover the dissemination window, not the warm-up).
+  std::vector<MetricsSnapshot> baseline(config.node_count);
+  simulator.scheduler().schedule_at(SimTime::zero() + config.warmup, [&] {
+    for (NodeId id = 0; id < config.node_count; ++id) {
+      const DeliveryMetrics& m = nodes[id]->metrics();
+      baseline[id] = MetricsSnapshot{medium.counters(id).bytes_sent,
+                                     m.events_sent, m.duplicates,
+                                     m.parasites};
+    }
+  });
+
+  const SimTime last_publish =
+      SimTime::zero() + config.warmup +
+      config.publish_spacing * static_cast<std::int64_t>(config.event_count - 1);
+  const SimTime run_end = last_publish + config.event_validity;
+
+  // Churn: pre-generate each node's crash/recovery timeline (Poisson crash
+  // arrivals, uniform downtime) and schedule radio-down/up flips.
+  if (config.churn.crashes_per_node_per_minute > 0) {
+    FRUGAL_EXPECT(config.churn.downtime_min <= config.churn.downtime_max);
+    const double lambda_per_s =
+        config.churn.crashes_per_node_per_minute / 60.0;
+    Rng churn_root = simulator.stream("churn");
+    for (NodeId id = 0; id < config.node_count; ++id) {
+      Rng rng = churn_root.split(id);
+      SimTime t = SimTime::zero();
+      for (;;) {
+        const double gap_s =
+            -std::log(1.0 - rng.uniform()) / lambda_per_s;
+        t += SimDuration::from_seconds(gap_s);
+        if (t >= run_end) break;
+        const SimDuration down = SimDuration::from_seconds(
+            rng.uniform(config.churn.downtime_min.seconds(),
+                        config.churn.downtime_max.seconds()));
+        simulator.scheduler().schedule_at(
+            t, [&medium, id] { medium.set_up(id, false); });
+        if (t + down < run_end) {
+          simulator.scheduler().schedule_at(
+              t + down, [&medium, id] { medium.set_up(id, true); });
+        }
+        t += down;
+      }
+    }
+  }
+
+  simulator.run_until(run_end);
+
+  // Collect results.
+  RunResult result;
+  result.events = std::move(records);
+  result.publisher = publisher;
+  result.nodes.resize(config.node_count);
+  for (NodeId id = 0; id < config.node_count; ++id) {
+    NodeOutcome& outcome = result.nodes[id];
+    outcome.subscribed = subscribed[id];
+    const net::TrafficCounters& traffic = medium.counters(id);
+    outcome.traffic = traffic;
+    outcome.traffic.bytes_sent = traffic.bytes_sent - baseline[id].bytes_sent;
+    const DeliveryMetrics& m = nodes[id]->metrics();
+    outcome.events_sent = m.events_sent - baseline[id].events_sent;
+    outcome.duplicates = m.duplicates - baseline[id].duplicates;
+    outcome.parasites = m.parasites - baseline[id].parasites;
+    outcome.delivered_at.resize(result.events.size());
+    for (std::size_t e = 0; e < result.events.size(); ++e) {
+      const auto it = m.deliveries.find(result.events[e].id);
+      if (it != m.deliveries.end()) outcome.delivered_at[e] = it->second;
+    }
+  }
+  return result;
+}
+
+}  // namespace frugal::core

@@ -1,0 +1,139 @@
+// Experiment runner: wires simulator + medium + mobility + protocol nodes
+// into one run of the paper's evaluation setup and collects the metrics the
+// figures are built from (reliability, bandwidth, events sent, duplicates,
+// parasites).
+//
+// A run publishes `event_count` events on one topic from one publisher after
+// a warm-up, lets them live out their validity period, and reports per-node
+// outcomes. Reliability can be evaluated at any probe validity <= the run's
+// validity from the recorded delivery times: for single-publisher workloads
+// with ample memory the protocol's behaviour up to time v is identical for
+// every validity >= v, so one run yields the whole validity axis (used by
+// Figs. 11, 12 and 16; see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/flooding.hpp"
+#include "core/frugal_node.hpp"
+#include "core/node.hpp"
+#include "mobility/city_section.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/medium.hpp"
+
+namespace frugal::core {
+
+enum class Protocol : std::uint8_t {
+  kFrugal,
+  kFloodSimple,
+  kFloodInterestAware,
+  kFloodNeighborInterest,
+};
+
+[[nodiscard]] const char* to_string(Protocol protocol);
+
+/// Static placement over a rectangle (the speed-0 points of Fig. 11).
+struct StaticSetup {
+  double width_m = 5000.0;
+  double height_m = 5000.0;
+};
+
+struct RandomWaypointSetup {
+  mobility::RandomWaypointConfig config;
+};
+
+struct CitySetup {
+  mobility::CampusGridConfig grid;
+  mobility::CitySectionConfig movement;
+};
+
+using MobilitySetup =
+    std::variant<StaticSetup, RandomWaypointSetup, CitySetup>;
+
+/// Crash/recovery injection (paper §2: processes "can move in and out of the
+/// range of other processes, or crash (or recover), at any time"). Crashes
+/// arrive per node as a Poisson process; a crashed node is silent and deaf
+/// (its radio is down) for a uniform downtime, keeping its tables — exactly
+/// what a device reboot looks like to the protocol.
+struct ChurnConfig {
+  double crashes_per_node_per_minute = 0.0;  ///< 0 disables churn
+  SimDuration downtime_min = SimDuration::from_seconds(5.0);
+  SimDuration downtime_max = SimDuration::from_seconds(30.0);
+};
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kFrugal;
+  std::size_t node_count = 150;  ///< paper: 150 (RWP), 15 (city)
+  /// Fraction of processes subscribed to the event topic ("interest"/
+  /// "subscribers" axis of the figures). Non-subscribed processes run no
+  /// protocol tasks of their own but still overhear traffic (parasites).
+  double interest_fraction = 0.8;
+  MobilitySetup mobility = RandomWaypointSetup{};
+  net::MediumConfig medium;
+  FrugalConfig frugal;
+  FloodingConfig flooding;  ///< variant is overridden from `protocol`
+  /// Simulated time before the first publication (paper: 600 s for random
+  /// waypoint, to let the node distribution stabilize).
+  SimDuration warmup = SimDuration::from_seconds(600.0);
+  SimDuration event_validity = SimDuration::from_seconds(180.0);
+  std::uint32_t event_count = 1;
+  std::uint32_t event_bytes = 400;
+  /// Events are published `publish_spacing` apart starting at `warmup`.
+  SimDuration publish_spacing = SimDuration::from_seconds(1.0);
+  /// Publisher node; defaults to the first subscriber drawn. May be a
+  /// non-subscriber (Fig. 14/15 sweeps publish from every process in turn).
+  std::optional<NodeId> publisher;
+  ChurnConfig churn;
+  std::uint64_t seed = 1;
+};
+
+struct PublishedEventRecord {
+  EventId id;
+  SimTime published_at;
+  SimDuration validity;
+};
+
+struct NodeOutcome {
+  bool subscribed = false;
+  /// Traffic during the measurement window (from first publish to run end).
+  net::TrafficCounters traffic;
+  std::uint64_t events_sent = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t parasites = 0;
+  /// Delivery times of the workload events, by event index.
+  std::vector<std::optional<SimTime>> delivered_at;
+};
+
+struct RunResult {
+  std::vector<PublishedEventRecord> events;
+  std::vector<NodeOutcome> nodes;
+  NodeId publisher = kInvalidNode;
+
+  /// Fraction of subscribers that received each event within `validity` of
+  /// its publication, averaged over events. `validity` must not exceed the
+  /// validity the run was executed with.
+  [[nodiscard]] double reliability_within(SimDuration validity) const;
+  /// Reliability at the run's own validity period.
+  [[nodiscard]] double reliability() const;
+
+  [[nodiscard]] double mean_bytes_sent_per_node() const;
+  [[nodiscard]] double mean_events_sent_per_node() const;
+  [[nodiscard]] double mean_duplicates_per_node() const;
+  [[nodiscard]] double mean_parasites_per_node() const;
+  [[nodiscard]] std::size_t subscriber_count() const;
+
+  /// Delivery latencies (seconds from publication) of every successful
+  /// delivery across subscribers and events, ascending.
+  [[nodiscard]] std::vector<double> delivery_latencies_s() const;
+  /// Mean delivery latency in seconds (0 when nothing was delivered).
+  [[nodiscard]] double mean_delivery_latency_s() const;
+};
+
+/// Runs one complete simulation. Deterministic in config.seed.
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace frugal::core

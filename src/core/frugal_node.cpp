@@ -1,0 +1,417 @@
+#include "core/frugal_node.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace frugal::core {
+
+namespace {
+
+SimDuration clamp(SimDuration value, SimDuration lo, SimDuration hi) {
+  return std::min(std::max(value, lo), hi);
+}
+
+/// Deterministic per-node phase in [0, period): spreads out the first
+/// heartbeat of each process so they do not all fire in the same slot.
+SimDuration initial_phase(NodeId id, SimDuration period) {
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL ^ id;
+  const std::uint64_t h = splitmix64(state);
+  return SimDuration::from_us(static_cast<std::int64_t>(
+      h % static_cast<std::uint64_t>(std::max<std::int64_t>(period.us(), 1))));
+}
+
+}  // namespace
+
+FrugalNode::FrugalNode(NodeId id, sim::Scheduler& scheduler,
+                       net::Medium& medium, FrugalConfig config,
+                       std::function<double()> speed_provider)
+    : id_{id},
+      scheduler_{scheduler},
+      medium_{medium},
+      config_{config},
+      speed_provider_{std::move(speed_provider)},
+      neighborhood_{config.neighborhood_capacity},
+      events_{config.event_table_capacity, config.gc_policy},
+      // Fig. 4 initializes HBDelay to its default; we additionally clamp it
+      // into [hb_lower, hb_upper] up front so a process is discoverable from
+      // its first subscription instead of after one 15 s default period.
+      hb_delay_{clamp(config.hb_default, config.hb_lower, config.hb_upper)},
+      ngc_delay_{hb_delay_ * config.hb2ngc} {
+  FRUGAL_EXPECT(config.hb_lower.us() > 0);
+  FRUGAL_EXPECT(config.hb_lower <= config.hb_upper);
+  FRUGAL_EXPECT(config.x > 0);
+  FRUGAL_EXPECT(config.hb2bo > 0);
+  FRUGAL_EXPECT(config.hb2ngc > 0);
+  medium_.attach(id_, this);
+}
+
+FrugalNode::~FrugalNode() {
+  // Scheduled lambdas capture `this`; cancel them so a scheduler outliving
+  // the node never runs into freed memory.
+  backoff_.cancel();
+  pending_retrieve_.cancel();
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+void FrugalNode::subscribe(const topics::Topic& topic) {
+  subscriptions_.add(topic);
+  start_tasks();
+}
+
+void FrugalNode::unsubscribe(const topics::Topic& topic) {
+  subscriptions_.remove(topic);
+  if (subscriptions_.empty()) stop_tasks();
+}
+
+void FrugalNode::start_tasks() {
+  if (heartbeat_ == nullptr) {
+    heartbeat_ = std::make_unique<sim::PeriodicTask>(
+        scheduler_, hb_delay_, [this] { send_heartbeat(); });
+  }
+  if (!heartbeat_->running()) {
+    heartbeat_->set_period(hb_delay_);
+    heartbeat_->start(initial_phase(id_, hb_delay_));
+  }
+  if (neighborhood_gc_ == nullptr) {
+    neighborhood_gc_ = std::make_unique<sim::PeriodicTask>(
+        scheduler_, ngc_delay_, [this] { run_neighborhood_gc(); });
+  }
+  if (!neighborhood_gc_->running()) {
+    neighborhood_gc_->set_period(ngc_delay_);
+    neighborhood_gc_->start(ngc_delay_);
+  }
+}
+
+void FrugalNode::stop_tasks() {
+  if (heartbeat_) heartbeat_->stop();
+  if (neighborhood_gc_) neighborhood_gc_->stop();
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+void FrugalNode::send_heartbeat() {
+  Heartbeat hb;
+  hb.sender = id_;
+  hb.subscriptions = subscriptions_;
+  if (config_.send_speed_in_heartbeat && speed_provider_) {
+    hb.speed_mps = speed_provider_();
+  }
+  broadcast(Message{std::move(hb)});
+}
+
+void FrugalNode::on_heartbeat(const Heartbeat& heartbeat) {
+  const SimTime now = scheduler_.now();
+
+  // Admission test: keep only neighbors we share interests with. Subscribers
+  // match via subscription overlap; additionally, a process relaying or
+  // publishing events keeps neighbors interested in the events it currently
+  // holds, so a pure publisher (no subscriptions of its own) can still
+  // disseminate — the paper's processes are always subscribers too, so this
+  // only widens, never narrows, the paper's test.
+  bool admit = subscriptions_.overlaps(heartbeat.subscriptions);
+  if (!admit) {
+    for (const StoredEvent* stored : events_.events_by_id()) {
+      if (stored->event.valid_at(now) &&
+          heartbeat.subscriptions.covers(stored->event.topic)) {
+        admit = true;
+        break;
+      }
+    }
+  }
+
+  if (admit) {
+    const NeighborEntry* existing = neighborhood_.find(heartbeat.sender);
+    const bool is_new = existing == nullptr;
+    const bool subscriptions_changed =
+        !is_new && !(existing->subscriptions == heartbeat.subscriptions);
+    neighborhood_.upsert(heartbeat.sender, heartbeat.subscriptions,
+                         heartbeat.speed_mps, now);
+    // Merge an id advert that raced ahead of this admitting heartbeat.
+    if (const auto stashed = advert_stash_.find(heartbeat.sender);
+        stashed != advert_stash_.end()) {
+      if (stashed->second.heard_at + hb_delay_ * 2 >= now) {
+        for (EventId event_id : stashed->second.ids) {
+          neighborhood_.record_event(heartbeat.sender, event_id);
+        }
+      }
+      advert_stash_.erase(stashed);
+    }
+    // "new neighborEvent": advertise the ids of the valid events we hold
+    // matching the neighbor's interests. The paper raises this on detection;
+    // we also re-advertise when a known neighbor changed its subscriptions
+    // (its interest set, hence the relevant ids, changed).
+    if ((is_new || subscriptions_changed) && config_.exchange_event_ids) {
+      advertise_events_to(heartbeat.subscriptions);
+    }
+    // A freshly met neighbor has an empty presumed-received set, so anything
+    // we hold that matches its interests is a dissemination opportunity.
+    // The check is deferred by one heartbeat period: a subscriber neighbor
+    // advertises its held ids within that window (pruning events it already
+    // has), so this path only transmits for neighbors that cannot advertise
+    // — e.g. toward a pure publisher's audience — or that genuinely lack
+    // events.
+    if (is_new && !pending_retrieve_.pending()) {
+      pending_retrieve_ = scheduler_.schedule_after(
+          hb_delay_, [this] { retrieve_events_to_send(); });
+    }
+  }
+
+  compute_hb_delay();
+  compute_ngc_delay();
+}
+
+void FrugalNode::advertise_events_to(
+    const topics::SubscriptionSet& interests) {
+  EventIdList list;
+  list.sender = id_;
+  list.ids = events_.ids_matching(interests, scheduler_.now());
+  // An empty list is still sent: hearing any id list from a new neighbor is
+  // what triggers the peer's RETRIEVEEVENTSTOSEND for events *we* lack.
+  broadcast(Message{std::move(list)});
+}
+
+void FrugalNode::on_event_ids(const EventIdList& list) {
+  const SimTime now = scheduler_.now();
+  if (!neighborhood_.contains(list.sender)) {
+    // Not admitted (yet): the admitting heartbeat may simply not have
+    // arrived. Stash the advert; on_heartbeat merges it at admission.
+    std::erase_if(advert_stash_, [&](const auto& kv) {
+      return kv.second.heard_at + hb_delay_ * 2 < now;
+    });
+    advert_stash_[list.sender] = StashedAdvert{list.ids, now};
+    return;
+  }
+  neighborhood_.touch(list.sender, now);
+  for (EventId id : list.ids) neighborhood_.record_event(list.sender, id);
+  retrieve_events_to_send();
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+void FrugalNode::retrieve_events_to_send() {
+  const SimTime now = scheduler_.now();
+  events_to_send_.clear();
+  std::unordered_set<EventId, EventIdHash> selected;
+  for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
+    for (const StoredEvent* stored : events_.events_by_id()) {
+      const Event& event = stored->event;
+      if (!event.valid_at(now)) continue;
+      if (!neighbor->subscriptions.covers(event.topic)) continue;
+      if (neighbor->known_events.contains(event.id)) continue;
+      if (selected.insert(event.id).second) {
+        events_to_send_.push_back(event.id);
+      }
+    }
+  }
+  if (events_to_send_.empty()) return;
+
+  if (!config_.use_backoff) {
+    on_backoff_expired();
+    return;
+  }
+
+  const SimDuration delay = compute_bo_delay(events_to_send_.size());
+  if (!bo_delay_.has_value()) {
+    bo_delay_ = delay;
+    backoff_ = scheduler_.schedule_after(delay, [this] {
+      on_backoff_expired();
+    });
+  } else if (delay < *bo_delay_) {
+    // COMPUTEBODELAY keeps the minimum of the current and the recomputed
+    // delay; rearm the timer with the shorter one.
+    bo_delay_ = delay;
+    backoff_.cancel();
+    backoff_ = scheduler_.schedule_after(delay, [this] {
+      on_backoff_expired();
+    });
+  }
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+void FrugalNode::compute_hb_delay() {
+  if (!config_.adaptive_heartbeat) {
+    hb_delay_ = config_.hb_upper;
+  } else {
+    const std::optional<double> average = neighborhood_.average_speed();
+    if (average.has_value() && *average > 1e-3) {
+      hb_delay_ = SimDuration::from_seconds(config_.x / *average);
+    }
+    hb_delay_ = clamp(hb_delay_, config_.hb_lower, config_.hb_upper);
+  }
+  if (heartbeat_) heartbeat_->set_period(hb_delay_);
+}
+
+void FrugalNode::compute_ngc_delay() {
+  ngc_delay_ = hb_delay_ * config_.hb2ngc;
+  if (neighborhood_gc_) neighborhood_gc_->set_period(ngc_delay_);
+}
+
+SimDuration FrugalNode::compute_bo_delay(std::size_t events_to_send) const {
+  FRUGAL_EXPECT(events_to_send > 0);
+  return hb_delay_ /
+         (config_.hb2bo * static_cast<double>(events_to_send));
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+void FrugalNode::on_backoff_expired() {
+  bo_delay_ = std::nullopt;
+  backoff_.cancel();
+
+  // Recompute the events to send: the neighborhood may have changed during
+  // the back-off (id lists heard, bundles overheard, validity expirations).
+  const SimTime now = scheduler_.now();
+  std::vector<Event> bundle;
+  std::unordered_set<EventId, EventIdHash> selected;
+  for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
+    for (const StoredEvent* stored : events_.events_by_id()) {
+      const Event& event = stored->event;
+      if (!event.valid_at(now)) continue;
+      if (!neighbor->subscriptions.covers(event.topic)) continue;
+      if (neighbor->known_events.contains(event.id)) continue;
+      if (selected.insert(event.id).second) bundle.push_back(event);
+    }
+  }
+  events_to_send_.clear();
+  if (!bundle.empty()) send_bundle(std::move(bundle));
+}
+
+void FrugalNode::send_bundle(std::vector<Event> events) {
+  FRUGAL_EXPECT(!events.empty());
+  EventBundle bundle;
+  bundle.sender = id_;
+  bundle.presumed_receivers = neighborhood_.neighbor_ids();
+  bundle.events = std::move(events);
+
+  metrics_.events_sent += bundle.events.size();
+  for (const Event& event : bundle.events) {
+    for (NodeId neighbor : bundle.presumed_receivers) {
+      neighborhood_.record_event(neighbor, event.id);
+    }
+    events_.increment_forward_count(event.id);
+  }
+  broadcast(Message{std::move(bundle)});
+}
+
+void FrugalNode::publish(Event event) {
+  const SimTime now = scheduler_.now();
+  event.id = EventId{id_, next_seq_++};
+  event.published_at = now;
+  FRUGAL_EXPECT(event.validity.us() > 0);
+
+  // Broadcast right away when at least one known neighbor is interested in
+  // the event's topic (the publication path has no back-off).
+  bool interested = false;
+  for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
+    if (neighbor->subscriptions.covers(event.topic)) {
+      interested = true;
+      break;
+    }
+  }
+  if (interested) {
+    send_bundle({event});
+    // send_bundle charged fwd(e) via the table, but the event is not stored
+    // yet; re-apply after insertion below.
+  }
+
+  events_.insert(event, now);
+  if (interested) events_.increment_forward_count(event.id);
+  deliver(event);
+
+  // Fig. 9 lines 50-52: a publisher keeps its neighborhood table collected
+  // even when it never subscribed (and thus never started the tasks).
+  if (neighborhood_gc_ == nullptr || !neighborhood_gc_->running()) {
+    if (neighborhood_gc_ == nullptr) {
+      neighborhood_gc_ = std::make_unique<sim::PeriodicTask>(
+          scheduler_, ngc_delay_, [this] { run_neighborhood_gc(); });
+    }
+    neighborhood_gc_->set_period(ngc_delay_);
+    neighborhood_gc_->start(ngc_delay_);
+  }
+}
+
+void FrugalNode::on_event_bundle(const EventBundle& bundle) {
+  const SimTime now = scheduler_.now();
+  bool interested = false;
+
+  for (const Event& event : bundle.events) {
+    // The sender and every presumed receiver now (presumably) hold event.
+    neighborhood_.record_event(bundle.sender, event.id);
+    for (NodeId presumed : bundle.presumed_receivers) {
+      neighborhood_.record_event(presumed, event.id);
+    }
+
+    if (!subscriptions_.covers(event.topic)) {
+      metrics_.parasites += 1;  // dropped immediately (paper §3 phase 2)
+      continue;
+    }
+    if (events_.contains(event.id)) {
+      metrics_.duplicates += 1;
+      continue;
+    }
+    interested = true;
+    // A relevant event arrived: cancel the pending back-off; the send set is
+    // recomputed below via RETRIEVEEVENTSTOSEND (Fig. 9 line 22).
+    backoff_.cancel();
+    bo_delay_ = std::nullopt;
+    events_.insert(event, now);
+    deliver(event);
+  }
+
+  if (interested) retrieve_events_to_send();
+}
+
+void FrugalNode::deliver(const Event& event) {
+  const SimTime now = scheduler_.now();
+  // An event can be re-stored after its table entry was collected while the
+  // copy kept circulating; the application already saw it, so count it as a
+  // duplicate and keep the first delivery time.
+  const auto [it, fresh] = metrics_.deliveries.emplace(event.id, now);
+  if (!fresh) {
+    metrics_.duplicates += 1;
+    return;
+  }
+  if (delivery_callback_) delivery_callback_(event, now);
+}
+
+// --------------------------------------------------------------- Figure 10
+
+void FrugalNode::run_neighborhood_gc() {
+  neighborhood_.collect(scheduler_.now(), ngc_delay_);
+}
+
+// ----------------------------------------------------------------- plumbing
+
+void FrugalNode::on_frame(const net::Frame& frame) {
+  const auto message =
+      std::any_cast<std::shared_ptr<const Message>>(&frame.payload);
+  if (message == nullptr || *message == nullptr) return;  // foreign traffic
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Heartbeat>) {
+          on_heartbeat(m);
+        } else if constexpr (std::is_same_v<T, EventIdList>) {
+          on_event_ids(m);
+        } else {
+          on_event_bundle(m);
+        }
+      },
+      **message);
+}
+
+void FrugalNode::broadcast(Message message) {
+  const std::uint32_t size = wire_size(message);
+  medium_.broadcast(
+      id_, size,
+      std::make_shared<const Message>(std::move(message)));
+}
+
+}  // namespace frugal::core

@@ -1,0 +1,40 @@
+// The protocol's three message kinds (paper §3/§4):
+//   Heartbeat    — neighborhood detection: id, subscriptions, optional speed.
+//   EventIdList  — ids of held valid events matching a neighbor's interests.
+//   EventBundle  — actual events plus the sender's presumed receivers, so
+//                  overhearers learn who (presumably) holds what.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/event.hpp"
+#include "topics/subscription_set.hpp"
+#include "util/types.hpp"
+
+namespace frugal::core {
+
+struct Heartbeat {
+  NodeId sender = kInvalidNode;
+  topics::SubscriptionSet subscriptions;
+  /// Current speed (m/s) when a tachometer is available; optimization only.
+  std::optional<double> speed_mps;
+};
+
+struct EventIdList {
+  NodeId sender = kInvalidNode;
+  std::vector<EventId> ids;
+};
+
+struct EventBundle {
+  NodeId sender = kInvalidNode;
+  std::vector<Event> events;
+  /// Neighbors the sender believes will receive this bundle; receivers mark
+  /// these nodes as (presumably) holding the bundled events.
+  std::vector<NodeId> presumed_receivers;
+};
+
+using Message = std::variant<Heartbeat, EventIdList, EventBundle>;
+
+}  // namespace frugal::core

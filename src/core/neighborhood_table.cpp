@@ -1,0 +1,86 @@
+#include "core/neighborhood_table.hpp"
+
+#include <algorithm>
+
+namespace frugal::core {
+
+bool NeighborhoodTable::upsert(NodeId id,
+                               topics::SubscriptionSet subscriptions,
+                               std::optional<double> speed_mps, SimTime now) {
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.subscriptions = std::move(subscriptions);
+    it->second.speed_mps = speed_mps;
+    it->second.store_time = now;
+    return true;
+  }
+  if (capacity_ != 0 && entries_.size() >= capacity_) return false;
+  NeighborEntry entry;
+  entry.id = id;
+  entry.subscriptions = std::move(subscriptions);
+  entry.speed_mps = speed_mps;
+  entry.store_time = now;
+  entries_.emplace(id, std::move(entry));
+  return true;
+}
+
+void NeighborhoodTable::record_event(NodeId id, EventId event) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  it->second.known_events.insert(event);
+}
+
+void NeighborhoodTable::touch(NodeId id, SimTime now) {
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.store_time = now;
+}
+
+bool NeighborhoodTable::neighbor_knows(NodeId id, EventId event) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() && it->second.known_events.contains(event);
+}
+
+const NeighborEntry* NeighborhoodTable::find(NodeId id) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+std::size_t NeighborhoodTable::collect(SimTime now, SimDuration max_age) {
+  return std::erase_if(entries_, [&](const auto& kv) {
+    return kv.second.store_time + max_age < now;
+  });
+}
+
+std::optional<double> NeighborhoodTable::average_speed() const {
+  double total = 0;
+  std::size_t reporting = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.speed_mps) {
+      total += *entry.speed_mps;
+      ++reporting;
+    }
+  }
+  if (reporting == 0) return std::nullopt;
+  return total / static_cast<double>(reporting);
+}
+
+std::vector<const NeighborEntry*> NeighborhoodTable::entries_by_id() const {
+  std::vector<const NeighborEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry* a, const NeighborEntry* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+std::vector<NodeId> NeighborhoodTable::neighbor_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace frugal::core

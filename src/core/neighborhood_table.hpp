@@ -1,0 +1,81 @@
+// The neighborhood table (paper §4.1, Fig. 2).
+//
+// One row per one-hop neighbor whose subscriptions overlap ours: the
+// neighbor's id, its subscriptions, the set of events it is presumed to have
+// received, its advertised speed, and the time the row was last refreshed
+// (used by the periodic neighborhoodGC task, Fig. 10).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.hpp"
+#include "topics/subscription_set.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace frugal::core {
+
+struct NeighborEntry {
+  NodeId id = kInvalidNode;
+  topics::SubscriptionSet subscriptions;
+  std::unordered_set<EventId, EventIdHash> known_events;
+  std::optional<double> speed_mps;
+  SimTime store_time;
+};
+
+class NeighborhoodTable {
+ public:
+  /// Bounded table: `capacity` is the maximum number of neighbors a process
+  /// can handle (paper footnote 5). 0 means unbounded.
+  explicit NeighborhoodTable(std::size_t capacity = 0)
+      : capacity_{capacity} {}
+
+  [[nodiscard]] bool contains(NodeId id) const {
+    return entries_.contains(id);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Inserts or refreshes a neighbor (UPDATENEIGHBORINFO). Returns false when
+  /// the neighbor was new but the table is full (entry dropped), true
+  /// otherwise. Refreshing keeps the known-events set.
+  bool upsert(NodeId id, topics::SubscriptionSet subscriptions,
+              std::optional<double> speed_mps, SimTime now);
+
+  /// Marks `event` as (presumably) received by neighbor `id`
+  /// (UPDATENEIGHBOREVENTINFO). No-op for unknown neighbors.
+  void record_event(NodeId id, EventId event);
+
+  /// Refreshes the store time of a neighbor without touching its data.
+  void touch(NodeId id, SimTime now);
+
+  [[nodiscard]] bool neighbor_knows(NodeId id, EventId event) const;
+
+  [[nodiscard]] const NeighborEntry* find(NodeId id) const;
+
+  /// Removes every entry whose store time is older than now - max_age
+  /// (the neighborhoodGC task). Returns the number of entries removed.
+  std::size_t collect(SimTime now, SimDuration max_age);
+
+  void remove(NodeId id) { entries_.erase(id); }
+  void clear() { entries_.clear(); }
+
+  /// Mean advertised speed of neighbors that reported one; nullopt when no
+  /// neighbor did (AVERAGESPEED).
+  [[nodiscard]] std::optional<double> average_speed() const;
+
+  /// Stable iteration order (ascending id) so runs are reproducible.
+  [[nodiscard]] std::vector<const NeighborEntry*> entries_by_id() const;
+
+  /// Ids of all current neighbors, ascending.
+  [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<NodeId, NeighborEntry> entries_;
+};
+
+}  // namespace frugal::core

@@ -1,0 +1,58 @@
+// Common interface of all protocol implementations (the frugal algorithm and
+// the three flooding baselines), so the experiment runner and the examples
+// treat them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/event.hpp"
+#include "net/medium.hpp"
+#include "topics/topic.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace frugal::core {
+
+/// Per-process delivery accounting — the evaluation's four frugality metrics
+/// (events sent, duplicates, parasites) plus delivery times for reliability.
+struct DeliveryMetrics {
+  /// Unique events delivered to the application, with delivery time.
+  std::unordered_map<EventId, SimTime, EventIdHash> deliveries;
+  /// Receptions of an event already delivered/stored here (interested).
+  std::uint64_t duplicates = 0;
+  /// Receptions of events whose topic we have not subscribed to.
+  std::uint64_t parasites = 0;
+  /// Event copies broadcast by this process (each event in a bundle counts
+  /// once; a flooding retransmission counts once per event per send).
+  std::uint64_t events_sent = 0;
+
+  [[nodiscard]] bool delivered(EventId id) const {
+    return deliveries.contains(id);
+  }
+};
+
+/// A pub/sub process: the software on one mobile device (paper §2).
+class ProtocolNode : public net::MediumClient {
+ public:
+  using DeliveryCallback = std::function<void(const Event&, SimTime)>;
+
+  ~ProtocolNode() override = default;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  virtual void subscribe(const topics::Topic& topic) = 0;
+  virtual void unsubscribe(const topics::Topic& topic) = 0;
+
+  /// Publishes a new event produced by this process. The event's id must
+  /// carry this node as publisher.
+  virtual void publish(Event event) = 0;
+
+  [[nodiscard]] virtual const DeliveryMetrics& metrics() const = 0;
+
+  /// Invoked on every application-level delivery (optional).
+  virtual void set_delivery_callback(DeliveryCallback callback) = 0;
+};
+
+}  // namespace frugal::core

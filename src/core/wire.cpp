@@ -1,0 +1,229 @@
+#include "core/wire.hpp"
+
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace frugal::core {
+
+std::uint32_t wire_size(const Heartbeat& /*message*/) {
+  return kHeartbeatWireBytes;
+}
+
+std::uint32_t wire_size(const EventIdList& message) {
+  return kMessageHeaderBytes +
+         static_cast<std::uint32_t>(message.ids.size()) * kEventIdWireBytes;
+}
+
+std::uint32_t wire_size(const EventBundle& message) {
+  std::uint32_t total = kMessageHeaderBytes;
+  for (const Event& event : message.events) total += event.wire_bytes;
+  total += static_cast<std::uint32_t>(message.presumed_receivers.size()) *
+           kNeighborIdWireBytes;
+  return total;
+}
+
+std::uint32_t wire_size(const Message& message) {
+  return std::visit([](const auto& m) { return wire_size(m); }, message);
+}
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kHeartbeat = 1,
+  kEventIdList = 2,
+  kEventBundle = 3,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    FRUGAL_EXPECT(s.size() <= std::numeric_limits<std::uint32_t>::max());
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& bytes) : bytes_{bytes} {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string s;
+    s.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) s.push_back(static_cast<char>(u8()));
+    return s;
+  }
+
+ private:
+  const std::vector<std::byte>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void encode_event(Writer& w, const Event& e) {
+  w.u32(e.id.publisher);
+  w.u32(e.id.seq);
+  w.str(e.topic.to_string());
+  w.u64(static_cast<std::uint64_t>(e.published_at.us()));
+  w.u64(static_cast<std::uint64_t>(e.validity.us()));
+  w.u32(e.wire_bytes);
+  w.str(e.payload);
+}
+
+std::optional<Event> decode_event(Reader& r) {
+  Event e;
+  e.id.publisher = r.u32();
+  e.id.seq = r.u32();
+  const std::string topic = r.str();
+  if (!r.ok() || !topics::Topic::valid(topic)) return std::nullopt;
+  e.topic = topics::Topic::parse(topic);
+  e.published_at = SimTime::from_us(static_cast<std::int64_t>(r.u64()));
+  e.validity = SimDuration::from_us(static_cast<std::int64_t>(r.u64()));
+  e.wire_bytes = r.u32();
+  e.payload = r.str();
+  if (!r.ok() || e.validity.is_negative()) return std::nullopt;
+  return e;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& message) {
+  Writer w;
+  if (const auto* hb = std::get_if<Heartbeat>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    w.u32(hb->sender);
+    w.u32(static_cast<std::uint32_t>(hb->subscriptions.size()));
+    for (const auto& topic : hb->subscriptions.topics()) {
+      w.str(topic.to_string());
+    }
+    w.u8(hb->speed_mps.has_value() ? 1 : 0);
+    if (hb->speed_mps) w.f64(*hb->speed_mps);
+  } else if (const auto* ids = std::get_if<EventIdList>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kEventIdList));
+    w.u32(ids->sender);
+    w.u32(static_cast<std::uint32_t>(ids->ids.size()));
+    for (EventId id : ids->ids) {
+      w.u32(id.publisher);
+      w.u32(id.seq);
+    }
+  } else {
+    const auto& bundle = std::get<EventBundle>(message);
+    w.u8(static_cast<std::uint8_t>(Tag::kEventBundle));
+    w.u32(bundle.sender);
+    w.u32(static_cast<std::uint32_t>(bundle.events.size()));
+    for (const Event& e : bundle.events) encode_event(w, e);
+    w.u32(static_cast<std::uint32_t>(bundle.presumed_receivers.size()));
+    for (NodeId n : bundle.presumed_receivers) w.u32(n);
+  }
+  return w.take();
+}
+
+std::optional<Message> decode(const std::vector<std::byte>& bytes) {
+  Reader r{bytes};
+  const auto tag = r.u8();
+  if (!r.ok()) return std::nullopt;
+
+  // Collection lengths are validated against the remaining input implicitly:
+  // every element read checks bounds, so an absurd length fails fast instead
+  // of allocating.
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kHeartbeat: {
+      Heartbeat hb;
+      hb.sender = r.u32();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        const std::string topic = r.str();
+        if (!r.ok() || !topics::Topic::valid(topic)) return std::nullopt;
+        hb.subscriptions.add(topics::Topic::parse(topic));
+      }
+      const std::uint8_t has_speed = r.u8();
+      if (has_speed > 1) return std::nullopt;
+      if (has_speed == 1) hb.speed_mps = r.f64();
+      if (!r.ok() || !r.exhausted()) return std::nullopt;
+      return Message{std::move(hb)};
+    }
+    case Tag::kEventIdList: {
+      EventIdList list;
+      list.sender = r.u32();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        EventId id;
+        id.publisher = r.u32();
+        id.seq = r.u32();
+        list.ids.push_back(id);
+      }
+      if (!r.ok() || !r.exhausted()) return std::nullopt;
+      return Message{std::move(list)};
+    }
+    case Tag::kEventBundle: {
+      EventBundle bundle;
+      bundle.sender = r.u32();
+      const std::uint32_t n_events = r.u32();
+      for (std::uint32_t i = 0; i < n_events && r.ok(); ++i) {
+        auto event = decode_event(r);
+        if (!event) return std::nullopt;
+        bundle.events.push_back(std::move(*event));
+      }
+      const std::uint32_t n_receivers = r.u32();
+      for (std::uint32_t i = 0; i < n_receivers && r.ok(); ++i) {
+        bundle.presumed_receivers.push_back(r.u32());
+      }
+      if (!r.ok() || !r.exhausted()) return std::nullopt;
+      return Message{std::move(bundle)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace frugal::core

@@ -1,0 +1,111 @@
+#include "mobility/city_section.hpp"
+
+#include "util/expect.hpp"
+
+namespace frugal::mobility {
+
+CitySection::CitySection(const StreetGraph& graph, CitySectionConfig config,
+                         std::size_t node_count, Rng rng_root)
+    : graph_{graph},
+      config_{config},
+      rng_root_{rng_root},
+      nodes_(node_count) {
+  FRUGAL_EXPECT(graph.intersection_count() > 1);
+  FRUGAL_EXPECT(config.stop_probability >= 0 && config.stop_probability <= 1);
+  FRUGAL_EXPECT(config.stop_min <= config.stop_max);
+  FRUGAL_EXPECT(config.destination_pause_min <= config.destination_pause_max);
+  intersection_weights_.reserve(graph.intersection_count());
+  for (IntersectionId i = 0;
+       i < static_cast<IntersectionId>(graph.intersection_count()); ++i) {
+    // Never fully zero so isolated-but-connected corners remain reachable
+    // destinations.
+    intersection_weights_.push_back(0.1 + graph.intersection_popularity(i));
+  }
+}
+
+Vec2 CitySection::position(NodeId node, SimTime t) {
+  const Leg& leg = leg_at(node, t);
+  if (leg.speed_mps == 0.0 || t <= leg.start) return leg.from;
+  const double f = (t - leg.start).seconds() / (leg.end - leg.start).seconds();
+  return leg.from + (leg.to - leg.from) * f;
+}
+
+double CitySection::speed(NodeId node, SimTime t) {
+  return leg_at(node, t).speed_mps;
+}
+
+const CitySection::Leg& CitySection::leg_at(NodeId node, SimTime t) {
+  FRUGAL_EXPECT(node < nodes_.size());
+  NodeState& st = nodes_[node];
+  if (!st.initialized) init_node(node, st);
+  if (st.cursor < st.legs.size() && t < st.legs[st.cursor].start) {
+    st.cursor = 0;  // rare backwards query (tests)
+  }
+  for (;;) {
+    while (st.cursor + 1 < st.legs.size() && t > st.legs[st.cursor].end) {
+      ++st.cursor;
+    }
+    if (t <= st.legs[st.cursor].end) return st.legs[st.cursor];
+    extend(st);
+  }
+}
+
+void CitySection::init_node(NodeId node, NodeState& st) {
+  st.rng = rng_root_.split(node);
+  st.initialized = true;
+  st.at = pick_destination(st);
+  const Vec2 start = graph_.position(st.at);
+  st.legs.push_back(
+      Leg{SimTime::zero(), SimTime::from_seconds(0.001), start, start, 0.0});
+}
+
+IntersectionId CitySection::pick_destination(NodeState& st) const {
+  return static_cast<IntersectionId>(
+      st.rng.weighted_index(intersection_weights_));
+}
+
+void CitySection::extend(NodeState& st) {
+  // Plan the next journey: popularity-weighted destination, fastest route.
+  IntersectionId destination = pick_destination(st);
+  std::vector<std::uint32_t> route;
+  for (int tries = 0; tries < 16 && route.empty(); ++tries) {
+    if (destination != st.at) route = graph_.fastest_route(st.at, destination);
+    if (route.empty()) destination = pick_destination(st);
+  }
+  SimTime clock = st.legs.back().end;
+
+  if (route.empty()) {
+    // Degenerate graph or repeated same-destination draws: idle briefly.
+    const Vec2 here = graph_.position(st.at);
+    st.legs.push_back(Leg{clock, clock + config_.destination_pause_min, here,
+                          here, 0.0});
+    return;
+  }
+
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const Street& street = graph_.street(route[i]);
+    const Vec2 from = graph_.position(street.from);
+    const Vec2 to = graph_.position(street.to);
+    const double length = distance(from, to);
+    const SimTime arrive =
+        clock + SimDuration::from_seconds(length / street.speed_limit_mps);
+    st.legs.push_back(Leg{clock, arrive, from, to, street.speed_limit_mps});
+    clock = arrive;
+    const bool last_street = i + 1 == route.size();
+    if (!last_street && st.rng.bernoulli(config_.stop_probability)) {
+      const SimDuration stop = SimDuration::from_seconds(st.rng.uniform(
+          config_.stop_min.seconds(), config_.stop_max.seconds()));
+      st.legs.push_back(Leg{clock, clock + stop, to, to, 0.0});
+      clock += stop;
+    }
+  }
+
+  st.at = destination;
+  const Vec2 here = graph_.position(destination);
+  const SimDuration pause = SimDuration::from_seconds(
+      st.rng.uniform(config_.destination_pause_min.seconds(),
+                     config_.destination_pause_max.seconds()));
+  st.legs.push_back(Leg{clock, clock + pause, here, here, 0.0});
+}
+
+}  // namespace frugal::mobility

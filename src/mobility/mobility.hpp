@@ -1,0 +1,31 @@
+// Mobility model interface.
+//
+// A model answers "where is node i at time t" and "how fast is it moving".
+// Implementations are deterministic functions of their seed; queries must be
+// supported for any non-decreasing sequence of times per node (the simulator
+// only moves forward), and may be repeated at the same time.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+#include "util/vec2.hpp"
+
+namespace frugal::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position of `node` at time `t`, meters.
+  [[nodiscard]] virtual Vec2 position(NodeId node, SimTime t) = 0;
+
+  /// Instantaneous scalar speed of `node` at time `t`, m/s. The paper's
+  /// heartbeat optionally carries this (tachometer reading).
+  [[nodiscard]] virtual double speed(NodeId node, SimTime t) = 0;
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+};
+
+}  // namespace frugal::mobility

@@ -1,0 +1,128 @@
+// Random-waypoint mobility (Johnson & Maltz 1996), as used in the paper's
+// first evaluation: each node repeatedly picks a uniformly random waypoint in
+// the rectangular area and a uniformly random speed in [speed_min, speed_max],
+// travels there in a straight line, pauses, and repeats.
+//
+// Trajectories are generated lazily per node and cached, so position queries
+// are deterministic functions of (seed, node, t) regardless of query order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace frugal::mobility {
+
+struct RandomWaypointConfig {
+  double width_m = 5000.0;   ///< area width (paper: 5 km x 5 km = 25 km^2)
+  double height_m = 5000.0;  ///< area height
+  double speed_min_mps = 1.0;
+  double speed_max_mps = 1.0;
+  SimDuration pause = SimDuration::from_seconds(1.0);  ///< paper: 1 s
+  /// When true each node draws ONE speed for the whole run from
+  /// [speed_min, speed_max] (the paper's heterogeneous experiment, Fig. 12);
+  /// when false a fresh speed is drawn per leg (classic random waypoint).
+  bool per_node_constant_speed = false;
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(RandomWaypointConfig config, std::size_t node_count,
+                 Rng rng_root)
+      : config_{config}, rng_root_{rng_root}, nodes_(node_count) {
+    FRUGAL_EXPECT(config.width_m > 0 && config.height_m > 0);
+    FRUGAL_EXPECT(config.speed_min_mps > 0);
+    FRUGAL_EXPECT(config.speed_max_mps >= config.speed_min_mps);
+    FRUGAL_EXPECT(!config.pause.is_negative());
+  }
+
+  [[nodiscard]] Vec2 position(NodeId node, SimTime t) override {
+    const Leg& leg = leg_at(node, t);
+    if (leg.speed_mps == 0.0 || t <= leg.start) return leg.from;
+    const double f = (t - leg.start).seconds() / (leg.end - leg.start).seconds();
+    return leg.from + (leg.to - leg.from) * f;
+  }
+
+  [[nodiscard]] double speed(NodeId node, SimTime t) override {
+    return leg_at(node, t).speed_mps;
+  }
+
+  [[nodiscard]] std::size_t node_count() const override {
+    return nodes_.size();
+  }
+
+ private:
+  /// One straight-line travel leg or a pause (speed 0, from == to).
+  struct Leg {
+    SimTime start;
+    SimTime end;
+    Vec2 from;
+    Vec2 to;
+    double speed_mps = 0;
+  };
+
+  struct NodeState {
+    bool initialized = false;
+    double constant_speed = 0;  // used when per_node_constant_speed
+    Rng rng{0};
+    std::vector<Leg> legs;
+    std::size_t cursor = 0;  // hint: index of the last leg returned
+  };
+
+  const Leg& leg_at(NodeId node, SimTime t) {
+    FRUGAL_EXPECT(node < nodes_.size());
+    NodeState& st = nodes_[node];
+    if (!st.initialized) init_node(node, st);
+    // Fast path: queries are nearly monotonic; advance the cursor.
+    if (st.cursor < st.legs.size() && t < st.legs[st.cursor].start) {
+      st.cursor = 0;  // rare backwards query (tests)
+    }
+    for (;;) {
+      while (st.cursor + 1 < st.legs.size() && t > st.legs[st.cursor].end) {
+        ++st.cursor;
+      }
+      if (t <= st.legs[st.cursor].end) return st.legs[st.cursor];
+      extend(st);
+    }
+  }
+
+  void init_node(NodeId node, NodeState& st) {
+    st.rng = rng_root_.split(node);
+    st.initialized = true;
+    st.constant_speed =
+        st.rng.uniform(config_.speed_min_mps, config_.speed_max_mps);
+    const Vec2 start{st.rng.uniform(0, config_.width_m),
+                     st.rng.uniform(0, config_.height_m)};
+    // Seed trajectory with a zero-length pause so legs are never empty.
+    st.legs.push_back(Leg{SimTime::zero(), SimTime::zero() + config_.pause,
+                          start, start, 0.0});
+  }
+
+  void extend(NodeState& st) {
+    const Leg& last = st.legs.back();
+    const Vec2 from = last.to;
+    const Vec2 to{st.rng.uniform(0, config_.width_m),
+                  st.rng.uniform(0, config_.height_m)};
+    const double speed =
+        config_.per_node_constant_speed
+            ? st.constant_speed
+            : st.rng.uniform(config_.speed_min_mps, config_.speed_max_mps);
+    const double dist = distance(from, to);
+    const SimTime depart = last.end;
+    const SimTime arrive = depart + SimDuration::from_seconds(dist / speed);
+    st.legs.push_back(Leg{depart, arrive, from, to, speed});
+    if (config_.pause.us() > 0) {
+      st.legs.push_back(Leg{arrive, arrive + config_.pause, to, to, 0.0});
+    }
+  }
+
+  RandomWaypointConfig config_;
+  Rng rng_root_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace frugal::mobility

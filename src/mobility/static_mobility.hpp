@@ -1,0 +1,99 @@
+// Trivial models used by tests and the quickstart example.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::mobility {
+
+/// Nodes that never move.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(std::vector<Vec2> positions)
+      : positions_{std::move(positions)} {}
+
+  [[nodiscard]] Vec2 position(NodeId node, SimTime /*t*/) override {
+    FRUGAL_EXPECT(node < positions_.size());
+    return positions_[node];
+  }
+  [[nodiscard]] double speed(NodeId /*node*/, SimTime /*t*/) override {
+    return 0.0;
+  }
+  [[nodiscard]] std::size_t node_count() const override {
+    return positions_.size();
+  }
+
+  /// Teleports a node (between queries); used by tests to script topologies.
+  void move_node(NodeId node, Vec2 to) {
+    FRUGAL_EXPECT(node < positions_.size());
+    positions_[node] = to;
+  }
+
+ private:
+  std::vector<Vec2> positions_;
+};
+
+/// Piecewise-linear scripted trajectories: each node follows straight lines
+/// between (time, position) knots, holding the last position afterwards.
+class WaypointTrace final : public MobilityModel {
+ public:
+  struct Knot {
+    SimTime at;
+    Vec2 pos;
+  };
+
+  explicit WaypointTrace(std::vector<std::vector<Knot>> trajectories)
+      : trajectories_{std::move(trajectories)} {
+    for (const auto& traj : trajectories_) {
+      FRUGAL_EXPECT(!traj.empty());
+      for (std::size_t i = 1; i < traj.size(); ++i) {
+        FRUGAL_EXPECT(traj[i - 1].at < traj[i].at);
+      }
+    }
+  }
+
+  [[nodiscard]] Vec2 position(NodeId node, SimTime t) override {
+    const auto& traj = trajectory(node);
+    if (t <= traj.front().at) return traj.front().pos;
+    for (std::size_t i = 1; i < traj.size(); ++i) {
+      if (t <= traj[i].at) {
+        const auto& a = traj[i - 1];
+        const auto& b = traj[i];
+        const double f =
+            (t - a.at).seconds() / (b.at - a.at).seconds();
+        return a.pos + (b.pos - a.pos) * f;
+      }
+    }
+    return traj.back().pos;
+  }
+
+  [[nodiscard]] double speed(NodeId node, SimTime t) override {
+    const auto& traj = trajectory(node);
+    if (t <= traj.front().at || t > traj.back().at) return 0.0;
+    for (std::size_t i = 1; i < traj.size(); ++i) {
+      if (t <= traj[i].at) {
+        const auto& a = traj[i - 1];
+        const auto& b = traj[i];
+        return distance(a.pos, b.pos) / (b.at - a.at).seconds();
+      }
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::size_t node_count() const override {
+    return trajectories_.size();
+  }
+
+ private:
+  [[nodiscard]] const std::vector<Knot>& trajectory(NodeId node) const {
+    FRUGAL_EXPECT(node < trajectories_.size());
+    return trajectories_[node];
+  }
+
+  std::vector<std::vector<Knot>> trajectories_;
+};
+
+}  // namespace frugal::mobility

@@ -1,0 +1,166 @@
+#include "mobility/street_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace frugal::mobility {
+
+std::vector<std::uint32_t> StreetGraph::fastest_route(IntersectionId from,
+                                                      IntersectionId to) const {
+  FRUGAL_EXPECT(from < positions_.size());
+  FRUGAL_EXPECT(to < positions_.size());
+  if (from == to) return {};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(positions_.size(), kInf);
+  std::vector<std::uint32_t> via(positions_.size(),
+                                 std::numeric_limits<std::uint32_t>::max());
+  using Item = std::pair<double, IntersectionId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+
+  dist[from] = 0;
+  frontier.emplace(0.0, from);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (std::uint32_t e : adjacency_[u]) {
+      const Street& s = streets_[e];
+      const double travel = street_length(e) / s.speed_limit_mps;
+      if (dist[u] + travel < dist[s.to]) {
+        dist[s.to] = dist[u] + travel;
+        via[s.to] = e;
+        frontier.emplace(dist[s.to], s.to);
+      }
+    }
+  }
+
+  if (dist[to] == kInf) return {};
+  std::vector<std::uint32_t> route;
+  for (IntersectionId v = to; v != from;) {
+    const std::uint32_t e = via[v];
+    route.push_back(e);
+    v = streets_[e].from;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+bool StreetGraph::strongly_connected() const {
+  if (positions_.empty()) return true;
+  // Forward reachability from vertex 0, then reachability in the transpose.
+  const auto reachable = [&](bool forward) {
+    std::vector<std::vector<IntersectionId>> adj(positions_.size());
+    for (const Street& s : streets_) {
+      if (forward) {
+        adj[s.from].push_back(s.to);
+      } else {
+        adj[s.to].push_back(s.from);
+      }
+    }
+    std::vector<bool> seen(positions_.size(), false);
+    std::vector<IntersectionId> stack{0};
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const IntersectionId u = stack.back();
+      stack.pop_back();
+      for (IntersectionId v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++count;
+          stack.push_back(v);
+        }
+      }
+    }
+    return count == positions_.size();
+  };
+  return reachable(true) && reachable(false);
+}
+
+namespace {
+
+StreetGraph build_campus_grid_once(const CampusGridConfig& config, Rng& rng) {
+  StreetGraph graph;
+  const double dx = config.width_m / (config.columns - 1);
+  const double dy = config.height_m / (config.rows - 1);
+  const auto vertex = [&](std::uint32_t col, std::uint32_t row) {
+    return static_cast<IntersectionId>(row * config.columns + col);
+  };
+
+  for (std::uint32_t row = 0; row < config.rows; ++row) {
+    for (std::uint32_t col = 0; col < config.columns; ++col) {
+      graph.add_intersection({col * dx, row * dy});
+    }
+  }
+
+  // One "main street" row and one main avenue column attract most traffic.
+  const auto main_row = static_cast<std::uint32_t>(
+      rng.uniform_u64(config.rows));
+  const auto main_col = static_cast<std::uint32_t>(
+      rng.uniform_u64(config.columns));
+
+  const auto add_road = [&](IntersectionId a, IntersectionId b, bool main) {
+    const double limit =
+        rng.uniform(config.speed_min_mps, config.speed_max_mps);
+    const double popularity = main ? config.main_road_popularity : 1.0;
+    // Border streets stay two-way so the graph remains strongly connected
+    // regardless of the random one-way picks.
+    const Vec2 pa = graph.position(a);
+    const Vec2 pb = graph.position(b);
+    const bool border = pa.x == 0 || pa.y == 0 || pb.x == 0 || pb.y == 0 ||
+                        pa.x >= config.width_m - 1e-9 ||
+                        pa.y >= config.height_m - 1e-9 ||
+                        pb.x >= config.width_m - 1e-9 ||
+                        pb.y >= config.height_m - 1e-9;
+    if (!border && !main && rng.bernoulli(config.one_way_fraction)) {
+      if (rng.bernoulli(0.5)) {
+        graph.add_street({a, b, limit, popularity});
+      } else {
+        graph.add_street({b, a, limit, popularity});
+      }
+    } else {
+      graph.add_two_way(a, b, limit, popularity);
+    }
+  };
+
+  for (std::uint32_t row = 0; row < config.rows; ++row) {
+    for (std::uint32_t col = 0; col + 1 < config.columns; ++col) {
+      add_road(vertex(col, row), vertex(col + 1, row), row == main_row);
+    }
+  }
+  for (std::uint32_t col = 0; col < config.columns; ++col) {
+    for (std::uint32_t row = 0; row + 1 < config.rows; ++row) {
+      add_road(vertex(col, row), vertex(col, row + 1), col == main_col);
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace
+
+StreetGraph make_campus_grid(const CampusGridConfig& config, Rng& rng) {
+  FRUGAL_EXPECT(config.columns >= 2 && config.rows >= 2);
+  FRUGAL_EXPECT(config.speed_min_mps > 0);
+  FRUGAL_EXPECT(config.speed_max_mps >= config.speed_min_mps);
+  FRUGAL_EXPECT(config.one_way_fraction >= 0 && config.one_way_fraction <= 1);
+
+  // Random one-way assignments can, rarely, orphan an interior intersection;
+  // redraw until the street network is strongly connected (two-way borders
+  // make success overwhelmingly likely per attempt).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    StreetGraph graph = build_campus_grid_once(config, rng);
+    if (graph.strongly_connected()) return graph;
+  }
+  // Fall back to an all-two-way grid, which is always strongly connected.
+  CampusGridConfig two_way = config;
+  two_way.one_way_fraction = 0.0;
+  StreetGraph graph = build_campus_grid_once(two_way, rng);
+  FRUGAL_ENSURE(graph.strongly_connected());
+  return graph;
+}
+
+}  // namespace frugal::mobility

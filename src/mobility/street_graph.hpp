@@ -1,0 +1,120 @@
+// Street network for the city-section mobility model.
+//
+// Intersections are graph vertices with 2-D positions; streets are directed
+// edges with a speed limit and a "popularity" weight. Popularity models the
+// paper's observation that on the EPFL campus "some roads are more often used
+// than others": journey destinations and route choices are biased toward
+// popular streets, which creates the social meeting points the paper credits
+// for the city-section reliability profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/vec2.hpp"
+
+namespace frugal::mobility {
+
+using IntersectionId = std::uint32_t;
+
+struct Street {
+  IntersectionId from = 0;
+  IntersectionId to = 0;
+  double speed_limit_mps = 10.0;
+  double popularity = 1.0;  ///< relative traffic weight (>= 0)
+};
+
+class StreetGraph {
+ public:
+  IntersectionId add_intersection(Vec2 position) {
+    positions_.push_back(position);
+    adjacency_.emplace_back();
+    return static_cast<IntersectionId>(positions_.size() - 1);
+  }
+
+  /// Adds a directed street. Use add_two_way for ordinary roads; omit the
+  /// reverse edge for one-way lanes.
+  void add_street(Street street) {
+    FRUGAL_EXPECT(street.from < positions_.size());
+    FRUGAL_EXPECT(street.to < positions_.size());
+    FRUGAL_EXPECT(street.from != street.to);
+    FRUGAL_EXPECT(street.speed_limit_mps > 0);
+    FRUGAL_EXPECT(street.popularity >= 0);
+    streets_.push_back(street);
+    adjacency_[street.from].push_back(
+        static_cast<std::uint32_t>(streets_.size() - 1));
+  }
+
+  void add_two_way(IntersectionId a, IntersectionId b, double speed_limit_mps,
+                   double popularity) {
+    add_street({a, b, speed_limit_mps, popularity});
+    add_street({b, a, speed_limit_mps, popularity});
+  }
+
+  [[nodiscard]] std::size_t intersection_count() const {
+    return positions_.size();
+  }
+  [[nodiscard]] std::size_t street_count() const { return streets_.size(); }
+  [[nodiscard]] Vec2 position(IntersectionId i) const {
+    FRUGAL_EXPECT(i < positions_.size());
+    return positions_[i];
+  }
+  [[nodiscard]] const Street& street(std::uint32_t e) const {
+    FRUGAL_EXPECT(e < streets_.size());
+    return streets_[e];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& outgoing(
+      IntersectionId i) const {
+    FRUGAL_EXPECT(i < adjacency_.size());
+    return adjacency_[i];
+  }
+  [[nodiscard]] double street_length(std::uint32_t e) const {
+    const Street& s = street(e);
+    return distance(positions_[s.from], positions_[s.to]);
+  }
+
+  /// Total popularity of streets incident to an intersection; used to bias
+  /// destination choice toward busy areas.
+  [[nodiscard]] double intersection_popularity(IntersectionId i) const {
+    double total = 0;
+    for (std::uint32_t e : outgoing(i)) total += street(e).popularity;
+    return total;
+  }
+
+  /// Fastest route (by travel time at speed limits) from -> to as a list of
+  /// street indices. Empty when from == to or `to` is unreachable.
+  [[nodiscard]] std::vector<std::uint32_t> fastest_route(
+      IntersectionId from, IntersectionId to) const;
+
+  /// True if every intersection can reach every other one.
+  [[nodiscard]] bool strongly_connected() const;
+
+ private:
+  std::vector<Vec2> positions_;
+  std::vector<Street> streets_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+/// Parameters for the procedurally generated Manhattan-style campus grid that
+/// stands in for the paper's EPFL map (1200 x 900 m).
+struct CampusGridConfig {
+  double width_m = 1200.0;
+  double height_m = 900.0;
+  std::uint32_t columns = 7;  ///< north-south streets
+  std::uint32_t rows = 6;     ///< east-west streets
+  double speed_min_mps = 8.0;
+  double speed_max_mps = 13.0;
+  /// Fraction of interior streets that are one-way.
+  double one_way_fraction = 0.15;
+  /// Popularity multiplier applied to the designated "main" row/column,
+  /// recreating the paper's unevenly used roads and meeting points.
+  double main_road_popularity = 6.0;
+};
+
+/// Builds the campus street grid. Deterministic for a given rng state.
+[[nodiscard]] StreetGraph make_campus_grid(const CampusGridConfig& config,
+                                           Rng& rng);
+
+}  // namespace frugal::mobility

@@ -1,0 +1,187 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace frugal::net {
+
+Medium::Medium(sim::Scheduler& scheduler, mobility::MobilityModel& mobility,
+               MediumConfig config, Rng jitter_rng)
+    : scheduler_{scheduler},
+      mobility_{mobility},
+      config_{config},
+      rng_{jitter_rng},
+      clients_(mobility.node_count(), nullptr),
+      up_(mobility.node_count(), true),
+      counters_(mobility.node_count()),
+      tx_busy_until_(mobility.node_count(), SimTime::zero()),
+      receptions_(mobility.node_count()) {
+  FRUGAL_EXPECT(config.range_m > 0);
+  FRUGAL_EXPECT(config.rate_bps > 0);
+  FRUGAL_EXPECT(!config.max_jitter.is_negative());
+}
+
+void Medium::attach(NodeId node, MediumClient* client) {
+  FRUGAL_EXPECT(node < clients_.size());
+  FRUGAL_EXPECT(client != nullptr);
+  clients_[node] = client;
+}
+
+void Medium::set_up(NodeId node, bool up) {
+  FRUGAL_EXPECT(node < up_.size());
+  up_[node] = up;
+}
+
+bool Medium::is_up(NodeId node) const {
+  FRUGAL_EXPECT(node < up_.size());
+  return up_[node];
+}
+
+const TrafficCounters& Medium::counters(NodeId node) const {
+  FRUGAL_EXPECT(node < counters_.size());
+  return counters_[node];
+}
+
+std::vector<NodeId> Medium::nodes_in_range(NodeId node) const {
+  FRUGAL_EXPECT(node < clients_.size());
+  const SimTime now = scheduler_.now();
+  const Vec2 here = mobility_.position(node, now);
+  const double range_sq = config_.range_m * config_.range_m;
+  std::vector<NodeId> result;
+  for (NodeId other = 0; other < clients_.size(); ++other) {
+    if (other == node || !up_[other]) continue;
+    if (distance_sq(here, mobility_.position(other, now)) <= range_sq) {
+      result.push_back(other);
+    }
+  }
+  return result;
+}
+
+void Medium::broadcast(NodeId sender, std::uint32_t size_bytes,
+                       std::any payload) {
+  FRUGAL_EXPECT(sender < clients_.size());
+  FRUGAL_EXPECT(size_bytes > 0);
+  if (!up_[sender]) return;
+
+  auto frame = std::make_shared<Frame>(
+      Frame{sender, size_bytes, std::move(payload)});
+  const SimDuration jitter =
+      config_.max_jitter.us() > 0
+          ? SimDuration::from_us(static_cast<std::int64_t>(rng_.uniform_u64(
+                static_cast<std::uint64_t>(config_.max_jitter.us()))))
+          : SimDuration::zero();
+  scheduler_.schedule_after(jitter, [this, sender, frame] {
+    start_transmission(sender, frame, /*attempt=*/0);
+  });
+}
+
+SimTime Medium::sensed_busy_until(NodeId sender, SimTime at) const {
+  const Vec2 here = mobility_.position(sender, at);
+  const double range_sq = config_.range_m * config_.range_m;
+  SimTime busy = SimTime::zero();
+  for (const Transmission& tx : on_air_) {
+    if (tx.end <= at || tx.sender == sender) continue;
+    const Vec2 there = mobility_.position(tx.sender, at);
+    if (distance_sq(here, there) <= range_sq) busy = std::max(busy, tx.end);
+  }
+  return busy;
+}
+
+void Medium::start_transmission(NodeId sender,
+                                const std::shared_ptr<Frame>& frame,
+                                int attempt) {
+  if (!up_[sender]) return;  // crashed while the frame was queued
+  const SimTime now = scheduler_.now();
+  prune(now);
+
+  // Defer while our own radio or the sensed channel is busy (carrier sense);
+  // give up after max_defers attempts (802.11-style retry limit).
+  SimTime free_at = std::max(tx_busy_until_[sender],
+                             sensed_busy_until(sender, now));
+  if (free_at > now) {
+    if (attempt >= config_.max_defers) {
+      counters_[sender].frames_dropped += 1;
+      return;
+    }
+    // Contention window grows with the attempt number (DCF stand-in).
+    const std::uint64_t window = 1000ULL * static_cast<std::uint64_t>(attempt + 1);
+    const SimDuration retry_jitter = SimDuration::from_us(
+        static_cast<std::int64_t>(rng_.uniform_u64(window) + 1));
+    scheduler_.schedule_at(free_at + retry_jitter,
+                           [this, sender, frame, attempt] {
+                             start_transmission(sender, frame, attempt + 1);
+                           });
+    return;
+  }
+
+  const auto duration = SimDuration::from_seconds(
+      static_cast<double>(frame->size_bytes) * 8.0 / config_.rate_bps);
+  const SimTime end = now + duration;
+  tx_busy_until_[sender] = end;
+  on_air_.push_back(Transmission{sender, now, end});
+  counters_[sender].frames_sent += 1;
+  counters_[sender].bytes_sent += frame->size_bytes;
+
+  const Vec2 origin = mobility_.position(sender, now);
+  const double range_sq = config_.range_m * config_.range_m;
+  for (NodeId receiver = 0; receiver < clients_.size(); ++receiver) {
+    if (receiver == sender || !up_[receiver] || clients_[receiver] == nullptr)
+      continue;
+    if (distance_sq(origin, mobility_.position(receiver, now)) > range_sq)
+      continue;
+
+    // Half-duplex: a radio that is transmitting cannot hear this frame.
+    if (config_.enable_collisions && tx_busy_until_[receiver] > now) {
+      counters_[receiver].frames_missed_busy += 1;
+      continue;
+    }
+
+    auto corrupted = std::make_shared<bool>(false);
+    if (config_.enable_collisions) {
+      for (Reception& ongoing : receptions_[receiver]) {
+        if (ongoing.end > now) {  // overlap: both frames are lost
+          *ongoing.corrupted = true;
+          *corrupted = true;
+        }
+      }
+    }
+    receptions_[receiver].push_back(Reception{now, end, corrupted});
+
+    scheduler_.schedule_at(end, [this, receiver, frame, corrupted] {
+      if (*corrupted) {
+        counters_[receiver].frames_collided += 1;
+        return;
+      }
+      if (!up_[receiver] || clients_[receiver] == nullptr) return;
+      counters_[receiver].frames_delivered += 1;
+      counters_[receiver].bytes_delivered += frame->size_bytes;
+      clients_[receiver]->on_frame(*frame);
+    });
+  }
+}
+
+void Medium::prune(SimTime now) {
+  std::erase_if(on_air_,
+                [now](const Transmission& tx) { return tx.end <= now; });
+  for (auto& list : receptions_) {
+    std::erase_if(list,
+                  [now](const Reception& rx) { return rx.end <= now; });
+  }
+}
+
+double two_ray_range(double tx_power_dbm, double sensitivity_dbm,
+                     double antenna_gain, double antenna_height_m) {
+  FRUGAL_EXPECT(antenna_gain > 0);
+  FRUGAL_EXPECT(antenna_height_m > 0);
+  const double gains_db =
+      10.0 * std::log10(antenna_gain * antenna_gain * antenna_height_m *
+                        antenna_height_m * antenna_height_m *
+                        antenna_height_m);
+  return std::pow(10.0, (tx_power_dbm - sensitivity_dbm + gains_db) / 40.0);
+}
+
+}  // namespace frugal::net

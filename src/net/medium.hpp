@@ -1,0 +1,135 @@
+// Broadcast wireless medium.
+//
+// Stand-in for the paper's Qualnet 802.11b substrate (see DESIGN.md §1). The
+// protocol under study needs exactly four properties from the MAC/PHY, all
+// modeled here:
+//   1. one-hop broadcast with a finite radio range (unit disk whose radius can
+//      be derived from tx power / sensitivity via the two-ray formula),
+//   2. frames take size * 8 / rate on air,
+//   3. senders carrier-sense and defer (plus random jitter) before talking,
+//   4. frames that overlap in time at a receiver corrupt each other
+//      (collisions), and a transmitting radio cannot receive (half-duplex).
+//
+// The medium charges every sent/received byte to per-node traffic counters;
+// the evaluation's bandwidth numbers come from these.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace frugal::net {
+
+/// One on-air frame. `payload` carries the protocol message by value (the
+/// codec layer accounts for its wire size separately; see core/wire.hpp).
+struct Frame {
+  NodeId sender = kInvalidNode;
+  std::uint32_t size_bytes = 0;
+  std::any payload;
+};
+
+/// Implemented by protocol nodes to receive frames.
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+struct MediumConfig {
+  double range_m = 442.0;   ///< paper: 442 m at 1 Mbps, 44 m in the city model
+  double rate_bps = 1e6;    ///< broadcast basic rate (802.11b: 1 Mbps)
+  bool enable_collisions = true;
+  /// Random pre-transmission jitter, standing in for CSMA slot back-off; also
+  /// desynchronizes periodic heartbeats.
+  SimDuration max_jitter = SimDuration::from_ms(5);
+  /// Carrier-sense retry limit, mirroring the 802.11 retry limit: a frame
+  /// that finds the channel busy this many times is dropped (queue overflow
+  /// under saturation). The per-retry wait grows linearly with the attempt
+  /// number (a simple stand-in for DCF's exponential back-off).
+  int max_defers = 16;
+};
+
+struct TrafficCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_delivered = 0;   ///< received intact
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t frames_collided = 0;    ///< lost at this receiver to overlap
+  std::uint64_t frames_missed_busy = 0; ///< lost because radio was transmitting
+  std::uint64_t frames_dropped = 0;     ///< sender gave up after max_defers
+};
+
+class Medium {
+ public:
+  Medium(sim::Scheduler& scheduler, mobility::MobilityModel& mobility,
+         MediumConfig config, Rng jitter_rng);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers the client for `node`. Must be called before the node sends or
+  /// can receive. `node` must be < mobility.node_count().
+  void attach(NodeId node, MediumClient* client);
+
+  /// Marks a node up/down (crash/recover). Down nodes neither send nor hear.
+  void set_up(NodeId node, bool up);
+  [[nodiscard]] bool is_up(NodeId node) const;
+
+  /// Queues a broadcast from `sender`. The frame goes on air after jitter and
+  /// carrier-sense deferral, and reaches every up node within range.
+  void broadcast(NodeId sender, std::uint32_t size_bytes, std::any payload);
+
+  [[nodiscard]] const TrafficCounters& counters(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const { return clients_.size(); }
+
+  /// Nodes currently within radio range of `node` (excluding itself).
+  [[nodiscard]] std::vector<NodeId> nodes_in_range(NodeId node) const;
+
+  [[nodiscard]] const MediumConfig& config() const { return config_; }
+
+ private:
+  struct Reception {
+    SimTime start;
+    SimTime end;
+    std::shared_ptr<bool> corrupted;
+  };
+  struct Transmission {
+    NodeId sender = kInvalidNode;
+    SimTime start;
+    SimTime end;
+  };
+
+  void start_transmission(NodeId sender, const std::shared_ptr<Frame>& frame,
+                          int attempt);
+  [[nodiscard]] SimTime sensed_busy_until(NodeId sender, SimTime at) const;
+  void prune(SimTime now);
+
+  sim::Scheduler& scheduler_;
+  mobility::MobilityModel& mobility_;
+  MediumConfig config_;
+  Rng rng_;
+  std::vector<MediumClient*> clients_;
+  std::vector<bool> up_;
+  std::vector<TrafficCounters> counters_;
+  std::vector<SimTime> tx_busy_until_;
+  std::vector<std::vector<Reception>> receptions_;
+  std::vector<Transmission> on_air_;
+};
+
+/// Radio range from the two-ray ground-reflection model:
+///   d = 10 ^ ((Pt_dBm - sensitivity_dBm + 10 log10(Gt Gr ht^2 hr^2)) / 40)
+/// With the paper's parameters (15 dB tx, 0.8 antenna efficiency, ~1 m
+/// antennas) this yields 448/341/316/252 m for the -93/-89/-87/-83 dB
+/// sensitivities — matching the paper's quoted 442/339/321/273 m ranges to
+/// within a few percent.
+[[nodiscard]] double two_ray_range(double tx_power_dbm, double sensitivity_dbm,
+                                   double antenna_gain = 0.8,
+                                   double antenna_height_m = 1.0);
+
+}  // namespace frugal::net

@@ -1,0 +1,91 @@
+// Simulation façade: owns the scheduler and the root RNG, and provides
+// periodic-task plumbing shared by the protocol layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace frugal::sim {
+
+/// A repeating task with a mutable period. The next firing is scheduled when
+/// the current one runs, so period changes (the paper's speed-adaptive
+/// heartbeat) take effect on the next cycle. Stopping cancels the pending
+/// firing.
+class PeriodicTask {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTask(Scheduler& scheduler, SimDuration period, Callback fn)
+      : scheduler_{scheduler}, period_{period}, fn_{std::move(fn)} {
+    FRUGAL_EXPECT(period.us() > 0);
+  }
+
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Starts firing; the first run happens after `initial_delay`.
+  void start(SimDuration initial_delay = SimDuration::zero()) {
+    if (running_) return;
+    running_ = true;
+    arm(initial_delay);
+  }
+
+  void stop() {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimDuration period() const { return period_; }
+
+  /// Changes the period; applies from the next scheduling decision.
+  void set_period(SimDuration period) {
+    FRUGAL_EXPECT(period.us() > 0);
+    period_ = period;
+  }
+
+ private:
+  void arm(SimDuration delay) {
+    handle_ = scheduler_.schedule_after(delay, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm(period_);
+    });
+  }
+
+  Scheduler& scheduler_;
+  SimDuration period_;
+  Callback fn_;
+  bool running_ = false;
+  TaskHandle handle_;
+};
+
+/// Owns the scheduler and the root random stream for one simulation run.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : root_rng_{seed} {}
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+  /// Derives a named independent random stream (see Rng::split).
+  [[nodiscard]] Rng stream(std::string_view name, std::uint64_t index = 0) {
+    return root_rng_.split(fnv1a64(name) ^ (index * 0x9E3779B97F4A7C15ULL));
+  }
+
+  void run_until(SimTime t) { scheduler_.run_until(t); }
+  void run_for(SimDuration d) { scheduler_.run_until(now() + d); }
+
+ private:
+  Rng root_rng_;
+  Scheduler scheduler_;
+};
+
+}  // namespace frugal::sim

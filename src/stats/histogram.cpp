@@ -1,0 +1,14 @@
+#include "stats/histogram.hpp"
+
+#include <cstdio>
+
+namespace frugal::stats {
+
+std::string Histogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "n=%zu p50=%.2f p90=%.2f p99=%.2f",
+                total_, quantile(0.5), quantile(0.9), quantile(0.99));
+  return buf;
+}
+
+}  // namespace frugal::stats

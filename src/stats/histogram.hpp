@@ -1,0 +1,71 @@
+// Fixed-bucket histogram for latency and delay distributions.
+//
+// The experiment harness reports delivery-latency percentiles (how long an
+// event needs to reach its subscribers); a simple linear-bucket histogram is
+// enough and keeps runs deterministic (no data-dependent allocation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace frugal::stats {
+
+class Histogram {
+ public:
+  /// Buckets of width `bucket_width` covering [0, bucket_width * count);
+  /// values beyond the range land in the overflow bucket.
+  Histogram(double bucket_width, std::size_t bucket_count)
+      : bucket_width_{bucket_width}, counts_(bucket_count + 1, 0) {
+    FRUGAL_EXPECT(bucket_width > 0);
+    FRUGAL_EXPECT(bucket_count > 0);
+  }
+
+  void add(double value) {
+    FRUGAL_EXPECT(value >= 0);
+    const auto bucket = static_cast<std::size_t>(value / bucket_width_);
+    counts_[std::min(bucket, counts_.size() - 1)] += 1;
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size() - 1; }
+  [[nodiscard]] std::size_t overflow() const { return counts_.back(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const {
+    FRUGAL_EXPECT(i < counts_.size());
+    return counts_[i];
+  }
+
+  /// Value at or below which `q` (0..1] of the samples fall; linear
+  /// interpolation inside the bucket. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    FRUGAL_EXPECT(q > 0 && q <= 1);
+    if (total_ == 0) return 0;
+    const auto target = static_cast<std::size_t>(
+        q * static_cast<double>(total_) + 0.5);
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      if (seen + counts_[i] >= target) {
+        const double fraction =
+            static_cast<double>(target - seen) /
+            static_cast<double>(counts_[i]);
+        return (static_cast<double>(i) + fraction) * bucket_width_;
+      }
+      seen += counts_[i];
+    }
+    return static_cast<double>(counts_.size()) * bucket_width_;
+  }
+
+  /// One-line summary "p50=… p90=… p99=… max_bucket=…" for logs.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  double bucket_width_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace frugal::stats

@@ -1,0 +1,26 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+
+namespace frugal::stats {
+
+Summary& Summary::operator+=(const Summary& other) {
+  if (other.count_ == 0) return *this;
+  if (count_ == 0) {
+    *this = other;
+    return *this;
+  }
+  // Chan et al. parallel-merge of the two Welford states.
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return *this;
+}
+
+}  // namespace frugal::stats

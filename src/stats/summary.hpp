@@ -1,0 +1,51 @@
+// Statistical accumulators for experiment results.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/expect.hpp"
+
+namespace frugal::stats {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double total() const {
+    return mean_ * static_cast<double>(count_);
+  }
+
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  [[nodiscard]] double ci95_half_width() const {
+    if (count_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  Summary& operator+=(const Summary& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace frugal::stats

@@ -1,0 +1,95 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/env.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::stats {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_{std::move(title)}, columns_{std::move(columns)} {
+  FRUGAL_EXPECT(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FRUGAL_EXPECT(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::optional<std::string> Table::write_csv(const std::string& dir) const {
+  std::string slug;
+  for (char c : title_) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  const std::string path = dir + "/" + slug + ".csv";
+
+  std::ofstream out{path};
+  if (!out) return std::nullopt;
+  const auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  return path;
+}
+
+void Table::emit() const {
+  print();
+  if (const auto dir = env_string("FRUGAL_CSV_DIR")) {
+    if (const auto path = write_csv(*dir)) {
+      std::printf("(csv written to %s)\n", path->c_str());
+    } else {
+      std::printf("(failed to write csv under %s)\n", dir->c_str());
+    }
+  }
+}
+
+}  // namespace frugal::stats

@@ -1,0 +1,44 @@
+// Paper-style table / series output.
+//
+// The benchmark harnesses print rows with aligned columns to stdout (the
+// format used by EXPERIMENTS.md) and optionally write CSV files when
+// FRUGAL_CSV_DIR is set.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frugal::stats {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void add_numeric_row(const std::vector<double>& values, int precision = 3);
+
+  /// Prints the table with aligned columns to stdout.
+  void print() const;
+
+  /// Writes CSV to `dir/<slug(title)>.csv`; returns the path written.
+  [[nodiscard]] std::optional<std::string> write_csv(
+      const std::string& dir) const;
+
+  /// Prints to stdout and, when FRUGAL_CSV_DIR is set, also writes CSV there.
+  void emit() const;
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing spaces).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace frugal::stats

@@ -1,0 +1,68 @@
+// A process's subscription list (paper: pi.subscriptions), with the covering
+// semantics of the topic-based scheme: subscribing to T covers T and all of
+// its subtopics.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "topics/topic.hpp"
+
+namespace frugal::topics {
+
+class SubscriptionSet {
+ public:
+  SubscriptionSet() = default;
+  explicit SubscriptionSet(std::vector<Topic> subscriptions) {
+    for (auto& t : subscriptions) add(std::move(t));
+  }
+
+  /// Adds a subscription; duplicates are ignored. Keeping redundant entries
+  /// (a topic already covered by a broader one) mirrors the paper, where a
+  /// process may unsubscribe from the broad topic later and must retain the
+  /// narrow interest.
+  void add(Topic topic) {
+    if (std::find(topics_.begin(), topics_.end(), topic) == topics_.end()) {
+      topics_.push_back(std::move(topic));
+    }
+  }
+
+  /// Removes an exact subscription; returns true when it was present.
+  bool remove(const Topic& topic) {
+    const auto it = std::find(topics_.begin(), topics_.end(), topic);
+    if (it == topics_.end()) return false;
+    topics_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return topics_.empty(); }
+  [[nodiscard]] std::size_t size() const { return topics_.size(); }
+  [[nodiscard]] const std::vector<Topic>& topics() const { return topics_; }
+
+  /// True when an event published on `topic` is of interest here.
+  [[nodiscard]] bool covers(const Topic& topic) const {
+    return std::any_of(topics_.begin(), topics_.end(),
+                       [&](const Topic& s) { return s.covers(topic); });
+  }
+
+  /// True when the two processes share interests under hierarchy matching:
+  /// some subscription of one covers (or equals) a subscription of the other.
+  /// This is the paper's "subscriptions ∈ pi.subscriptions" neighbor-table
+  /// admission test (events of the narrower topic interest both sides).
+  [[nodiscard]] bool overlaps(const SubscriptionSet& other) const {
+    for (const Topic& a : topics_) {
+      for (const Topic& b : other.topics_) {
+        if (a.covers(b) || b.covers(a)) return true;
+      }
+    }
+    return false;
+  }
+
+  friend bool operator==(const SubscriptionSet&,
+                         const SubscriptionSet&) = default;
+
+ private:
+  std::vector<Topic> topics_;
+};
+
+}  // namespace frugal::topics

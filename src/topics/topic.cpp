@@ -1,0 +1,82 @@
+#include "topics/topic.hpp"
+
+#include <cctype>
+
+namespace frugal::topics {
+
+namespace {
+
+bool segments_well_formed(std::string_view path) {
+  if (path.empty()) return true;  // root
+  if (path.front() == '.' || path.back() == '.') return false;
+  bool previous_dot = false;
+  for (char c : path) {
+    if (c == '.') {
+      if (previous_dot) return false;  // empty segment
+      previous_dot = true;
+      continue;
+    }
+    previous_dot = false;
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) return false;
+  }
+  return true;
+}
+
+std::string_view strip_leading_dot(std::string_view text) {
+  if (!text.empty() && text.front() == '.') text.remove_prefix(1);
+  return text;
+}
+
+}  // namespace
+
+bool Topic::valid(std::string_view text) {
+  if (text == ".") return true;
+  if (text.empty()) return false;  // the root is spelled "."
+  const std::string_view path = strip_leading_dot(text);
+  return !path.empty() && segments_well_formed(path);
+}
+
+Topic Topic::parse(std::string_view text) {
+  FRUGAL_EXPECT(valid(text));
+  if (text == ".") return Topic{};
+  return Topic{std::string{strip_leading_dot(text)}};
+}
+
+std::size_t Topic::depth() const {
+  if (path_.empty()) return 0;
+  std::size_t n = 1;
+  for (char c : path_) {
+    if (c == '.') ++n;
+  }
+  return n;
+}
+
+Topic Topic::parent() const {
+  const auto pos = path_.rfind('.');
+  if (pos == std::string::npos) return Topic{};  // depth <= 1 -> root
+  return Topic{path_.substr(0, pos)};
+}
+
+Topic Topic::child(std::string_view segment) const {
+  FRUGAL_EXPECT(!segment.empty());
+  FRUGAL_EXPECT(segment.find('.') == std::string_view::npos);
+  if (path_.empty()) return Topic{std::string{segment}};
+  return Topic{path_ + "." + std::string{segment}};
+}
+
+std::vector<std::string> Topic::segments() const {
+  std::vector<std::string> out;
+  if (path_.empty()) return out;
+  std::string_view rest = path_;
+  for (;;) {
+    const auto pos = rest.find('.');
+    if (pos == std::string_view::npos) {
+      out.emplace_back(rest);
+      return out;
+    }
+    out.emplace_back(rest.substr(0, pos));
+    rest.remove_prefix(pos + 1);
+  }
+}
+
+}  // namespace frugal::topics

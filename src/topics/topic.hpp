@@ -1,0 +1,71 @@
+// Topic hierarchy.
+//
+// Topics are dot-separated paths (".grenoble.conferences.middleware"); the
+// root topic is ".". Subscribing to a topic implicitly subscribes to all of
+// its subtopics (paper §2), so the central operation is the ancestor test.
+//
+// Internally a topic is its normalized path without the leading dot (the root
+// is the empty string), which makes the ancestor test a prefix check at a
+// segment boundary.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace frugal::topics {
+
+class Topic {
+ public:
+  /// The root topic ".".
+  Topic() = default;
+
+  /// Parses "a.b.c", ".a.b.c" or "." — leading dot optional, root is ".".
+  /// Segments must be non-empty (no "a..b") and must not contain whitespace.
+  static Topic parse(std::string_view text);
+
+  /// True when `text` is parseable by parse().
+  [[nodiscard]] static bool valid(std::string_view text);
+
+  [[nodiscard]] bool is_root() const { return path_.empty(); }
+
+  /// Number of segments; the root has depth 0.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Parent topic; the root is its own parent.
+  [[nodiscard]] Topic parent() const;
+
+  /// Direct child named `segment`.
+  [[nodiscard]] Topic child(std::string_view segment) const;
+
+  /// True when `this` is `other` or an ancestor of it, i.e. a subscription to
+  /// `this` receives events published on `other`.
+  [[nodiscard]] bool covers(const Topic& other) const {
+    if (path_.empty()) return true;  // root covers everything
+    if (other.path_.size() < path_.size()) return false;
+    if (other.path_.compare(0, path_.size(), path_) != 0) return false;
+    return other.path_.size() == path_.size() ||
+           other.path_[path_.size()] == '.';
+  }
+
+  /// Segments, in order from the root (owned strings: safe to keep after the
+  /// Topic goes away).
+  [[nodiscard]] std::vector<std::string> segments() const;
+
+  /// Canonical dotted form with leading dot; the root renders as ".".
+  [[nodiscard]] std::string to_string() const {
+    return path_.empty() ? std::string{"."} : "." + path_;
+  }
+
+  friend auto operator<=>(const Topic&, const Topic&) = default;
+
+ private:
+  explicit Topic(std::string path) : path_{std::move(path)} {}
+  std::string path_;  // "a.b.c" without leading dot; "" is the root
+};
+
+}  // namespace frugal::topics

@@ -1,0 +1,146 @@
+// Hierarchical topic-indexed container.
+//
+// The paper's event table (Fig. 3) stores events "according to the topic
+// hierarchy (from the partial topic tree information the process has)".
+// TopicTree<T> is that structure: a trie over topic segments where each node
+// holds the values filed under exactly that topic, with subtree collection
+// for the covering queries of the topic-based scheme (a subscription to T
+// matches T and everything below it).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topics/topic.hpp"
+
+namespace frugal::topics {
+
+template <typename T>
+class TopicTree {
+ public:
+  /// Files `value` under exactly `topic`.
+  void insert(const Topic& topic, T value) {
+    node_for(topic, /*create=*/true)->values.push_back(std::move(value));
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Values filed under exactly `topic` (no subtopics).
+  [[nodiscard]] const std::vector<T>* at(const Topic& topic) const {
+    const Node* node = find(topic);
+    return node != nullptr ? &node->values : nullptr;
+  }
+
+  /// All values under `topic` and its subtopics, in depth-first segment
+  /// order — the set a subscriber to `topic` is entitled to.
+  [[nodiscard]] std::vector<T> collect_subtree(const Topic& topic) const {
+    std::vector<T> out;
+    if (const Node* node = find(topic)) collect(*node, out);
+    return out;
+  }
+
+  /// Number of distinct topics that currently hold at least one value under
+  /// the subtree rooted at `topic`.
+  [[nodiscard]] std::size_t topic_count_under(const Topic& topic) const {
+    const Node* node = find(topic);
+    return node != nullptr ? count_topics(*node) : 0;
+  }
+
+  /// Removes all values for which `predicate(value)` is true, anywhere in
+  /// the tree; empty branches are pruned. Returns the number removed.
+  template <typename Predicate>
+  std::size_t remove_if(Predicate predicate) {
+    const std::size_t removed = remove_recursive(root_, predicate);
+    size_ -= removed;
+    return removed;
+  }
+
+  void clear() {
+    root_ = Node{};
+    size_ = 0;
+  }
+
+  /// Topics (canonical dotted form) that currently hold values, depth-first.
+  [[nodiscard]] std::vector<Topic> topics() const {
+    std::vector<Topic> out;
+    list_topics(root_, Topic{}, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::vector<T> values;
+    std::map<std::string, Node, std::less<>> children;  // ordered: stable walks
+  };
+
+  [[nodiscard]] const Node* find(const Topic& topic) const {
+    const Node* node = &root_;
+    for (const auto& segment : topic.segments()) {
+      const auto it = node->children.find(segment);
+      if (it == node->children.end()) return nullptr;
+      node = &it->second;
+    }
+    return node;
+  }
+
+  Node* node_for(const Topic& topic, bool create) {
+    Node* node = &root_;
+    for (const auto& segment : topic.segments()) {
+      const auto it = node->children.find(segment);
+      if (it != node->children.end()) {
+        node = &it->second;
+      } else if (create) {
+        node = &node->children[segment];
+      } else {
+        return nullptr;
+      }
+    }
+    return node;
+  }
+
+  static void collect(const Node& node, std::vector<T>& out) {
+    out.insert(out.end(), node.values.begin(), node.values.end());
+    for (const auto& [segment, child] : node.children) collect(child, out);
+  }
+
+  static std::size_t count_topics(const Node& node) {
+    std::size_t count = node.values.empty() ? 0 : 1;
+    for (const auto& [segment, child] : node.children) {
+      count += count_topics(child);
+    }
+    return count;
+  }
+
+  template <typename Predicate>
+  static std::size_t remove_recursive(Node& node, Predicate& predicate) {
+    const auto before = node.values.size();
+    std::erase_if(node.values, predicate);
+    std::size_t removed = before - node.values.size();
+    for (auto it = node.children.begin(); it != node.children.end();) {
+      removed += remove_recursive(it->second, predicate);
+      if (it->second.values.empty() && it->second.children.empty()) {
+        it = node.children.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  static void list_topics(const Node& node, const Topic& here,
+                          std::vector<Topic>& out) {
+    if (!node.values.empty()) out.push_back(here);
+    for (const auto& [segment, child] : node.children) {
+      list_topics(child, here.child(segment), out);
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace frugal::topics

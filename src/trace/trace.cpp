@@ -1,0 +1,54 @@
+#include "trace/trace.hpp"
+
+#include <fstream>
+
+namespace frugal::trace {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPublish:
+      return "publish";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kNodeDown:
+      return "down";
+    case TraceKind::kNodeUp:
+      return "up";
+    case TraceKind::kPosition:
+      return "position";
+  }
+  return "?";
+}
+
+std::vector<TraceRecord> TraceRecorder::filter(TraceKind kind) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& record : records_) {
+    if (record.kind == kind) out.push_back(record);
+  }
+  return out;
+}
+
+bool TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << "time_s,kind,node,event_publisher,event_seq,x,y\n";
+  for (const TraceRecord& record : records_) {
+    out << record.at.seconds() << ',' << to_string(record.kind) << ','
+        << record.node << ',';
+    if (record.event.has_value()) {
+      out << record.event->publisher << ',' << record.event->seq;
+    } else {
+      out << ',';
+    }
+    out << ',';
+    if (record.position.has_value()) {
+      out << record.position->x << ',' << record.position->y;
+    } else {
+      out << ',';
+    }
+    out << '\n';
+  }
+  return true;
+}
+
+}  // namespace frugal::trace

@@ -1,0 +1,78 @@
+// Simulation trace recording.
+//
+// A TraceRecorder collects timestamped protocol events (publications,
+// deliveries, node up/down flips and periodic position samples) during a
+// run and writes them as CSV for offline inspection/plotting. The examples
+// and the debugging workflow use it; the figure harnesses do not (they only
+// need aggregates).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+#include "util/vec2.hpp"
+
+namespace frugal::trace {
+
+enum class TraceKind : std::uint8_t {
+  kPublish,
+  kDeliver,
+  kNodeDown,
+  kNodeUp,
+  kPosition,
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  SimTime at;
+  TraceKind kind = TraceKind::kPosition;
+  NodeId node = kInvalidNode;
+  /// For kPublish/kDeliver: the event involved.
+  std::optional<core::EventId> event;
+  /// For kPosition: where the node is.
+  std::optional<Vec2> position;
+};
+
+class TraceRecorder {
+ public:
+  void publish(SimTime at, NodeId node, core::EventId event) {
+    records_.push_back({at, TraceKind::kPublish, node, event, {}});
+  }
+  void deliver(SimTime at, NodeId node, core::EventId event) {
+    records_.push_back({at, TraceKind::kDeliver, node, event, {}});
+  }
+  void node_down(SimTime at, NodeId node) {
+    records_.push_back({at, TraceKind::kNodeDown, node, {}, {}});
+  }
+  void node_up(SimTime at, NodeId node) {
+    records_.push_back({at, TraceKind::kNodeUp, node, {}, {}});
+  }
+  void position(SimTime at, NodeId node, Vec2 where) {
+    records_.push_back({at, TraceKind::kPosition, node, {}, where});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Records of one kind, in time order (records are appended in time order
+  /// by construction — the simulator is single-threaded).
+  [[nodiscard]] std::vector<TraceRecord> filter(TraceKind kind) const;
+
+  /// Writes "time_s,kind,node,event_publisher,event_seq,x,y" rows. Returns
+  /// false when the file cannot be opened.
+  [[nodiscard]] bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace frugal::trace

@@ -1,0 +1,41 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace frugal {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string{value};
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const auto value = env_string(name);
+  if (!value) return fallback;
+  try {
+    return std::stoll(*value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  const auto value = env_string(name);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const auto value = env_string(name);
+  if (!value) return fallback;
+  return *value == "1" || *value == "true" || *value == "yes" ||
+         *value == "on";
+}
+
+}  // namespace frugal

@@ -1,0 +1,19 @@
+// Environment-variable configuration helpers.
+//
+// The benchmark harnesses scale with the machine/time budget available:
+// FRUGAL_SEEDS, FRUGAL_CSV_DIR, ... This wraps std::getenv with typed,
+// defaulted accessors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace frugal {
+
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+[[nodiscard]] double env_double(const char* name, double fallback);
+[[nodiscard]] bool env_bool(const char* name, bool fallback);
+
+}  // namespace frugal

@@ -1,0 +1,35 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.6, I.8). Violations are programming errors and
+// abort with a message; they are enabled in all build types because the
+// simulator's correctness depends on them and their cost is negligible
+// relative to event processing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace frugal::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace frugal::detail
+
+#define FRUGAL_EXPECT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::frugal::detail::contract_failure("precondition", #cond,     \
+                                               __FILE__, __LINE__))
+
+#define FRUGAL_ENSURE(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::frugal::detail::contract_failure("postcondition", #cond,    \
+                                               __FILE__, __LINE__))
+
+#define FRUGAL_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::frugal::detail::contract_failure("invariant", #cond,        \
+                                               __FILE__, __LINE__))

@@ -1,0 +1,48 @@
+// Lightweight leveled logging.
+//
+// Off by default (Level::kWarn) so simulations stay quiet; examples raise it
+// to show protocol activity. Not thread-safe by design: the simulator is
+// single-threaded (deterministic discrete-event execution).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace frugal {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  [[nodiscard]] static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_{level} {}
+  ~LogLine() { Logger::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace frugal
+
+#define FRUGAL_LOG(lvl)                                  \
+  if (::frugal::LogLevel::lvl < ::frugal::Logger::level()) \
+    ;                                                     \
+  else                                                    \
+    ::frugal::detail::LogLine(::frugal::LogLevel::lvl)

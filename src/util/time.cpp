@@ -1,0 +1,18 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace frugal {
+
+namespace {
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6fs", s);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(SimTime t) { return format_seconds(t.seconds()); }
+std::string to_string(SimDuration d) { return format_seconds(d.seconds()); }
+
+}  // namespace frugal

@@ -1,0 +1,153 @@
+// Simulated-time representation.
+//
+// SimTime is a strong integer type counting microseconds since the start of
+// the simulation. Integer ticks (rather than double seconds) keep event
+// ordering exact and make runs bit-reproducible across platforms.
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace frugal {
+
+class SimDuration;
+
+/// A point in simulated time, in integer microseconds from simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime from_us(std::int64_t us) {
+    return SimTime{us};
+  }
+  [[nodiscard]] static constexpr SimTime from_ms(std::int64_t ms) {
+    return SimTime{ms * 1000};
+  }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimDuration d);
+  constexpr SimTime& operator-=(SimDuration d);
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// A length of simulated time, in integer microseconds. May be negative in
+/// intermediate arithmetic but all scheduling interfaces require >= 0.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  [[nodiscard]] static constexpr SimDuration from_us(std::int64_t us) {
+    return SimDuration{us};
+  }
+  [[nodiscard]] static constexpr SimDuration from_ms(std::int64_t ms) {
+    return SimDuration{ms * 1000};
+  }
+  [[nodiscard]] static constexpr SimDuration from_seconds(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimDuration zero() { return SimDuration{0}; }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr bool is_negative() const { return us_ < 0; }
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr SimDuration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+[[nodiscard]] constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration::from_us(a.us() + b.us());
+}
+[[nodiscard]] constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+  return SimDuration::from_us(a.us() - b.us());
+}
+template <std::integral I>
+[[nodiscard]] constexpr SimDuration operator*(SimDuration a, I k) {
+  return SimDuration::from_us(a.us() * static_cast<std::int64_t>(k));
+}
+template <std::integral I>
+[[nodiscard]] constexpr SimDuration operator*(I k, SimDuration a) {
+  return a * k;
+}
+[[nodiscard]] constexpr SimDuration operator*(SimDuration a, double k) {
+  return SimDuration::from_us(
+      static_cast<std::int64_t>(static_cast<double>(a.us()) * k));
+}
+template <std::integral I>
+[[nodiscard]] constexpr SimDuration operator/(SimDuration a, I k) {
+  return SimDuration::from_us(a.us() / static_cast<std::int64_t>(k));
+}
+[[nodiscard]] constexpr SimDuration operator/(SimDuration a, double k) {
+  return SimDuration::from_us(
+      static_cast<std::int64_t>(static_cast<double>(a.us()) / k));
+}
+
+[[nodiscard]] constexpr SimTime operator+(SimTime t, SimDuration d) {
+  return SimTime::from_us(t.us() + d.us());
+}
+[[nodiscard]] constexpr SimTime operator-(SimTime t, SimDuration d) {
+  return SimTime::from_us(t.us() - d.us());
+}
+[[nodiscard]] constexpr SimDuration operator-(SimTime a, SimTime b) {
+  return SimDuration::from_us(a.us() - b.us());
+}
+
+constexpr SimTime& SimTime::operator+=(SimDuration d) {
+  us_ += d.us();
+  return *this;
+}
+constexpr SimTime& SimTime::operator-=(SimDuration d) {
+  us_ -= d.us();
+  return *this;
+}
+
+namespace time_literals {
+[[nodiscard]] constexpr SimDuration operator""_sec(unsigned long long s) {
+  return SimDuration::from_us(static_cast<std::int64_t>(s) * 1'000'000);
+}
+[[nodiscard]] constexpr SimDuration operator""_ms(unsigned long long ms) {
+  return SimDuration::from_ms(static_cast<std::int64_t>(ms));
+}
+[[nodiscard]] constexpr SimDuration operator""_us(unsigned long long us) {
+  return SimDuration::from_us(static_cast<std::int64_t>(us));
+}
+}  // namespace time_literals
+
+/// Formats a time point as "12.345s" for logs and tables.
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(SimDuration d);
+
+}  // namespace frugal

@@ -1,0 +1,13 @@
+// Shared small vocabulary types.
+#pragma once
+
+#include <cstdint>
+
+namespace frugal {
+
+/// Dense node index, 0..n-1 within one simulation.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+}  // namespace frugal

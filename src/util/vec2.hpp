@@ -1,0 +1,43 @@
+// Minimal 2-D vector used for node positions and velocities (meters, m/s).
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace frugal {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) {
+    return {a.x / k, a.y / k};
+  }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return (a - b).norm_sq();
+}
+
+}  // namespace frugal

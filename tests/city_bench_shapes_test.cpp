@@ -1,0 +1,177 @@
+// Shape tests: small-seed versions of the paper's qualitative findings.
+// These guard the *relationships* the figures rely on (who beats whom, what
+// grows with what) so a regression in the protocol or the simulator that
+// flips a conclusion fails CI, without pinning noisy absolute values.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "stats/summary.hpp"
+
+namespace frugal::core {
+namespace {
+
+ExperimentConfig city(std::uint64_t seed, double interest = 1.0) {
+  ExperimentConfig config;
+  config.node_count = 15;
+  config.interest_fraction = interest;
+  config.mobility = CitySetup{};
+  config.medium.range_m = 44.0;
+  config.warmup = SimDuration::from_seconds(30);
+  config.event_validity = SimDuration::from_seconds(150);
+  config.seed = seed;
+  return config;
+}
+
+double mean_city_reliability(double hb_upper_s, double interest,
+                             int seeds = 2) {
+  stats::Summary summary;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    for (NodeId publisher = 0; publisher < 15; publisher += 3) {
+      auto config = city(static_cast<std::uint64_t>(seed), interest);
+      config.frugal.hb_upper = SimDuration::from_seconds(hb_upper_s);
+      config.publisher = publisher;
+      summary.add(run_experiment(config).reliability());
+    }
+  }
+  return summary.mean();
+}
+
+TEST(CityShapes, SlowHeartbeatsHurtReliability) {
+  // Fig. 13's envelope: 1 s heartbeats clearly beat 5 s heartbeats.
+  EXPECT_GT(mean_city_reliability(1.0, 1.0),
+            mean_city_reliability(5.0, 1.0) + 0.05);
+}
+
+TEST(CityShapes, MoreSubscribersMoreReliability) {
+  // Fig. 14's envelope, compared at the extremes to stay noise-proof.
+  EXPECT_GT(mean_city_reliability(1.0, 1.0),
+            mean_city_reliability(1.0, 0.2));
+}
+
+TEST(CityShapes, ValidityGrowsReliability) {
+  // Fig. 16's envelope from one run set via the probe property.
+  stats::Summary short_validity;
+  stats::Summary long_validity;
+  for (int seed = 1; seed <= 2; ++seed) {
+    for (NodeId publisher = 0; publisher < 15; publisher += 3) {
+      auto config = city(static_cast<std::uint64_t>(seed));
+      config.publisher = publisher;
+      const auto result = run_experiment(config);
+      short_validity.add(
+          result.reliability_within(SimDuration::from_seconds(25)));
+      long_validity.add(
+          result.reliability_within(SimDuration::from_seconds(150)));
+    }
+  }
+  EXPECT_GT(long_validity.mean(), short_validity.mean() + 0.2);
+}
+
+TEST(CityShapes, PublisherPathMatters) {
+  // Fig. 15's envelope: per-publisher reliabilities differ substantially.
+  double best = 0.0;
+  double worst = 1.0;
+  for (NodeId publisher = 0; publisher < 15; ++publisher) {
+    stats::Summary summary;
+    for (int seed = 1; seed <= 2; ++seed) {
+      auto config = city(static_cast<std::uint64_t>(seed));
+      config.publisher = publisher;
+      summary.add(run_experiment(config).reliability());
+    }
+    best = std::max(best, summary.mean());
+    worst = std::min(worst, summary.mean());
+  }
+  EXPECT_GT(best - worst, 0.1);
+}
+
+TEST(RwpShapes, SpeedGrowsReliabilityInSparseNetworks) {
+  // Fig. 11's envelope at 20% interest: mobility is the transport.
+  const auto run_at = [](double speed) {
+    stats::Summary summary;
+    for (int seed = 1; seed <= 3; ++seed) {
+      ExperimentConfig config;
+      config.node_count = 50;
+      config.interest_fraction = 0.3;
+      RandomWaypointSetup rwp;
+      rwp.config.width_m = 2500;
+      rwp.config.height_m = 2500;
+      rwp.config.speed_min_mps = speed;
+      rwp.config.speed_max_mps = speed;
+      config.mobility = rwp;
+      config.medium.range_m = 250;
+      config.warmup = SimDuration::from_seconds(60);
+      config.event_validity = SimDuration::from_seconds(120);
+      config.seed = static_cast<std::uint64_t>(seed);
+      summary.add(run_experiment(config).reliability());
+    }
+    return summary.mean();
+  };
+  EXPECT_GT(run_at(25.0), run_at(1.0) + 0.1);
+}
+
+TEST(FrugalityShapes, FrugalBeatsAllFloodingVariants) {
+  // Figs. 17-20's envelope on one mid-grid point (5 events, 60% interest).
+  ExperimentConfig base;
+  base.node_count = 50;
+  base.interest_fraction = 0.6;
+  RandomWaypointSetup rwp;
+  rwp.config.width_m = 2900;
+  rwp.config.height_m = 2900;
+  rwp.config.speed_min_mps = 10;
+  rwp.config.speed_max_mps = 10;
+  base.mobility = rwp;
+  base.medium.range_m = 442;
+  base.warmup = SimDuration::from_seconds(60);
+  base.event_validity = SimDuration::from_seconds(120);
+  base.event_count = 5;
+  base.seed = 3;
+
+  const RunResult frugal = run_experiment(base);
+  for (const Protocol protocol :
+       {Protocol::kFloodSimple, Protocol::kFloodInterestAware,
+        Protocol::kFloodNeighborInterest}) {
+    ExperimentConfig config = base;
+    config.protocol = protocol;
+    const RunResult flooding = run_experiment(config);
+    EXPECT_LT(frugal.mean_bytes_sent_per_node(),
+              flooding.mean_bytes_sent_per_node())
+        << to_string(protocol);
+    EXPECT_LT(frugal.mean_events_sent_per_node(),
+              flooding.mean_events_sent_per_node())
+        << to_string(protocol);
+    EXPECT_LT(frugal.mean_duplicates_per_node(),
+              flooding.mean_duplicates_per_node())
+        << to_string(protocol);
+    EXPECT_LE(frugal.mean_parasites_per_node(),
+              flooding.mean_parasites_per_node())
+        << to_string(protocol);
+  }
+}
+
+TEST(FrugalityShapes, NeighborInterestFloodingIsMostExpensive) {
+  ExperimentConfig base;
+  base.node_count = 40;
+  base.interest_fraction = 0.8;
+  RandomWaypointSetup rwp;
+  rwp.config.width_m = 2600;
+  rwp.config.height_m = 2600;
+  rwp.config.speed_min_mps = 10;
+  rwp.config.speed_max_mps = 10;
+  base.mobility = rwp;
+  base.medium.range_m = 442;
+  base.warmup = SimDuration::from_seconds(60);
+  base.event_validity = SimDuration::from_seconds(120);
+  base.event_count = 3;
+  base.seed = 4;
+
+  base.protocol = Protocol::kFloodSimple;
+  const double simple_bytes =
+      run_experiment(base).mean_bytes_sent_per_node();
+  base.protocol = Protocol::kFloodNeighborInterest;
+  const double neighbor_bytes =
+      run_experiment(base).mean_bytes_sent_per_node();
+  EXPECT_GT(neighbor_bytes, simple_bytes);
+}
+
+}  // namespace
+}  // namespace frugal::core

@@ -1,0 +1,269 @@
+#include "core/event_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace frugal::core {
+namespace {
+
+using topics::SubscriptionSet;
+using topics::Topic;
+
+Event make_event(std::uint32_t seq, double validity_s = 100.0,
+                 const char* topic = ".t", SimTime published = SimTime::zero()) {
+  Event e;
+  e.id = EventId{1, seq};
+  e.topic = Topic::parse(topic);
+  e.published_at = published;
+  e.validity = SimDuration::from_seconds(validity_s);
+  return e;
+}
+
+TEST(GcScoreTest, PaperExample) {
+  // Paper §4.4: an event with validity 2 min forwarded < 2 times is collected
+  // *after* an event with validity 5 min forwarded 5 times.
+  const Event two_min = make_event(1, 120.0);
+  const Event five_min = make_event(2, 300.0);
+  EXPECT_GT(gc_score(two_min, 1), gc_score(five_min, 5));
+}
+
+TEST(GcScoreTest, DecreasesWithForwards) {
+  const Event e = make_event(1, 60.0);
+  EXPECT_GT(gc_score(e, 0), gc_score(e, 1));
+  EXPECT_GT(gc_score(e, 1), gc_score(e, 10));
+}
+
+TEST(GcScoreTest, NeverForwardedScoresOne) {
+  EXPECT_DOUBLE_EQ(gc_score(make_event(1, 42.0), 0), 1.0);
+}
+
+TEST(EventTableTest, InsertAndFind) {
+  EventTable table{4};
+  table.insert(make_event(1), SimTime::zero());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.contains(EventId{1, 1}));
+  const StoredEvent* stored = table.find(EventId{1, 1});
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->forward_count, 0u);
+  EXPECT_EQ(table.find(EventId{1, 99}), nullptr);
+}
+
+TEST(EventTableTest, InsertBelowCapacityCollectsNothing) {
+  EventTable table{2};
+  EXPECT_FALSE(table.insert(make_event(1), SimTime::zero()).has_value());
+  EXPECT_FALSE(table.insert(make_event(2), SimTime::zero()).has_value());
+  EXPECT_TRUE(table.full());
+}
+
+TEST(EventTableTest, FullTableEvictsExactlyOne) {
+  EventTable table{2};
+  table.insert(make_event(1), SimTime::zero());
+  table.insert(make_event(2), SimTime::zero());
+  const auto victim = table.insert(make_event(3), SimTime::zero());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.contains(EventId{1, 3}));
+}
+
+TEST(EventTableTest, ExpiredEvictedFirst) {
+  EventTable table{2};
+  table.insert(make_event(1, /*validity_s=*/10.0), SimTime::zero());
+  table.insert(make_event(2, /*validity_s=*/1000.0), SimTime::zero());
+  table.increment_forward_count(EventId{1, 1});  // would otherwise survive
+  // At t=50 event 1 is expired; it must be the victim even though event 2
+  // has the lower gc score.
+  for (int i = 0; i < 10; ++i) table.increment_forward_count(EventId{1, 2});
+  const auto victim = table.insert(make_event(3), SimTime::from_seconds(50));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 1}));
+}
+
+TEST(EventTableTest, LowestScoreEvictedWhenAllValid) {
+  EventTable table{2};
+  // Equation 1: evict high-validity, much-forwarded events before short,
+  // never-forwarded ones.
+  table.insert(make_event(1, 300.0), SimTime::zero());  // 5 min
+  table.insert(make_event(2, 120.0), SimTime::zero());  // 2 min
+  for (int i = 0; i < 5; ++i) table.increment_forward_count(EventId{1, 1});
+  table.increment_forward_count(EventId{1, 2});
+  const auto victim = table.insert(make_event(3), SimTime::from_seconds(1));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 1}));
+  EXPECT_TRUE(table.contains(EventId{1, 2}));
+}
+
+TEST(EventTableTest, TieBreaksOnSmallerId) {
+  EventTable table{2};
+  table.insert(make_event(5, 60.0), SimTime::zero());
+  table.insert(make_event(2, 60.0), SimTime::zero());
+  const auto victim = table.insert(make_event(9), SimTime::zero());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 2}));
+}
+
+TEST(EventTableTest, IncrementForwardCount) {
+  EventTable table{4};
+  table.insert(make_event(1), SimTime::zero());
+  table.increment_forward_count(EventId{1, 1});
+  table.increment_forward_count(EventId{1, 1});
+  EXPECT_EQ(table.find(EventId{1, 1})->forward_count, 2u);
+  table.increment_forward_count(EventId{1, 42});  // unknown: no-op
+}
+
+TEST(EventTableTest, IdsMatchingFiltersByTopicAndValidity) {
+  EventTable table{8};
+  table.insert(make_event(1, 100.0, ".a.b"), SimTime::zero());
+  table.insert(make_event(2, 100.0, ".a.c"), SimTime::zero());
+  table.insert(make_event(3, 10.0, ".a.b"), SimTime::zero());  // expires early
+  table.insert(make_event(4, 100.0, ".z"), SimTime::zero());
+
+  SubscriptionSet interests;
+  interests.add(Topic::parse(".a"));
+  const auto ids = table.ids_matching(interests, SimTime::from_seconds(50));
+  EXPECT_EQ(ids, (std::vector<EventId>{{1, 1}, {1, 2}}));
+}
+
+TEST(EventTableTest, IdsMatchingExactTopic) {
+  EventTable table{8};
+  table.insert(make_event(1, 100.0, ".a.b"), SimTime::zero());
+  SubscriptionSet narrow;
+  narrow.add(Topic::parse(".a.b.c"));  // narrower than the event: no match
+  EXPECT_TRUE(table.ids_matching(narrow, SimTime::zero()).empty());
+  SubscriptionSet exact;
+  exact.add(Topic::parse(".a.b"));
+  EXPECT_EQ(exact.covers(Topic::parse(".a.b")), true);
+  EXPECT_EQ(table.ids_matching(exact, SimTime::zero()).size(), 1u);
+}
+
+TEST(EventTableTest, EventsByIdSorted) {
+  EventTable table{8};
+  table.insert(make_event(5), SimTime::zero());
+  table.insert(make_event(1), SimTime::zero());
+  table.insert(make_event(3), SimTime::zero());
+  const auto events = table.events_by_id();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0]->event.id.seq, 1u);
+  EXPECT_EQ(events[1]->event.id.seq, 3u);
+  EXPECT_EQ(events[2]->event.id.seq, 5u);
+}
+
+TEST(EventTableTest, DropExpired) {
+  EventTable table{8};
+  table.insert(make_event(1, 10.0), SimTime::zero());
+  table.insert(make_event(2, 100.0), SimTime::zero());
+  EXPECT_EQ(table.drop_expired(SimTime::from_seconds(50)), 1u);
+  EXPECT_FALSE(table.contains(EventId{1, 1}));
+  EXPECT_TRUE(table.contains(EventId{1, 2}));
+}
+
+TEST(EventTableTest, ValidityBoundaryIsExclusive) {
+  // An event is valid strictly before expiry; at exactly published+validity
+  // it is of no use (val(e) > now fails).
+  const Event e = make_event(1, 10.0);
+  EXPECT_TRUE(e.valid_at(SimTime::from_seconds(9.999)));
+  EXPECT_FALSE(e.valid_at(SimTime::from_seconds(10.0)));
+}
+
+
+TEST(GcPolicyTest, FifoEvictsOldestStored) {
+  EventTable table{2, GcPolicy::kFifo};
+  table.insert(make_event(1, 500.0), SimTime::from_seconds(1));
+  table.insert(make_event(2, 500.0), SimTime::from_seconds(2));
+  // Event 1 is older; FIFO evicts it although its gc score is identical.
+  const auto victim = table.insert(make_event(3), SimTime::from_seconds(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 1}));
+}
+
+TEST(GcPolicyTest, MostForwardedEvictsHottest) {
+  EventTable table{2, GcPolicy::kMostForwarded};
+  table.insert(make_event(1, 10.0), SimTime::zero());   // short validity
+  table.insert(make_event(2, 900.0), SimTime::zero());  // long validity
+  for (int i = 0; i < 3; ++i) table.increment_forward_count(EventId{1, 2});
+  const auto victim = table.insert(make_event(3), SimTime::from_seconds(1));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 2}));  // most forwarded, validity ignored
+}
+
+TEST(GcPolicyTest, AllPoliciesEvictExpiredFirst) {
+  for (const GcPolicy policy :
+       {GcPolicy::kPaperScore, GcPolicy::kFifo, GcPolicy::kMostForwarded}) {
+    EventTable table{2, policy};
+    table.insert(make_event(1, 5.0), SimTime::zero());    // expires at 5 s
+    table.insert(make_event(2, 500.0), SimTime::zero());
+    for (int i = 0; i < 9; ++i) table.increment_forward_count(EventId{1, 2});
+    const auto victim =
+        table.insert(make_event(3), SimTime::from_seconds(10));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, (EventId{1, 1}))
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(GcPolicyTest, PaperScoreKeepsFreshShortLivedEvents) {
+  // The paper's §4.4 motivation: a much-forwarded long-validity event makes
+  // way for a never-forwarded short one — FIFO would do the opposite.
+  EventTable eq1{2, GcPolicy::kPaperScore};
+  EventTable fifo{2, GcPolicy::kFifo};
+  for (EventTable* table : {&eq1, &fifo}) {
+    table->insert(make_event(1, 300.0), SimTime::from_seconds(0));
+    for (int i = 0; i < 5; ++i) table->increment_forward_count(EventId{1, 1});
+    table->insert(make_event(2, 120.0), SimTime::from_seconds(1));
+  }
+  const auto eq1_victim = eq1.insert(make_event(3), SimTime::from_seconds(2));
+  const auto fifo_victim =
+      fifo.insert(make_event(3), SimTime::from_seconds(2));
+  EXPECT_EQ(*eq1_victim, (EventId{1, 1}));   // evicts the much-forwarded one
+  EXPECT_EQ(*fifo_victim, (EventId{1, 1}));  // FIFO agrees here (older)...
+  // ...but reverse the insertion order and they disagree:
+  EventTable eq1_r{2, GcPolicy::kPaperScore};
+  EventTable fifo_r{2, GcPolicy::kFifo};
+  for (EventTable* table : {&eq1_r, &fifo_r}) {
+    table->insert(make_event(2, 120.0), SimTime::from_seconds(0));
+    table->insert(make_event(1, 300.0), SimTime::from_seconds(1));
+    for (int i = 0; i < 5; ++i) table->increment_forward_count(EventId{1, 1});
+  }
+  EXPECT_EQ(*eq1_r.insert(make_event(3), SimTime::from_seconds(2)),
+            (EventId{1, 1}));  // still the forwarded one
+  EXPECT_EQ(*fifo_r.insert(make_event(3), SimTime::from_seconds(2)),
+            (EventId{1, 2}));  // FIFO evicts the older, fresher event
+}
+
+// Property: under arbitrary interleavings of inserts and forward-increments,
+// the table never exceeds capacity and insert evicts at most one event.
+class EventTableChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventTableChurn, CapacityInvariant) {
+  Rng rng{GetParam()};
+  EventTable table{8};
+  std::uint32_t seq = 0;
+  for (int step = 0; step < 500; ++step) {
+    const SimTime now = SimTime::from_seconds(step * 0.5);
+    if (rng.bernoulli(0.6)) {
+      const double validity = rng.uniform(1.0, 300.0);
+      const std::size_t before = table.size();
+      const auto victim = table.insert(
+          make_event(seq++, validity, ".t", now), now);
+      ASSERT_LE(table.size(), 8u);
+      if (before < 8) {
+        ASSERT_FALSE(victim.has_value());
+      } else {
+        ASSERT_TRUE(victim.has_value());
+        ASSERT_FALSE(table.contains(*victim));
+      }
+    } else if (table.size() > 0) {
+      const auto events = table.events_by_id();
+      const auto& pick =
+          events[rng.uniform_u64(events.size())]->event.id;
+      table.increment_forward_count(pick);
+    }
+  }
+  EXPECT_EQ(table.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventTableChurn,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace frugal::core

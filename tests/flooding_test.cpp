@@ -1,0 +1,172 @@
+#include "core/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mobility/static_mobility.hpp"
+#include "net/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace frugal::core {
+namespace {
+
+using namespace frugal::time_literals;
+using topics::Topic;
+
+struct World {
+  World(std::vector<Vec2> positions, FloodingVariant variant)
+      : mobility{std::move(positions)},
+        medium{scheduler, mobility, radio(), Rng{7}} {
+    FloodingConfig config;
+    config.variant = variant;
+    for (NodeId id = 0; id < mobility.node_count(); ++id) {
+      nodes.push_back(
+          std::make_unique<FloodingNode>(id, scheduler, medium, config));
+    }
+  }
+
+  static net::MediumConfig radio() {
+    net::MediumConfig config;
+    config.range_m = 100.0;
+    config.max_jitter = SimDuration::from_ms(2);
+    return config;
+  }
+
+  FloodingNode& node(NodeId id) { return *nodes[id]; }
+  void run_for(SimDuration d) { scheduler.run_until(scheduler.now() + d); }
+
+  Event make_event(const char* topic, double validity_s = 60.0) {
+    Event e;
+    e.topic = Topic::parse(topic);
+    e.validity = SimDuration::from_seconds(validity_s);
+    return e;
+  }
+
+  sim::Scheduler scheduler;
+  mobility::StaticMobility mobility;
+  net::Medium medium;
+  std::vector<std::unique_ptr<FloodingNode>> nodes;
+};
+
+TEST(FloodingTest, SimpleFloodingDeliversToSubscriber) {
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kSimple};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(2_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
+TEST(FloodingTest, SimpleFloodingRetransmitsEverySecond) {
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kSimple};
+  w.node(0).publish(w.make_event(".a.x", 30.0));
+  w.run_for(10_sec);
+  // Initial send + ~10 ticks; node 1 also relays what it stores.
+  EXPECT_GE(w.node(0).metrics().events_sent, 10u);
+  EXPECT_GE(w.node(1).metrics().events_sent, 8u);
+}
+
+TEST(FloodingTest, SimpleFloodingRelaysParasites) {
+  // Node 1 is not subscribed, yet with simple flooding it stores and relays,
+  // so node 2 (out of 0's range) still receives via 1.
+  World w{{{0, 0}, {90, 0}, {180, 0}}, FloodingVariant::kSimple};
+  w.node(2).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(2).metrics().deliveries.size(), 1u);
+  EXPECT_GE(w.node(1).metrics().parasites, 1u);
+  EXPECT_GE(w.node(1).stored_event_count(), 1u);
+}
+
+TEST(FloodingTest, InterestAwareDoesNotRelayParasites) {
+  World w{{{0, 0}, {90, 0}, {180, 0}}, FloodingVariant::kInterestAware};
+  w.node(2).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(10_sec);
+  // Node 1 hears but neither stores nor forwards; node 2 stays dark.
+  EXPECT_EQ(w.node(1).stored_event_count(), 0u);
+  EXPECT_GE(w.node(1).metrics().parasites, 1u);
+  EXPECT_TRUE(w.node(2).metrics().deliveries.empty());
+}
+
+TEST(FloodingTest, InterestAwareSubscriberRelays) {
+  World w{{{0, 0}, {90, 0}, {180, 0}}, FloodingVariant::kInterestAware};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(2).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+  EXPECT_EQ(w.node(2).metrics().deliveries.size(), 1u);
+}
+
+TEST(FloodingTest, NeighborInterestOnlySendsWithInterestedNeighbors) {
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kNeighborInterest};
+  w.node(0).subscribe(Topic::parse(".a"));
+  // Node 1 subscribes to something else: no interested neighbor -> after the
+  // initial publish broadcast, the ticker stays silent.
+  w.node(1).subscribe(Topic::parse(".b"));
+  w.node(0).publish(w.make_event(".a.x", 20.0));
+  w.run_for(10_sec);
+  EXPECT_LE(w.node(0).metrics().events_sent, 1u);
+}
+
+TEST(FloodingTest, NeighborInterestSendsOncePerInterestedNeighbor) {
+  World w{{{0, 0}, {50, 0}, {0, 50}, {50, 50}},
+          FloodingVariant::kNeighborInterest};
+  for (NodeId id = 1; id < 4; ++id) w.node(id).subscribe(Topic::parse(".a"));
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.run_for(3_sec);  // heartbeats populate neighbor tables
+  const auto sent_before = w.node(0).metrics().events_sent;
+  w.node(0).publish(w.make_event(".a.x", 10.0));
+  w.run_for(1500_ms);
+  // One initial broadcast plus one tick at 3 interested neighbors each.
+  EXPECT_GE(w.node(0).metrics().events_sent - sent_before, 4u);
+}
+
+TEST(FloodingTest, ExpiredEventsStopCirculating) {
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kSimple};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x", /*validity_s=*/3.0));
+  w.run_for(10_sec);
+  const auto sent_at_10 = w.node(0).metrics().events_sent +
+                          w.node(1).metrics().events_sent;
+  w.run_for(10_sec);
+  const auto sent_at_20 = w.node(0).metrics().events_sent +
+                          w.node(1).metrics().events_sent;
+  EXPECT_EQ(sent_at_10, sent_at_20);
+  EXPECT_EQ(w.node(0).stored_event_count(), 0u);
+}
+
+TEST(FloodingTest, DuplicatesAreCounted) {
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kSimple};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x", 10.0));
+  w.run_for(8_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+  EXPECT_GE(w.node(1).metrics().duplicates, 5u);  // ~1 duplicate per tick
+}
+
+TEST(FloodingTest, UnsubscribeStopsDeliveries) {
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kInterestAware};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(1).unsubscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(3_sec);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+  EXPECT_GE(w.node(1).metrics().parasites, 1u);
+}
+
+TEST(FloodingTest, PublisherDeliversToItselfOnlyWhenSubscribed) {
+  World unsub{{{0, 0}}, FloodingVariant::kSimple};
+  unsub.node(0).publish(unsub.make_event(".a.x"));
+  EXPECT_TRUE(unsub.node(0).metrics().deliveries.empty());
+
+  World sub{{{0, 0}}, FloodingVariant::kSimple};
+  sub.node(0).subscribe(Topic::parse(".a"));
+  sub.node(0).publish(sub.make_event(".a.x"));
+  EXPECT_EQ(sub.node(0).metrics().deliveries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace frugal::core

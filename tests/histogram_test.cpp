@@ -1,0 +1,89 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace frugal::stats {
+namespace {
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h{1.0, 10};
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, CountsLandInBuckets) {
+  Histogram h{1.0, 4};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.9);
+  h.add(3.2);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram h{1.0, 2};
+  h.add(100.0);
+  h.add(2.5);  // beyond [0, 2): overflow
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, QuantileOrdering) {
+  Histogram h{1.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  const double p10 = h.quantile(0.1);
+  const double p50 = h.quantile(0.5);
+  const double p90 = h.quantile(0.9);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p90);
+  EXPECT_NEAR(p50, 50.0, 2.0);
+  EXPECT_NEAR(p90, 90.0, 2.0);
+}
+
+TEST(HistogramTest, SingleValueQuantiles) {
+  Histogram h{0.5, 20};
+  h.add(3.3);
+  // Everything falls in the bucket containing 3.3.
+  EXPECT_GE(h.quantile(0.5), 3.0);
+  EXPECT_LE(h.quantile(0.99), 3.5 + 1e-9);
+}
+
+TEST(HistogramTest, SummaryFormat) {
+  Histogram h{1.0, 10};
+  h.add(1.0);
+  h.add(2.0);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+}
+
+class HistogramQuantileProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramQuantileProperty, QuantilesMonotoneAndBounded) {
+  Rng rng{GetParam()};
+  Histogram h{0.25, 400};  // covers [0, 100)
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(0.0, 100.0));
+  double previous = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.quantile(q);
+    ASSERT_GE(value, previous - 1e-9);
+    ASSERT_GE(value, 0.0);
+    ASSERT_LE(value, 100.0 + 0.25);
+    previous = value;
+  }
+  // Uniform distribution: p50 near 50.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace frugal::stats

@@ -1,0 +1,250 @@
+#include "net/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mobility/static_mobility.hpp"
+#include "sim/scheduler.hpp"
+
+namespace frugal::net {
+namespace {
+
+using namespace frugal::time_literals;
+
+/// Records every frame it hears.
+class Sink final : public MediumClient {
+ public:
+  void on_frame(const Frame& frame) override { frames.push_back(frame); }
+  std::vector<Frame> frames;
+};
+
+struct Fixture {
+  explicit Fixture(std::vector<Vec2> positions, MediumConfig config = {})
+      : mobility{std::move(positions)},
+        medium{scheduler, mobility, config, Rng{99}} {
+    sinks.resize(mobility.node_count());
+    for (NodeId id = 0; id < mobility.node_count(); ++id) {
+      medium.attach(id, &sinks[id]);
+    }
+  }
+
+  sim::Scheduler scheduler;
+  mobility::StaticMobility mobility;
+  Medium medium;
+  std::vector<Sink> sinks;
+};
+
+MediumConfig fast_config() {
+  MediumConfig config;
+  config.range_m = 100.0;
+  config.max_jitter = SimDuration::from_us(100);
+  return config;
+}
+
+TEST(MediumTest, DeliversWithinRange) {
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.broadcast(0, 100, std::string{"hello"});
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  ASSERT_EQ(f.sinks[1].frames.size(), 1u);
+  EXPECT_EQ(f.sinks[1].frames[0].sender, 0u);
+  EXPECT_EQ(f.sinks[1].frames[0].size_bytes, 100u);
+  EXPECT_EQ(std::any_cast<std::string>(f.sinks[1].frames[0].payload), "hello");
+}
+
+TEST(MediumTest, NoDeliveryBeyondRange) {
+  Fixture f{{{0, 0}, {150, 0}}, fast_config()};
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.sinks[1].frames.empty());
+}
+
+TEST(MediumTest, SenderDoesNotHearItself) {
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.sinks[0].frames.empty());
+}
+
+TEST(MediumTest, BroadcastReachesAllNeighbors) {
+  Fixture f{{{0, 0}, {50, 0}, {0, 50}, {500, 0}}, fast_config()};
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(f.sinks[1].frames.size(), 1u);
+  EXPECT_EQ(f.sinks[2].frames.size(), 1u);
+  EXPECT_TRUE(f.sinks[3].frames.empty());
+}
+
+TEST(MediumTest, CountsBytesAndFrames) {
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.broadcast(0, 128, 0);
+  f.medium.broadcast(0, 72, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(f.medium.counters(0).frames_sent, 2u);
+  EXPECT_EQ(f.medium.counters(0).bytes_sent, 200u);
+  EXPECT_EQ(f.medium.counters(1).frames_delivered, 2u);
+  EXPECT_EQ(f.medium.counters(1).bytes_delivered, 200u);
+}
+
+TEST(MediumTest, TransmissionTakesAirTime) {
+  MediumConfig config = fast_config();
+  config.rate_bps = 8000.0;  // 1000 bytes/s
+  config.max_jitter = SimDuration::from_us(1);
+  Fixture f{{{0, 0}, {50, 0}}, config};
+  f.medium.broadcast(0, 500, 0);  // 0.5 s of air time
+  f.scheduler.run_until(SimTime::from_ms(400));
+  EXPECT_TRUE(f.sinks[1].frames.empty());  // still on the air
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(f.sinks[1].frames.size(), 1u);
+}
+
+TEST(MediumTest, DownNodeNeitherSendsNorReceives) {
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.set_up(1, false);
+  EXPECT_FALSE(f.medium.is_up(1));
+  f.medium.broadcast(0, 100, 0);
+  f.medium.broadcast(1, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.sinks[1].frames.empty());
+  EXPECT_TRUE(f.sinks[0].frames.empty());
+  EXPECT_EQ(f.medium.counters(1).frames_sent, 0u);
+}
+
+TEST(MediumTest, RecoveredNodeReceivesAgain) {
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.set_up(1, false);
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  f.medium.set_up(1, true);
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(f.sinks[1].frames.size(), 1u);
+}
+
+TEST(MediumTest, CrashWhileQueuedDropsFrame) {
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.broadcast(0, 100, 0);
+  f.medium.set_up(0, false);  // crashes before the jitter elapses
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.sinks[1].frames.empty());
+  EXPECT_EQ(f.medium.counters(0).frames_sent, 0u);
+}
+
+TEST(MediumTest, OverlappingFramesCollideAtReceiver) {
+  // Senders 0 and 2 are out of range of each other (hidden terminals) but
+  // both reach node 1 -> their frames overlap at node 1 and both are lost.
+  MediumConfig config;
+  config.range_m = 100.0;
+  config.rate_bps = 8000.0;        // 1000 B/s -> 100 ms per 100 B frame
+  config.max_jitter = SimDuration::from_us(10);
+  Fixture f{{{0, 0}, {90, 0}, {180, 0}}, config};
+  f.medium.broadcast(0, 100, 0);
+  f.medium.broadcast(2, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.sinks[1].frames.empty());
+  EXPECT_EQ(f.medium.counters(1).frames_collided, 2u);
+}
+
+TEST(MediumTest, CollisionsDisabledDeliversBoth) {
+  MediumConfig config;
+  config.range_m = 100.0;
+  config.rate_bps = 8000.0;
+  config.max_jitter = SimDuration::from_us(10);
+  config.enable_collisions = false;
+  Fixture f{{{0, 0}, {90, 0}, {180, 0}}, config};
+  f.medium.broadcast(0, 100, 0);
+  f.medium.broadcast(2, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(f.sinks[1].frames.size(), 2u);
+}
+
+TEST(MediumTest, CarrierSenseSerializesNeighbors) {
+  // Senders in range of each other defer instead of colliding.
+  MediumConfig config;
+  config.range_m = 100.0;
+  config.rate_bps = 8000.0;
+  config.max_jitter = SimDuration::from_us(10);
+  Fixture f{{{0, 0}, {50, 0}, {25, 40}}, config};
+  f.medium.broadcast(0, 100, 0);
+  f.medium.broadcast(1, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(2));
+  // Node 2 hears both frames intact thanks to carrier sensing.
+  EXPECT_EQ(f.sinks[2].frames.size(), 2u);
+}
+
+TEST(MediumTest, SequentialFramesFromOneSenderSerialize) {
+  MediumConfig config = fast_config();
+  config.rate_bps = 8000.0;
+  Fixture f{{{0, 0}, {50, 0}}, config};
+  for (int i = 0; i < 5; ++i) f.medium.broadcast(0, 100, i);
+  f.scheduler.run_until(SimTime::from_seconds(5));
+  ASSERT_EQ(f.sinks[1].frames.size(), 5u);
+  EXPECT_EQ(f.medium.counters(0).frames_sent, 5u);
+}
+
+TEST(MediumTest, NodesInRange) {
+  Fixture f{{{0, 0}, {50, 0}, {99, 0}, {101, 0}}, fast_config()};
+  const auto neighbors = f.medium.nodes_in_range(0);
+  EXPECT_EQ(neighbors, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MediumTest, NodesInRangeSkipsDownNodes) {
+  Fixture f{{{0, 0}, {50, 0}, {60, 0}}, fast_config()};
+  f.medium.set_up(1, false);
+  const auto neighbors = f.medium.nodes_in_range(0);
+  EXPECT_EQ(neighbors, (std::vector<NodeId>{2}));
+}
+
+TEST(MediumTest, MobilityAffectsReachability) {
+  Fixture f{{{0, 0}, {500, 0}}, fast_config()};
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.sinks[1].frames.empty());
+  f.mobility.move_node(1, {50, 0});
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(f.sinks[1].frames.size(), 1u);
+}
+
+TEST(TwoRayRangeTest, MatchesPaperRanges) {
+  // Paper §5.1: tx 15 dB; sensitivities -93/-89/-87/-83 dB correspond to
+  // ranges 442/339/321/273 m. Our two-ray helper lands within ~10%.
+  EXPECT_NEAR(two_ray_range(15.0, -93.0), 442.0, 45.0);
+  EXPECT_NEAR(two_ray_range(15.0, -89.0), 339.0, 35.0);
+  EXPECT_NEAR(two_ray_range(15.0, -87.0), 321.0, 33.0);
+  EXPECT_NEAR(two_ray_range(15.0, -83.0), 273.0, 28.0);
+}
+
+TEST(TwoRayRangeTest, MonotoneInPowerAndSensitivity) {
+  EXPECT_GT(two_ray_range(20.0, -93.0), two_ray_range(15.0, -93.0));
+  EXPECT_GT(two_ray_range(15.0, -93.0), two_ray_range(15.0, -83.0));
+}
+
+TEST(TwoRayRangeTest, FourthPowerLaw) {
+  // +40 dB link budget must exactly x10 the range under the d^4 law.
+  const double r1 = two_ray_range(0.0, -60.0);
+  const double r2 = two_ray_range(0.0, -100.0);
+  EXPECT_NEAR(r2 / r1, 10.0, 1e-9);
+}
+
+class JitterSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(JitterSweep, DeliveryHappensWithinJitterPlusAirTime) {
+  MediumConfig config;
+  config.range_m = 100.0;
+  config.rate_bps = 1e6;
+  config.max_jitter = SimDuration::from_us(GetParam());
+  Fixture f{{{0, 0}, {50, 0}}, config};
+  f.medium.broadcast(0, 125, 0);  // 1 ms at 1 Mbps
+  const auto deadline =
+      SimDuration::from_us(GetParam()) + SimDuration::from_ms(1);
+  f.scheduler.run_until(SimTime::zero() + deadline);
+  EXPECT_EQ(f.sinks[1].frames.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jitters, JitterSweep,
+                         ::testing::Values(1, 100, 1000, 5000, 20000));
+
+}  // namespace
+}  // namespace frugal::net

@@ -1,0 +1,166 @@
+// Statistical properties of the mobility models. The paper's city-section
+// findings hinge on *where* processes spend their time (popular roads create
+// the meeting points that carry dissemination), and the random-waypoint
+// findings on speed being what the config says it is. These tests measure
+// those distributions over long horizons.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mobility/city_section.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/street_graph.hpp"
+#include "stats/summary.hpp"
+
+namespace frugal::mobility {
+namespace {
+
+TEST(RwpStatistics, TimeAverageSpeedNearConfigured) {
+  RandomWaypointConfig config;
+  config.width_m = 2000;
+  config.height_m = 2000;
+  config.speed_min_mps = 10;
+  config.speed_max_mps = 10;
+  config.pause = SimDuration::from_seconds(1);
+  RandomWaypoint model{config, 10, Rng{5}};
+
+  stats::Summary moving_speed;
+  for (NodeId node = 0; node < 10; ++node) {
+    for (int t = 0; t < 2000; t += 3) {
+      const double v = model.speed(node, SimTime::from_seconds(t));
+      if (v > 0) moving_speed.add(v);
+    }
+  }
+  // While moving, speed is exactly the configured 10 mps.
+  EXPECT_NEAR(moving_speed.mean(), 10.0, 1e-9);
+  // Pauses are short (1 s) relative to legs, so most samples are moving.
+  EXPECT_GT(moving_speed.count(), 5000u);
+}
+
+TEST(RwpStatistics, CoversTheWholeArea) {
+  RandomWaypointConfig config;
+  config.width_m = 1000;
+  config.height_m = 1000;
+  config.speed_min_mps = 20;
+  config.speed_max_mps = 20;
+  RandomWaypoint model{config, 8, Rng{6}};
+
+  // 4x4 occupancy grid over a long horizon: every cell gets visited.
+  std::array<std::array<bool, 4>, 4> visited{};
+  for (NodeId node = 0; node < 8; ++node) {
+    for (int t = 0; t < 4000; t += 2) {
+      const Vec2 p = model.position(node, SimTime::from_seconds(t));
+      const auto cx = std::min<std::size_t>(3, static_cast<std::size_t>(p.x / 250.0));
+      const auto cy = std::min<std::size_t>(3, static_cast<std::size_t>(p.y / 250.0));
+      visited[cx][cy] = true;
+    }
+  }
+  for (const auto& row : visited) {
+    for (bool cell : row) EXPECT_TRUE(cell);
+  }
+}
+
+TEST(RwpStatistics, HeterogeneousSpeedsSpanTheRange) {
+  RandomWaypointConfig config;
+  config.width_m = 2000;
+  config.height_m = 2000;
+  config.speed_min_mps = 1;
+  config.speed_max_mps = 40;
+  config.per_node_constant_speed = true;
+  config.pause = SimDuration::zero();
+  RandomWaypoint model{config, 40, Rng{7}};
+
+  stats::Summary speeds;
+  for (NodeId node = 0; node < 40; ++node) {
+    speeds.add(model.speed(node, SimTime::from_seconds(10)));
+  }
+  // U[1, 40]: mean ~20.5, and the draws must actually spread.
+  EXPECT_NEAR(speeds.mean(), 20.5, 6.0);
+  EXPECT_LT(speeds.min(), 10.0);
+  EXPECT_GT(speeds.max(), 30.0);
+}
+
+TEST(CityStatistics, PopularRoadsAttractMoreTime) {
+  // Build a grid with one strongly popular main row; nodes must spend
+  // disproportionate time near it — the hot-spot effect the paper credits
+  // for city-section reliability.
+  CampusGridConfig grid_config;
+  grid_config.main_road_popularity = 10.0;
+  Rng grid_rng{11};
+  const StreetGraph graph = make_campus_grid(grid_config, grid_rng);
+
+  // Find the popular horizontal row's y coordinate (any main-row street).
+  double main_y = -1;
+  for (std::uint32_t e = 0; e < graph.street_count(); ++e) {
+    const Street& s = graph.street(e);
+    const Vec2 a = graph.position(s.from);
+    const Vec2 b = graph.position(s.to);
+    if (s.popularity == grid_config.main_road_popularity && a.y == b.y) {
+      main_y = a.y;
+      break;
+    }
+  }
+  ASSERT_GE(main_y, 0.0) << "no horizontal main road generated";
+
+  CitySection model{graph, CitySectionConfig{}, 12, Rng{12}};
+  const double row_spacing =
+      grid_config.height_m / (grid_config.rows - 1);
+  std::size_t near_main = 0;
+  std::size_t total = 0;
+  for (NodeId node = 0; node < 12; ++node) {
+    for (int t = 100; t < 3000; t += 5) {
+      const Vec2 p = model.position(node, SimTime::from_seconds(t));
+      ++total;
+      if (std::abs(p.y - main_y) < row_spacing / 2) ++near_main;
+    }
+  }
+  // A uniform spread over 6 rows would put ~1/6 of samples in the band;
+  // popularity weighting must pull clearly more than that.
+  const double fraction =
+      static_cast<double>(near_main) / static_cast<double>(total);
+  EXPECT_GT(fraction, 1.0 / 6.0 + 0.05);
+}
+
+TEST(CityStatistics, SpeedsRespectStreetLimits) {
+  CampusGridConfig grid_config;
+  Rng grid_rng{13};
+  const StreetGraph graph = make_campus_grid(grid_config, grid_rng);
+  CitySection model{graph, CitySectionConfig{}, 10, Rng{14}};
+  stats::Summary moving;
+  for (NodeId node = 0; node < 10; ++node) {
+    for (int t = 0; t < 1500; t += 4) {
+      const double v = model.speed(node, SimTime::from_seconds(t));
+      ASSERT_LE(v, grid_config.speed_max_mps + 1e-9);
+      if (v > 0) {
+        ASSERT_GE(v, grid_config.speed_min_mps - 1e-9);
+        moving.add(v);
+      }
+    }
+  }
+  // Paper: "between 8 and 13 mps", average ~10 mps.
+  EXPECT_NEAR(moving.mean(), 10.5, 1.5);
+}
+
+TEST(CityStatistics, NodesStopSometimes) {
+  CampusGridConfig grid_config;
+  Rng grid_rng{15};
+  const StreetGraph graph = make_campus_grid(grid_config, grid_rng);
+  CitySectionConfig move;
+  move.stop_probability = 0.5;
+  CitySection model{graph, move, 6, Rng{16}};
+  std::size_t stopped = 0;
+  std::size_t total = 0;
+  for (NodeId node = 0; node < 6; ++node) {
+    for (int t = 0; t < 1200; t += 3) {
+      ++total;
+      if (model.speed(node, SimTime::from_seconds(t)) == 0.0) ++stopped;
+    }
+  }
+  const double fraction = static_cast<double>(stopped) / static_cast<double>(total);
+  EXPECT_GT(fraction, 0.05);  // red lights and destination pauses exist
+  EXPECT_LT(fraction, 0.80);  // but nodes are not parked forever
+}
+
+}  // namespace
+}  // namespace frugal::mobility

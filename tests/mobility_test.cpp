@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mobility/city_section.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_mobility.hpp"
+#include "mobility/street_graph.hpp"
+
+namespace frugal::mobility {
+namespace {
+
+using namespace frugal::time_literals;
+
+// -- StaticMobility ----------------------------------------------------------
+
+TEST(StaticMobilityTest, HoldsPositions) {
+  StaticMobility m{{{1, 2}, {3, 4}}};
+  EXPECT_EQ(m.node_count(), 2u);
+  EXPECT_EQ(m.position(0, SimTime::zero()), (Vec2{1, 2}));
+  EXPECT_EQ(m.position(1, SimTime::from_seconds(100)), (Vec2{3, 4}));
+  EXPECT_EQ(m.speed(0, SimTime::zero()), 0.0);
+}
+
+TEST(StaticMobilityTest, MoveNodeTeleports) {
+  StaticMobility m{{{0, 0}}};
+  m.move_node(0, {10, 10});
+  EXPECT_EQ(m.position(0, SimTime::zero()), (Vec2{10, 10}));
+}
+
+// -- WaypointTrace -----------------------------------------------------------
+
+TEST(WaypointTraceTest, InterpolatesLinearly) {
+  WaypointTrace trace{{{{SimTime::zero(), {0, 0}},
+                        {SimTime::from_seconds(10), {100, 0}}}}};
+  EXPECT_EQ(trace.position(0, SimTime::from_seconds(5)), (Vec2{50, 0}));
+  EXPECT_DOUBLE_EQ(trace.speed(0, SimTime::from_seconds(5)), 10.0);
+}
+
+TEST(WaypointTraceTest, ClampsOutsideKnots) {
+  WaypointTrace trace{{{{SimTime::from_seconds(1), {5, 5}},
+                        {SimTime::from_seconds(2), {10, 5}}}}};
+  EXPECT_EQ(trace.position(0, SimTime::zero()), (Vec2{5, 5}));
+  EXPECT_EQ(trace.position(0, SimTime::from_seconds(50)), (Vec2{10, 5}));
+  EXPECT_EQ(trace.speed(0, SimTime::from_seconds(50)), 0.0);
+}
+
+TEST(WaypointTraceTest, MultipleNodes) {
+  WaypointTrace trace{{
+      {{SimTime::zero(), {0, 0}}},
+      {{SimTime::zero(), {1, 1}}},
+  }};
+  EXPECT_EQ(trace.node_count(), 2u);
+  EXPECT_EQ(trace.position(1, SimTime::zero()), (Vec2{1, 1}));
+}
+
+// -- RandomWaypoint ----------------------------------------------------------
+
+RandomWaypointConfig small_area() {
+  RandomWaypointConfig config;
+  config.width_m = 1000;
+  config.height_m = 800;
+  config.speed_min_mps = 2;
+  config.speed_max_mps = 10;
+  return config;
+}
+
+TEST(RandomWaypointTest, StaysInsideArea) {
+  RandomWaypoint rwp{small_area(), 10, Rng{1}};
+  for (NodeId node = 0; node < 10; ++node) {
+    for (int s = 0; s <= 600; s += 7) {
+      const Vec2 p = rwp.position(node, SimTime::from_seconds(s));
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LE(p.x, 1000.0);
+      ASSERT_GE(p.y, 0.0);
+      ASSERT_LE(p.y, 800.0);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicAcrossInstances) {
+  RandomWaypoint a{small_area(), 5, Rng{7}};
+  RandomWaypoint b{small_area(), 5, Rng{7}};
+  for (NodeId node = 0; node < 5; ++node) {
+    for (int s = 0; s < 100; s += 13) {
+      EXPECT_EQ(a.position(node, SimTime::from_seconds(s)),
+                b.position(node, SimTime::from_seconds(s)));
+    }
+  }
+}
+
+TEST(RandomWaypointTest, QueryOrderDoesNotMatter) {
+  RandomWaypoint a{small_area(), 2, Rng{7}};
+  RandomWaypoint b{small_area(), 2, Rng{7}};
+  const Vec2 late_first = a.position(0, SimTime::from_seconds(500));
+  (void)b.position(0, SimTime::from_seconds(1));
+  (void)b.position(0, SimTime::from_seconds(250));
+  EXPECT_EQ(b.position(0, SimTime::from_seconds(500)), late_first);
+  // Backwards queries replay the cached trajectory.
+  EXPECT_EQ(a.position(0, SimTime::from_seconds(1)),
+            b.position(0, SimTime::from_seconds(1)));
+}
+
+TEST(RandomWaypointTest, SpeedWithinConfiguredRange) {
+  RandomWaypoint rwp{small_area(), 8, Rng{3}};
+  for (NodeId node = 0; node < 8; ++node) {
+    for (int s = 0; s < 300; s += 11) {
+      const double v = rwp.speed(node, SimTime::from_seconds(s));
+      ASSERT_GE(v, 0.0);  // 0 during pauses
+      ASSERT_LE(v, 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, ActuallyMoves) {
+  RandomWaypoint rwp{small_area(), 4, Rng{5}};
+  for (NodeId node = 0; node < 4; ++node) {
+    const Vec2 a = rwp.position(node, SimTime::zero());
+    const Vec2 b = rwp.position(node, SimTime::from_seconds(300));
+    EXPECT_GT(distance(a, b) + 1.0, 1.0);  // defined
+  }
+  // At least one node must have moved a macroscopic distance.
+  double max_moved = 0;
+  for (NodeId node = 0; node < 4; ++node) {
+    max_moved = std::max(
+        max_moved, distance(rwp.position(node, SimTime::zero()),
+                            rwp.position(node, SimTime::from_seconds(300))));
+  }
+  EXPECT_GT(max_moved, 50.0);
+}
+
+TEST(RandomWaypointTest, PerNodeConstantSpeedMode) {
+  RandomWaypointConfig config = small_area();
+  config.per_node_constant_speed = true;
+  config.pause = SimDuration::zero();
+  RandomWaypoint rwp{config, 6, Rng{11}};
+  for (NodeId node = 0; node < 6; ++node) {
+    std::set<long> speeds;
+    for (int s = 1; s < 500; s += 17) {
+      const double v = rwp.speed(node, SimTime::from_seconds(s));
+      if (v > 0) speeds.insert(std::lround(v * 1e6));
+    }
+    EXPECT_LE(speeds.size(), 1u) << "node " << node;
+  }
+}
+
+TEST(RandomWaypointTest, PausesAtWaypoints) {
+  RandomWaypointConfig config = small_area();
+  config.pause = SimDuration::from_seconds(5);
+  RandomWaypoint rwp{config, 3, Rng{13}};
+  // Speed is zero at time 0 (initial pause leg).
+  for (NodeId node = 0; node < 3; ++node) {
+    EXPECT_EQ(rwp.speed(node, SimTime::zero()), 0.0);
+  }
+}
+
+// -- StreetGraph -------------------------------------------------------------
+
+StreetGraph two_by_two() {
+  StreetGraph g;
+  const auto a = g.add_intersection({0, 0});
+  const auto b = g.add_intersection({100, 0});
+  const auto c = g.add_intersection({0, 100});
+  const auto d = g.add_intersection({100, 100});
+  g.add_two_way(a, b, 10, 1);
+  g.add_two_way(b, d, 10, 1);
+  g.add_two_way(a, c, 10, 1);
+  g.add_two_way(c, d, 10, 1);
+  return g;
+}
+
+TEST(StreetGraphTest, BasicAccessors) {
+  const StreetGraph g = two_by_two();
+  EXPECT_EQ(g.intersection_count(), 4u);
+  EXPECT_EQ(g.street_count(), 8u);  // 4 two-way roads
+  EXPECT_EQ(g.position(1), (Vec2{100, 0}));
+  EXPECT_DOUBLE_EQ(g.street_length(0), 100.0);
+}
+
+TEST(StreetGraphTest, StronglyConnected) {
+  EXPECT_TRUE(two_by_two().strongly_connected());
+}
+
+TEST(StreetGraphTest, OneWayBreaksConnectivity) {
+  StreetGraph g;
+  const auto a = g.add_intersection({0, 0});
+  const auto b = g.add_intersection({100, 0});
+  g.add_street({a, b, 10, 1});  // no way back
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+TEST(StreetGraphTest, FastestRoutePrefersHigherSpeedLimit) {
+  StreetGraph g;
+  const auto a = g.add_intersection({0, 0});
+  const auto b = g.add_intersection({100, 0});
+  const auto top = g.add_intersection({50, 10});
+  g.add_two_way(a, b, 5, 1);     // direct but slow: 100 m at 5 mps = 20 s
+  g.add_two_way(a, top, 50, 1);  // detour at 50 mps: ~102 m total ~= 2 s
+  g.add_two_way(top, b, 50, 1);
+  const auto route = g.fastest_route(a, b);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(g.street(route[0]).to, top);
+  EXPECT_EQ(g.street(route[1]).to, b);
+}
+
+TEST(StreetGraphTest, FastestRouteRespectsOneWay) {
+  StreetGraph g;
+  const auto a = g.add_intersection({0, 0});
+  const auto b = g.add_intersection({100, 0});
+  const auto c = g.add_intersection({50, 50});
+  g.add_street({a, b, 10, 1});  // one-way a -> b
+  g.add_two_way(b, c, 10, 1);
+  g.add_two_way(c, a, 10, 1);
+  const auto route = g.fastest_route(b, a);
+  ASSERT_EQ(route.size(), 2u);  // must detour via c
+  EXPECT_EQ(g.street(route[0]).to, c);
+  EXPECT_EQ(g.street(route[1]).to, a);
+}
+
+TEST(StreetGraphTest, RouteToSelfIsEmpty) {
+  const StreetGraph g = two_by_two();
+  EXPECT_TRUE(g.fastest_route(2, 2).empty());
+}
+
+TEST(StreetGraphTest, UnreachableReturnsEmpty) {
+  StreetGraph g;
+  const auto a = g.add_intersection({0, 0});
+  g.add_intersection({100, 0});  // isolated
+  g.add_intersection({200, 0});
+  const auto b = static_cast<IntersectionId>(1);
+  EXPECT_TRUE(g.fastest_route(a, b).empty());
+}
+
+TEST(StreetGraphTest, IntersectionPopularity) {
+  StreetGraph g;
+  const auto a = g.add_intersection({0, 0});
+  const auto b = g.add_intersection({100, 0});
+  g.add_two_way(a, b, 10, 3);
+  EXPECT_DOUBLE_EQ(g.intersection_popularity(a), 3.0);
+}
+
+TEST(CampusGridTest, GeneratesConnectedGrid) {
+  CampusGridConfig config;
+  Rng rng{21};
+  const StreetGraph g = make_campus_grid(config, rng);
+  EXPECT_EQ(g.intersection_count(),
+            static_cast<std::size_t>(config.columns) * config.rows);
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(CampusGridTest, SpeedLimitsWithinBounds) {
+  CampusGridConfig config;
+  Rng rng{22};
+  const StreetGraph g = make_campus_grid(config, rng);
+  for (std::uint32_t e = 0; e < g.street_count(); ++e) {
+    EXPECT_GE(g.street(e).speed_limit_mps, config.speed_min_mps);
+    EXPECT_LE(g.street(e).speed_limit_mps, config.speed_max_mps);
+  }
+}
+
+TEST(CampusGridTest, HasPopularMainRoads) {
+  CampusGridConfig config;
+  Rng rng{23};
+  const StreetGraph g = make_campus_grid(config, rng);
+  bool found_main = false;
+  for (std::uint32_t e = 0; e < g.street_count(); ++e) {
+    if (g.street(e).popularity == config.main_road_popularity) {
+      found_main = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_main);
+}
+
+TEST(CampusGridTest, CoversConfiguredArea) {
+  CampusGridConfig config;
+  Rng rng{24};
+  const StreetGraph g = make_campus_grid(config, rng);
+  double max_x = 0;
+  double max_y = 0;
+  for (IntersectionId i = 0;
+       i < static_cast<IntersectionId>(g.intersection_count()); ++i) {
+    max_x = std::max(max_x, g.position(i).x);
+    max_y = std::max(max_y, g.position(i).y);
+  }
+  EXPECT_DOUBLE_EQ(max_x, config.width_m);
+  EXPECT_DOUBLE_EQ(max_y, config.height_m);
+}
+
+// -- CitySection -------------------------------------------------------------
+
+struct CityFixture {
+  CityFixture() : graph{two_by_two()}, model{graph, config(), 6, Rng{31}} {}
+  static CitySectionConfig config() {
+    CitySectionConfig c;
+    c.stop_probability = 0.5;
+    return c;
+  }
+  StreetGraph graph;
+  CitySection model;
+};
+
+TEST(CitySectionTest, PositionsStayOnStreetSegments) {
+  CityFixture f;
+  // In the 2x2 grid all streets are axis-aligned at x or y in {0, 100}.
+  for (NodeId node = 0; node < 6; ++node) {
+    for (int s = 0; s <= 400; s += 3) {
+      const Vec2 p = f.model.position(node, SimTime::from_seconds(s));
+      const bool on_vertical = std::abs(p.x - 0) < 1e-6 ||
+                               std::abs(p.x - 100) < 1e-6;
+      const bool on_horizontal = std::abs(p.y - 0) < 1e-6 ||
+                                 std::abs(p.y - 100) < 1e-6;
+      ASSERT_TRUE(on_vertical || on_horizontal)
+          << "node " << node << " off-street at t=" << s << ": (" << p.x
+          << ", " << p.y << ")";
+    }
+  }
+}
+
+TEST(CitySectionTest, SpeedIsStreetLimitOrZero) {
+  CityFixture f;
+  for (NodeId node = 0; node < 6; ++node) {
+    for (int s = 0; s <= 300; s += 7) {
+      const double v = f.model.speed(node, SimTime::from_seconds(s));
+      ASSERT_TRUE(v == 0.0 || std::abs(v - 10.0) < 1e-9);
+    }
+  }
+}
+
+TEST(CitySectionTest, Deterministic) {
+  CityFixture a;
+  CityFixture b;
+  for (NodeId node = 0; node < 6; ++node) {
+    for (int s = 0; s < 200; s += 9) {
+      EXPECT_EQ(a.model.position(node, SimTime::from_seconds(s)),
+                b.model.position(node, SimTime::from_seconds(s)));
+    }
+  }
+}
+
+TEST(CitySectionTest, EventuallyTravels) {
+  CityFixture f;
+  double max_moved = 0;
+  for (NodeId node = 0; node < 6; ++node) {
+    const Vec2 start = f.model.position(node, SimTime::zero());
+    for (int s = 0; s <= 600; s += 30) {
+      max_moved = std::max(
+          max_moved,
+          distance(start, f.model.position(node, SimTime::from_seconds(s))));
+    }
+  }
+  EXPECT_GT(max_moved, 50.0);
+}
+
+TEST(CitySectionTest, CampusScaleRun) {
+  CampusGridConfig grid_config;
+  Rng rng{41};
+  StreetGraph graph = make_campus_grid(grid_config, rng);
+  CitySection model{graph, CitySectionConfig{}, 15, Rng{42}};
+  for (NodeId node = 0; node < 15; ++node) {
+    const Vec2 p = model.position(node, SimTime::from_seconds(500));
+    EXPECT_GE(p.x, -1e-6);
+    EXPECT_LE(p.x, grid_config.width_m + 1e-6);
+    EXPECT_GE(p.y, -1e-6);
+    EXPECT_LE(p.y, grid_config.height_m + 1e-6);
+    const double v = model.speed(node, SimTime::from_seconds(500));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, grid_config.speed_max_mps + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace frugal::mobility

@@ -1,0 +1,141 @@
+#include "core/neighborhood_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frugal::core {
+namespace {
+
+using topics::SubscriptionSet;
+using topics::Topic;
+
+SubscriptionSet subs(const char* topic) {
+  SubscriptionSet set;
+  set.add(Topic::parse(topic));
+  return set;
+}
+
+TEST(NeighborhoodTableTest, UpsertInserts) {
+  NeighborhoodTable table;
+  EXPECT_TRUE(table.upsert(7, subs(".a"), 5.0, SimTime::zero()));
+  EXPECT_TRUE(table.contains(7));
+  EXPECT_EQ(table.size(), 1u);
+  const NeighborEntry* entry = table.find(7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->id, 7u);
+  EXPECT_TRUE(entry->subscriptions.covers(Topic::parse(".a.b")));
+  EXPECT_EQ(entry->speed_mps, 5.0);
+}
+
+TEST(NeighborhoodTableTest, UpsertRefreshesKeepingKnownEvents) {
+  NeighborhoodTable table;
+  table.upsert(7, subs(".a"), 5.0, SimTime::zero());
+  table.record_event(7, EventId{1, 1});
+  table.upsert(7, subs(".b"), 9.0, SimTime::from_seconds(3));
+  const NeighborEntry* entry = table.find(7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->subscriptions.covers(Topic::parse(".b")));
+  EXPECT_EQ(entry->speed_mps, 9.0);
+  EXPECT_EQ(entry->store_time, SimTime::from_seconds(3));
+  EXPECT_TRUE(table.neighbor_knows(7, EventId{1, 1}));
+}
+
+TEST(NeighborhoodTableTest, CapacityBoundsNewEntries) {
+  NeighborhoodTable table{2};
+  EXPECT_TRUE(table.upsert(1, subs(".a"), {}, SimTime::zero()));
+  EXPECT_TRUE(table.upsert(2, subs(".a"), {}, SimTime::zero()));
+  EXPECT_FALSE(table.upsert(3, subs(".a"), {}, SimTime::zero()));
+  EXPECT_EQ(table.size(), 2u);
+  // Refreshing an existing entry still works at capacity.
+  EXPECT_TRUE(table.upsert(1, subs(".b"), {}, SimTime::from_seconds(1)));
+}
+
+TEST(NeighborhoodTableTest, RecordEventUnknownNeighborIsNoop) {
+  NeighborhoodTable table;
+  table.record_event(42, EventId{1, 1});
+  EXPECT_FALSE(table.neighbor_knows(42, EventId{1, 1}));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(NeighborhoodTableTest, NeighborKnows) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::zero());
+  EXPECT_FALSE(table.neighbor_knows(1, EventId{2, 2}));
+  table.record_event(1, EventId{2, 2});
+  EXPECT_TRUE(table.neighbor_knows(1, EventId{2, 2}));
+  EXPECT_FALSE(table.neighbor_knows(1, EventId{2, 3}));
+}
+
+TEST(NeighborhoodTableTest, TouchRefreshesStoreTime) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::zero());
+  table.touch(1, SimTime::from_seconds(9));
+  EXPECT_EQ(table.find(1)->store_time, SimTime::from_seconds(9));
+  table.touch(2, SimTime::from_seconds(9));  // unknown: no-op
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NeighborhoodTableTest, CollectRemovesStaleEntries) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::zero());
+  table.upsert(2, subs(".a"), {}, SimTime::from_seconds(8));
+  const auto removed =
+      table.collect(SimTime::from_seconds(10), SimDuration::from_seconds(5));
+  EXPECT_EQ(removed, 1u);
+  EXPECT_FALSE(table.contains(1));
+  EXPECT_TRUE(table.contains(2));
+}
+
+TEST(NeighborhoodTableTest, CollectBoundaryIsInclusive) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::from_seconds(5));
+  // store_time + max_age == now: not yet stale (strictly older required).
+  EXPECT_EQ(table.collect(SimTime::from_seconds(10),
+                          SimDuration::from_seconds(5)),
+            0u);
+  EXPECT_EQ(table.collect(SimTime::from_seconds(10) + SimDuration::from_us(1),
+                          SimDuration::from_seconds(5)),
+            1u);
+}
+
+TEST(NeighborhoodTableTest, AverageSpeedOverReportingNeighbors) {
+  NeighborhoodTable table;
+  EXPECT_FALSE(table.average_speed().has_value());
+  table.upsert(1, subs(".a"), 10.0, SimTime::zero());
+  table.upsert(2, subs(".a"), std::nullopt, SimTime::zero());
+  table.upsert(3, subs(".a"), 20.0, SimTime::zero());
+  const auto average = table.average_speed();
+  ASSERT_TRUE(average.has_value());
+  EXPECT_DOUBLE_EQ(*average, 15.0);
+}
+
+TEST(NeighborhoodTableTest, AverageSpeedNulloptWhenNoneReport) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), std::nullopt, SimTime::zero());
+  EXPECT_FALSE(table.average_speed().has_value());
+}
+
+TEST(NeighborhoodTableTest, EntriesSortedById) {
+  NeighborhoodTable table;
+  table.upsert(9, subs(".a"), {}, SimTime::zero());
+  table.upsert(1, subs(".a"), {}, SimTime::zero());
+  table.upsert(5, subs(".a"), {}, SimTime::zero());
+  const auto entries = table.entries_by_id();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->id, 1u);
+  EXPECT_EQ(entries[1]->id, 5u);
+  EXPECT_EQ(entries[2]->id, 9u);
+  EXPECT_EQ(table.neighbor_ids(), (std::vector<NodeId>{1, 5, 9}));
+}
+
+TEST(NeighborhoodTableTest, RemoveAndClear) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::zero());
+  table.upsert(2, subs(".a"), {}, SimTime::zero());
+  table.remove(1);
+  EXPECT_FALSE(table.contains(1));
+  table.clear();
+  EXPECT_TRUE(table.empty());
+}
+
+}  // namespace
+}  // namespace frugal::core

@@ -1,0 +1,183 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace frugal {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentOfParentConsumption) {
+  Rng parent1{77};
+  Rng parent2{77};
+  (void)parent2.next();  // consuming the parent must not change children
+  // split() is a pure function of the parent's *current* state, so split
+  // before consumption:
+  Rng child1 = parent1.split(5);
+  Rng child2 = Rng{77}.split(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(RngTest, SplitDifferentKeysDiffer) {
+  Rng parent{99};
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng{4};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 7.5);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(RngTest, UniformRangeMean) {
+  Rng rng{5};
+  double total = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) total += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(total / kSamples, 5.0, 0.1);
+}
+
+TEST(RngTest, UniformU64Bounds) {
+  Rng rng{6};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllValues) {
+  Rng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng{8};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng{9};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng{10};
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng{11};
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng{12};
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.weighted_index(weights)] += 1;
+  }
+  EXPECT_NEAR(counts[0] / double(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kSamples), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / double(kSamples), 0.7, 0.015);
+}
+
+TEST(RngTest, Fnv1aStableValues) {
+  // Golden values pin the hash so stream derivation stays stable across
+  // refactors (changing it would silently re-seed every experiment).
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_NE(fnv1a64("mobility"), fnv1a64("workload"));
+}
+
+TEST(RngTest, SplitMix64KnownSequence) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndVaries) {
+  Rng rng{GetParam()};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    seen.insert(rng.next());
+  }
+  EXPECT_GT(seen.size(), 250u);  // no short cycles
+}
+
+TEST_P(RngSeedSweep, UniformU64Unbiased) {
+  Rng rng{GetParam()};
+  // n chosen adversarially near 2^64 * 2/3 would need rejection; here we
+  // just verify the modulo-rejection path terminates and is in range.
+  const std::uint64_t n = (~std::uint64_t{0} / 3) * 2;
+  for (int i = 0; i < 16; ++i) ASSERT_LT(rng.uniform_u64(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1234567,
+                                           0xDEADBEEFULL, ~std::uint64_t{0}));
+
+}  // namespace
+}  // namespace frugal

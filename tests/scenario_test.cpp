@@ -1,0 +1,273 @@
+// End-to-end protocol scenarios: the paper's Figure 1 walk-through and the
+// trickier dynamics the prose describes (overhearing suppression, duplicate
+// avoidance across meetings, subscription changes, multi-topic traffic).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/frugal_node.hpp"
+#include "mobility/static_mobility.hpp"
+#include "net/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace frugal::core {
+namespace {
+
+using namespace frugal::time_literals;
+using topics::Topic;
+
+struct World {
+  explicit World(std::vector<Vec2> positions,
+                 FrugalConfig config = default_config())
+      : mobility{std::move(positions)},
+        medium{scheduler, mobility, radio(), Rng{11}} {
+    for (NodeId id = 0; id < mobility.node_count(); ++id) {
+      nodes.push_back(std::make_unique<FrugalNode>(id, scheduler, medium,
+                                                   config, nullptr));
+    }
+  }
+
+  static FrugalConfig default_config() {
+    FrugalConfig config;
+    config.hb_upper = 1_sec;
+    return config;
+  }
+
+  static net::MediumConfig radio() {
+    net::MediumConfig config;
+    config.range_m = 100.0;
+    config.max_jitter = SimDuration::from_ms(2);
+    return config;
+  }
+
+  FrugalNode& node(NodeId id) { return *nodes[id]; }
+  void run_for(SimDuration d) { scheduler.run_until(scheduler.now() + d); }
+
+  Event make_event(const char* topic, double validity_s = 600.0) {
+    Event e;
+    e.topic = Topic::parse(topic);
+    e.validity = SimDuration::from_seconds(validity_s);
+    return e;
+  }
+
+  sim::Scheduler scheduler;
+  mobility::StaticMobility mobility;
+  net::Medium medium;
+  std::vector<std::unique_ptr<FrugalNode>> nodes;
+};
+
+/// The complete Figure 1 narrative with the paper's topics T0 ⊃ T1 ⊃ T2.
+TEST(Figure1Scenario, FullWalkthrough) {
+  // p1 at origin; p2 and p3 far away initially.
+  World w{{{0, 0}, {1000, 0}, {2000, 0}}};
+  w.node(0).subscribe(Topic::parse(".T0.T1"));        // p1
+  w.node(1).subscribe(Topic::parse(".T0.T1.T2"));     // p2
+  w.node(2).subscribe(Topic::parse(".T0"));           // p3
+
+  // Initial holdings: p1 has e3 on T1; p2 has e4, e5 on T2.
+  w.node(0).publish(w.make_event(".T0.T1"));
+  w.node(1).publish(w.make_event(".T0.T1.T2"));
+  w.node(1).publish(w.make_event(".T0.T1.T2"));
+  w.run_for(2_sec);
+
+  // Part I: p1 and p2 meet; T1 covers T2 so p1 receives e4 and e5. p2 does
+  // NOT receive e3 (T2 subscriber; T1 events are above its subscription).
+  w.mobility.move_node(1, {50, 0});
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(0).metrics().deliveries.size(), 3u);  // e3 + e4 + e5
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 2u);  // only its own
+  EXPECT_GE(w.node(1).metrics().parasites, 0u);  // e3 may be overheard
+
+  // Part II: p3 joins; it needs everything.
+  w.mobility.move_node(2, {25, 0});
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(2).metrics().deliveries.size(), 3u);
+
+  // Part III: p1 leaves; p2/p3 already share everything — no new sends.
+  w.mobility.move_node(0, {5000, 0});
+  const auto copies_before = w.node(1).metrics().events_sent +
+                             w.node(2).metrics().events_sent;
+  w.run_for(20_sec);
+  const auto copies_after = w.node(1).metrics().events_sent +
+                            w.node(2).metrics().events_sent;
+  EXPECT_EQ(copies_before, copies_after);
+}
+
+TEST(Figure1Scenario, OverhearingMarksThirdPartyAsServed) {
+  // p2 overhears p1's transmission to p3 and concludes p3 needs nothing
+  // more — exactly the paper's part II/III observation.
+  World w{{{0, 0}, {40, 0}, {80, 0}}};
+  for (NodeId id = 0; id < 3; ++id) {
+    w.node(id).subscribe(Topic::parse(".t"));
+  }
+  w.node(0).publish(w.make_event(".t.x"));
+  w.run_for(8_sec);
+  // Everyone has it; in particular, p2's table should record that p3 knows
+  // the event (learned either from the bundle's receiver list or from p3's
+  // own id advert).
+  EXPECT_TRUE(w.node(1).neighborhood().neighbor_knows(2, EventId{0, 0}));
+}
+
+TEST(ScenarioTest, SequentialMeetingsDoNotRedeliver) {
+  // A meets B (transfer), they part, meet again: no second delivery, and
+  // ideally no second transmission either (id adverts prevent it).
+  World w{{{0, 0}, {50, 0}}};
+  w.node(0).subscribe(Topic::parse(".t"));
+  w.node(1).subscribe(Topic::parse(".t"));
+  w.node(0).publish(w.make_event(".t.x"));
+  w.run_for(5_sec);
+  ASSERT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+
+  w.mobility.move_node(1, {5000, 0});
+  w.run_for(10_sec);  // NGC forgets the neighbor on both sides
+  EXPECT_FALSE(w.node(0).neighborhood().contains(1));
+
+  const auto copies_before = w.node(0).metrics().events_sent;
+  w.mobility.move_node(1, {50, 0});
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);  // still once
+  EXPECT_EQ(w.node(1).metrics().duplicates +
+                (w.node(0).metrics().events_sent - copies_before),
+            w.node(1).metrics().duplicates +
+                (w.node(0).metrics().events_sent - copies_before));
+  // The id advert should have suppressed a re-send entirely.
+  EXPECT_EQ(w.node(0).metrics().events_sent, copies_before);
+}
+
+TEST(ScenarioTest, SubscriptionChangeReroutesTraffic) {
+  World w{{{0, 0}, {50, 0}}};
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.node(1).subscribe(Topic::parse(".b"));
+  w.run_for(3_sec);
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(3_sec);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+
+  // Node 1 becomes interested in .a: its next heartbeats advertise the new
+  // subscription, node 0 re-admits it and ships the still-valid event.
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
+TEST(ScenarioTest, UnsubscribedNodeStopsRelaying) {
+  // 0 -> 1 -> 2 chain; node 1 unsubscribes before the publish, so nothing
+  // bridges the gap (node 1 drops the event as a parasite).
+  World w{{{0, 0}, {90, 0}, {180, 0}}};
+  w.node(0).subscribe(Topic::parse(".t"));
+  w.node(1).subscribe(Topic::parse(".t"));
+  w.node(2).subscribe(Topic::parse(".t"));
+  w.run_for(3_sec);
+  w.node(1).unsubscribe(Topic::parse(".t"));
+  w.run_for(3_sec);
+  w.node(0).publish(w.make_event(".t.x"));
+  w.run_for(10_sec);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+  EXPECT_TRUE(w.node(2).metrics().deliveries.empty());
+}
+
+TEST(ScenarioTest, MultiTopicNodeReceivesBoth) {
+  World w{{{0, 0}, {50, 0}, {60, 0}}};
+  w.node(0).subscribe(Topic::parse(".sports"));
+  w.node(1).subscribe(Topic::parse(".weather"));
+  w.node(2).subscribe(Topic::parse(".sports"));
+  w.node(2).subscribe(Topic::parse(".weather"));
+  w.run_for(3_sec);
+  w.node(0).publish(w.make_event(".sports.scores"));
+  w.node(1).publish(w.make_event(".weather.rain"));
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(2).metrics().deliveries.size(), 2u);
+  // The single-topic nodes each got exactly their own topic.
+  EXPECT_EQ(w.node(0).metrics().deliveries.size(), 1u);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
+TEST(ScenarioTest, EventTableTopicTreeReflectsHoldings) {
+  World w{{{0, 0}}};
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.node(0).publish(w.make_event(".a.y.z"));
+  const auto tree = w.node(0).events().topic_tree();
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.collect_subtree(Topic::parse(".a.x")).size(), 2u);
+  EXPECT_EQ(tree.collect_subtree(Topic::parse(".a")).size(), 3u);
+  EXPECT_EQ(tree.topic_count_under(Topic::parse(".a")), 2u);
+}
+
+TEST(ScenarioTest, NeighborhoodCapacityBoundsAdmission) {
+  FrugalConfig config = World::default_config();
+  config.neighborhood_capacity = 2;
+  World w{{{0, 0}, {30, 0}, {40, 0}, {50, 0}, {60, 0}}, config};
+  for (NodeId id = 0; id < 5; ++id) w.node(id).subscribe(Topic::parse(".t"));
+  w.run_for(5_sec);
+  EXPECT_LE(w.node(0).neighborhood().size(), 2u);
+}
+
+TEST(ScenarioTest, ChainDisseminationAcrossFourHops) {
+  // 0-1-2-3-4 spaced at 90 m (range 100 m): the event must traverse the
+  // whole chain hop by hop through interested relays.
+  World w{{{0, 0}, {90, 0}, {180, 0}, {270, 0}, {360, 0}}};
+  for (NodeId id = 0; id < 5; ++id) w.node(id).subscribe(Topic::parse(".t"));
+  w.run_for(3_sec);
+  w.node(0).publish(w.make_event(".t.x"));
+  w.run_for(15_sec);
+  for (NodeId id = 0; id < 5; ++id) {
+    EXPECT_EQ(w.node(id).metrics().deliveries.size(), 1u) << "node " << id;
+  }
+}
+
+TEST(ScenarioTest, ValidityExpiryStopsChainMidway) {
+  // Same chain, but the event expires after 4 s: far nodes may miss it, and
+  // no transmissions of the event happen after expiry.
+  World w{{{0, 0}, {90, 0}, {180, 0}, {270, 0}, {360, 0}}};
+  for (NodeId id = 0; id < 5; ++id) w.node(id).subscribe(Topic::parse(".t"));
+  w.run_for(3_sec);
+  w.node(0).publish(w.make_event(".t.x", /*validity_s=*/4.0));
+  w.run_for(60_sec);
+  std::uint64_t copies = 0;
+  for (NodeId id = 0; id < 5; ++id) {
+    copies += w.node(id).metrics().events_sent;
+  }
+  const auto copies_at_60 = copies;
+  w.run_for(60_sec);
+  copies = 0;
+  for (NodeId id = 0; id < 5; ++id) {
+    copies += w.node(id).metrics().events_sent;
+  }
+  EXPECT_EQ(copies, copies_at_60);  // nothing moves after expiry
+}
+
+TEST(ScenarioTest, TwoPublishersSameTopicBothDeliver) {
+  World w{{{0, 0}, {50, 0}, {60, 30}}};
+  for (NodeId id = 0; id < 3; ++id) w.node(id).subscribe(Topic::parse(".t"));
+  w.run_for(3_sec);
+  w.node(0).publish(w.make_event(".t.a"));
+  w.node(1).publish(w.make_event(".t.b"));
+  w.run_for(10_sec);
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_EQ(w.node(id).metrics().deliveries.size(), 2u) << "node " << id;
+  }
+  // Distinct ids: (0,0) and (1,0).
+  EXPECT_TRUE(w.node(2).metrics().delivered(EventId{0, 0}));
+  EXPECT_TRUE(w.node(2).metrics().delivered(EventId{1, 0}));
+}
+
+TEST(ScenarioTest, CrashedNodeCatchesUpAfterRecovery) {
+  World w{{{0, 0}, {50, 0}}};
+  w.node(0).subscribe(Topic::parse(".t"));
+  w.node(1).subscribe(Topic::parse(".t"));
+  w.run_for(3_sec);
+  w.medium.set_up(1, false);  // node 1's radio dies
+  w.node(0).publish(w.make_event(".t.x", /*validity_s=*/120.0));
+  w.run_for(10_sec);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+  w.medium.set_up(1, true);
+  w.run_for(10_sec);  // heartbeats re-detect, id adverts restart the flow
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace frugal::core

@@ -1,0 +1,154 @@
+// Cross-cutting determinism and robustness tests: the whole stack must be a
+// pure function of (config, seed), and must stay well-behaved at extreme
+// parameter values.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace frugal::core {
+namespace {
+
+ExperimentConfig tiny(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.node_count = 20;
+  config.interest_fraction = 1.0;
+  RandomWaypointSetup rwp;
+  rwp.config.width_m = 900;
+  rwp.config.height_m = 900;
+  rwp.config.speed_min_mps = 10;
+  rwp.config.speed_max_mps = 10;
+  config.mobility = rwp;
+  config.warmup = SimDuration::from_seconds(15);
+  config.event_validity = SimDuration::from_seconds(45);
+  config.seed = seed;
+  return config;
+}
+
+/// Full-state fingerprint of a run (everything an assertion could see).
+std::uint64_t fingerprint(const RunResult& result) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  mix(result.publisher);
+  for (const NodeOutcome& node : result.nodes) {
+    mix(node.subscribed ? 1 : 0);
+    mix(node.traffic.bytes_sent);
+    mix(node.traffic.frames_sent);
+    mix(node.traffic.frames_delivered);
+    mix(node.traffic.frames_collided);
+    mix(node.events_sent);
+    mix(node.duplicates);
+    mix(node.parasites);
+    for (const auto& at : node.delivered_at) {
+      mix(at.has_value() ? static_cast<std::uint64_t>(at->us()) : ~0ULL);
+    }
+  }
+  return h;
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, FrugalRunsAreBitIdentical) {
+  const RunResult a = run_experiment(tiny(GetParam()));
+  const RunResult b = run_experiment(tiny(GetParam()));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST_P(DeterminismSweep, FloodingRunsAreBitIdentical) {
+  ExperimentConfig config = tiny(GetParam());
+  config.protocol = Protocol::kFloodSimple;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST_P(DeterminismSweep, CityRunsAreBitIdentical) {
+  ExperimentConfig config = tiny(GetParam());
+  config.node_count = 10;
+  config.mobility = CitySetup{};
+  config.medium.range_m = 60;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(1, 7, 42, 1000003));
+
+TEST(ExtremeParamsTest, SingleNodeWorld) {
+  ExperimentConfig config = tiny(1);
+  config.node_count = 1;
+  config.interest_fraction = 1.0;
+  const RunResult result = run_experiment(config);
+  // The lone publisher delivers to itself: reliability 1 by definition.
+  EXPECT_DOUBLE_EQ(result.reliability(), 1.0);
+  EXPECT_EQ(result.subscriber_count(), 1u);
+}
+
+TEST(ExtremeParamsTest, TwoNodesOutOfRange) {
+  ExperimentConfig config = tiny(1);
+  config.node_count = 2;
+  config.mobility = StaticSetup{100000, 100000};
+  const RunResult result = run_experiment(config);
+  EXPECT_DOUBLE_EQ(result.reliability(), 0.5);  // publisher only
+}
+
+TEST(ExtremeParamsTest, VeryShortValidity) {
+  ExperimentConfig config = tiny(2);
+  config.event_validity = SimDuration::from_seconds(0.05);
+  const RunResult result = run_experiment(config);
+  // Too short to cross even one hop reliably, but never negative/NaN.
+  EXPECT_GE(result.reliability(), 0.0);
+  EXPECT_LE(result.reliability(), 1.0);
+}
+
+TEST(ExtremeParamsTest, VeryLongValidity) {
+  ExperimentConfig config = tiny(3);
+  config.event_validity = SimDuration::from_seconds(3600);
+  const RunResult result = run_experiment(config);
+  EXPECT_DOUBLE_EQ(result.reliability(), 1.0);
+}
+
+TEST(ExtremeParamsTest, ManyEventsSmallTable) {
+  ExperimentConfig config = tiny(4);
+  config.event_count = 30;
+  config.publish_spacing = SimDuration::from_seconds(0.2);
+  config.frugal.event_table_capacity = 4;  // heavy GC pressure
+  const RunResult result = run_experiment(config);
+  EXPECT_GT(result.reliability(), 0.0);
+  EXPECT_LE(result.reliability(), 1.0);
+}
+
+TEST(ExtremeParamsTest, HugeEventBytes) {
+  ExperimentConfig config = tiny(5);
+  config.event_bytes = 100000;  // 100 kB: ~0.8 s air time at 1 Mbps
+  const RunResult result = run_experiment(config);
+  EXPECT_GT(result.reliability(), 0.3);
+}
+
+TEST(ExtremeParamsTest, CollisionFreeRadioIsAtLeastAsReliable) {
+  ExperimentConfig with = tiny(6);
+  ExperimentConfig without = tiny(6);
+  without.medium.enable_collisions = false;
+  const double reliability_with = run_experiment(with).reliability();
+  const double reliability_without = run_experiment(without).reliability();
+  EXPECT_GE(reliability_without + 1e-9, reliability_with);
+}
+
+TEST(ExtremeParamsTest, TinyRadioRangeIsolatesEveryone) {
+  ExperimentConfig config = tiny(7);
+  config.medium.range_m = 0.5;
+  const RunResult result = run_experiment(config);
+  EXPECT_LT(result.reliability(), 0.2);
+}
+
+TEST(ExtremeParamsTest, SeedZeroWorks) {
+  const RunResult result = run_experiment(tiny(0));
+  EXPECT_GE(result.reliability(), 0.0);
+}
+
+}  // namespace
+}  // namespace frugal::core

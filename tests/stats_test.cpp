@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace frugal::stats {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(SummaryTest, NegativeValuesTrackMinMax) {
+  Summary s;
+  s.add(-3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -1.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left += right;
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  a.add(3.0);
+  Summary b;
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b += a;
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SummaryTest, Ci95ShrinksWithSamples) {
+  Summary small;
+  Summary large;
+  for (int i = 0; i < 4; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 400; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  EXPECT_EQ(Summary{}.ci95_half_width(), 0.0);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(TableTest, RowCountAndTitle) {
+  Table t{"Fig X", {"a", "b"}};
+  EXPECT_EQ(t.title(), "Fig X");
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  t.add_numeric_row({1.5, 2.25}, 2);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvWriting) {
+  Table t{"Fig 99 test table", {"x", "y"}};
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const auto path = t.write_csv("/tmp");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tmp/fig_99_test_table.csv");
+  std::ifstream in{*path};
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "x,y\n1,2\n3,4\n");
+  std::remove(path->c_str());
+}
+
+TEST(TableTest, CsvFailsGracefullyOnBadDir) {
+  Table t{"t", {"x"}};
+  t.add_row({"1"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-xyz").has_value());
+}
+
+}  // namespace
+}  // namespace frugal::stats

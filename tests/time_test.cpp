@@ -1,0 +1,89 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frugal {
+namespace {
+
+using namespace frugal::time_literals;
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.us(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTimeTest, FactoryConversions) {
+  EXPECT_EQ(SimTime::from_us(1500).us(), 1500);
+  EXPECT_EQ(SimTime::from_ms(3).us(), 3000);
+  EXPECT_EQ(SimTime::from_seconds(2.5).us(), 2'500'000);
+}
+
+TEST(SimTimeTest, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(12.25).seconds(), 12.25);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::from_us(1), SimTime::from_us(2));
+  EXPECT_GT(SimTime::max(), SimTime::from_seconds(1e9));
+  EXPECT_LE(SimTime::zero(), SimTime::zero());
+}
+
+TEST(SimTimeTest, ArithmeticWithDurations) {
+  const SimTime t = SimTime::from_seconds(10.0);
+  EXPECT_EQ((t + 5_sec).us(), 15'000'000);
+  EXPECT_EQ((t - 5_sec).us(), 5'000'000);
+  EXPECT_EQ((t + 5_sec) - t, 5_sec);
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t = SimTime::from_seconds(1.0);
+  t += 500_ms;
+  EXPECT_EQ(t.us(), 1'500'000);
+  t -= 1500_ms;
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimDurationTest, Literals) {
+  EXPECT_EQ((3_sec).us(), 3'000'000);
+  EXPECT_EQ((250_ms).us(), 250'000);
+  EXPECT_EQ((7_us).us(), 7);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  EXPECT_EQ(2_sec + 500_ms, SimDuration::from_ms(2500));
+  EXPECT_EQ(2_sec - 500_ms, SimDuration::from_ms(1500));
+  EXPECT_EQ(2_sec * 3, 6_sec);
+  EXPECT_EQ(3 * 2_sec, 6_sec);
+  EXPECT_EQ(6_sec / 3, 2_sec);
+}
+
+TEST(SimDurationTest, ScalarDoubleArithmetic) {
+  EXPECT_EQ(2_sec * 2.5, 5_sec);
+  EXPECT_EQ(5_sec / 2.5, 2_sec);
+}
+
+TEST(SimDurationTest, NegativeDetection) {
+  EXPECT_TRUE((1_sec - 2_sec).is_negative());
+  EXPECT_FALSE((2_sec - 1_sec).is_negative());
+  EXPECT_FALSE(SimDuration::zero().is_negative());
+}
+
+TEST(SimDurationTest, SecondsConversion) {
+  EXPECT_DOUBLE_EQ((1500_ms).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimDuration::from_seconds(-0.5).seconds(), -0.5);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(to_string(SimTime::from_seconds(1.5)), "1.500000s");
+  EXPECT_EQ(to_string(SimDuration::from_ms(250)), "0.250000s");
+}
+
+TEST(SimTimeTest, TimeDifferenceIsDuration) {
+  const SimTime a = SimTime::from_seconds(3);
+  const SimTime b = SimTime::from_seconds(1);
+  EXPECT_EQ(a - b, 2_sec);
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,151 @@
+#include "topics/topic_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace frugal::topics {
+namespace {
+
+Topic t(const char* text) { return Topic::parse(text); }
+
+TEST(TopicTreeTest, EmptyTree) {
+  TopicTree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.at(t(".a")), nullptr);
+  EXPECT_TRUE(tree.collect_subtree(Topic{}).empty());
+  EXPECT_TRUE(tree.topics().empty());
+}
+
+TEST(TopicTreeTest, InsertAndExactLookup) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b"), 1);
+  tree.insert(t(".a.b"), 2);
+  tree.insert(t(".a.c"), 3);
+  EXPECT_EQ(tree.size(), 3u);
+  const auto* ab = tree.at(t(".a.b"));
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(*ab, (std::vector<int>{1, 2}));
+  EXPECT_EQ(tree.at(t(".a"))->size(), 0u);  // node exists, no values
+  EXPECT_EQ(tree.at(t(".zz")), nullptr);
+}
+
+TEST(TopicTreeTest, RootValues) {
+  TopicTree<std::string> tree;
+  tree.insert(Topic{}, "root-value");
+  ASSERT_NE(tree.at(Topic{}), nullptr);
+  EXPECT_EQ(tree.at(Topic{})->front(), "root-value");
+}
+
+TEST(TopicTreeTest, CollectSubtreeMatchesCoveringSemantics) {
+  TopicTree<int> tree;
+  tree.insert(t(".conf"), 1);
+  tree.insert(t(".conf.mw"), 2);
+  tree.insert(t(".conf.mw.demo"), 3);
+  tree.insert(t(".news"), 4);
+  // Subscribing to .conf entitles you to 1, 2, 3 — not 4.
+  EXPECT_EQ(tree.collect_subtree(t(".conf")), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(tree.collect_subtree(t(".conf.mw")), (std::vector<int>{2, 3}));
+  EXPECT_EQ(tree.collect_subtree(Topic{}), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(tree.collect_subtree(t(".conf.icse")).empty());
+}
+
+TEST(TopicTreeTest, CollectIsDepthFirstSegmentOrdered) {
+  TopicTree<int> tree;
+  tree.insert(t(".z"), 26);
+  tree.insert(t(".a"), 1);
+  tree.insert(t(".a.x"), 2);
+  EXPECT_EQ(tree.collect_subtree(Topic{}), (std::vector<int>{1, 2, 26}));
+}
+
+TEST(TopicTreeTest, TopicCountUnder) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b"), 1);
+  tree.insert(t(".a.b"), 2);  // same topic
+  tree.insert(t(".a.c.d"), 3);
+  EXPECT_EQ(tree.topic_count_under(t(".a")), 2u);
+  EXPECT_EQ(tree.topic_count_under(Topic{}), 2u);
+  EXPECT_EQ(tree.topic_count_under(t(".a.b")), 1u);
+  EXPECT_EQ(tree.topic_count_under(t(".nope")), 0u);
+}
+
+TEST(TopicTreeTest, RemoveIfPrunesEmptyBranches) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b.c"), 1);
+  tree.insert(t(".a.b.c"), 2);
+  tree.insert(t(".a"), 3);
+  const auto removed = tree.remove_if([](int v) { return v < 3; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(tree.size(), 1u);
+  // The .a.b.c branch is gone entirely.
+  EXPECT_EQ(tree.at(t(".a.b.c")), nullptr);
+  EXPECT_EQ(tree.at(t(".a.b")), nullptr);
+  ASSERT_NE(tree.at(t(".a")), nullptr);
+  EXPECT_EQ(tree.at(t(".a"))->front(), 3);
+}
+
+TEST(TopicTreeTest, RemoveIfNothingMatches) {
+  TopicTree<int> tree;
+  tree.insert(t(".a"), 1);
+  EXPECT_EQ(tree.remove_if([](int) { return false; }), 0u);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(TopicTreeTest, TopicsListing) {
+  TopicTree<int> tree;
+  tree.insert(t(".b"), 1);
+  tree.insert(t(".a.x"), 2);
+  tree.insert(Topic{}, 0);
+  const auto topics = tree.topics();
+  ASSERT_EQ(topics.size(), 3u);
+  EXPECT_EQ(topics[0], Topic{});       // root first (depth-first)
+  EXPECT_EQ(topics[1], t(".a.x"));
+  EXPECT_EQ(topics[2], t(".b"));
+}
+
+TEST(TopicTreeTest, Clear) {
+  TopicTree<int> tree;
+  tree.insert(t(".a"), 1);
+  tree.clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.at(t(".a")), nullptr);
+}
+
+// Property: collect_subtree(T) equals the brute-force filter by covers().
+class TopicTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopicTreeProperty, SubtreeEqualsCoverFilter) {
+  Rng rng{GetParam()};
+  TopicTree<int> tree;
+  std::vector<std::pair<Topic, int>> entries;
+  const char* segments[] = {"a", "b", "c"};
+  for (int i = 0; i < 60; ++i) {
+    Topic topic;
+    const auto depth = rng.uniform_u64(4);
+    for (std::uint64_t d = 0; d < depth; ++d) {
+      topic = topic.child(segments[rng.uniform_u64(3)]);
+    }
+    tree.insert(topic, i);
+    entries.emplace_back(topic, i);
+  }
+  for (const char* probe : {".", ".a", ".a.b", ".b.c.a", ".c"}) {
+    const Topic query = Topic::parse(probe);
+    auto got = tree.collect_subtree(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected;
+    for (const auto& [topic, value] : entries) {
+      if (query.covers(topic)) expected.push_back(value);
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected) << "query " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopicTreeProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace frugal::topics

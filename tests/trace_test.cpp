@@ -1,0 +1,74 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace frugal::trace {
+namespace {
+
+TEST(TraceTest, RecordsInOrder) {
+  TraceRecorder recorder;
+  recorder.publish(SimTime::from_seconds(1), 0, core::EventId{0, 0});
+  recorder.deliver(SimTime::from_seconds(2), 1, core::EventId{0, 0});
+  recorder.node_down(SimTime::from_seconds(3), 1);
+  recorder.node_up(SimTime::from_seconds(4), 1);
+  recorder.position(SimTime::from_seconds(5), 0, {10, 20});
+  ASSERT_EQ(recorder.size(), 5u);
+  EXPECT_EQ(recorder.records()[0].kind, TraceKind::kPublish);
+  EXPECT_EQ(recorder.records()[4].kind, TraceKind::kPosition);
+  EXPECT_EQ(recorder.records()[4].position, (Vec2{10, 20}));
+}
+
+TEST(TraceTest, FilterByKind) {
+  TraceRecorder recorder;
+  recorder.publish(SimTime::from_seconds(1), 0, core::EventId{0, 0});
+  recorder.deliver(SimTime::from_seconds(2), 1, core::EventId{0, 0});
+  recorder.deliver(SimTime::from_seconds(3), 2, core::EventId{0, 0});
+  const auto deliveries = recorder.filter(TraceKind::kDeliver);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].node, 1u);
+  EXPECT_EQ(deliveries[1].node, 2u);
+}
+
+TEST(TraceTest, KindNames) {
+  EXPECT_STREQ(to_string(TraceKind::kPublish), "publish");
+  EXPECT_STREQ(to_string(TraceKind::kDeliver), "deliver");
+  EXPECT_STREQ(to_string(TraceKind::kNodeDown), "down");
+  EXPECT_STREQ(to_string(TraceKind::kNodeUp), "up");
+  EXPECT_STREQ(to_string(TraceKind::kPosition), "position");
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  TraceRecorder recorder;
+  recorder.publish(SimTime::from_seconds(1.5), 3, core::EventId{3, 7});
+  recorder.position(SimTime::from_seconds(2), 4, {1.25, -2.5});
+  const char* path = "/tmp/frugal_trace_test.csv";
+  ASSERT_TRUE(recorder.write_csv(path));
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time_s,kind,node,event_publisher,event_seq,x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,publish,3,3,7,,");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,position,4,,,1.25,-2.5");
+  std::remove(path);
+}
+
+TEST(TraceTest, CsvFailsOnBadPath) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.write_csv("/nonexistent-dir-xyz/trace.csv"));
+}
+
+TEST(TraceTest, Clear) {
+  TraceRecorder recorder;
+  recorder.node_down(SimTime::zero(), 0);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+}  // namespace
+}  // namespace frugal::trace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+#include "util/logging.hpp"
+#include "util/vec2.hpp"
+
+namespace frugal {
+namespace {
+
+// -- Vec2 ---------------------------------------------------------------------
+
+TEST(Vec2Test, Arithmetic) {
+  constexpr Vec2 a{1, 2};
+  constexpr Vec2 b{3, -4};
+  EXPECT_EQ(a + b, (Vec2{4, -2}));
+  EXPECT_EQ(a - b, (Vec2{-2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2}));
+}
+
+TEST(Vec2Test, Norms) {
+  const Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2Test, Normalized) {
+  const Vec2 v = Vec2{10, 0}.normalized();
+  EXPECT_DOUBLE_EQ(v.x, 1.0);
+  EXPECT_DOUBLE_EQ(v.y, 0.0);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector maps to itself
+}
+
+TEST(Vec2Test, DefaultIsOrigin) {
+  constexpr Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+// -- env helpers ---------------------------------------------------------------
+
+TEST(EnvTest, MissingVariableFallsBack) {
+  unsetenv("FRUGAL_TEST_ENV_X");
+  EXPECT_FALSE(env_string("FRUGAL_TEST_ENV_X").has_value());
+  EXPECT_EQ(env_int("FRUGAL_TEST_ENV_X", 42), 42);
+  EXPECT_DOUBLE_EQ(env_double("FRUGAL_TEST_ENV_X", 2.5), 2.5);
+  EXPECT_TRUE(env_bool("FRUGAL_TEST_ENV_X", true));
+}
+
+TEST(EnvTest, ReadsValues) {
+  setenv("FRUGAL_TEST_ENV_X", "123", 1);
+  EXPECT_EQ(env_string("FRUGAL_TEST_ENV_X"), "123");
+  EXPECT_EQ(env_int("FRUGAL_TEST_ENV_X", 0), 123);
+  EXPECT_DOUBLE_EQ(env_double("FRUGAL_TEST_ENV_X", 0), 123.0);
+  unsetenv("FRUGAL_TEST_ENV_X");
+}
+
+TEST(EnvTest, MalformedNumberFallsBack) {
+  setenv("FRUGAL_TEST_ENV_X", "not-a-number", 1);
+  EXPECT_EQ(env_int("FRUGAL_TEST_ENV_X", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("FRUGAL_TEST_ENV_X", 1.5), 1.5);
+  unsetenv("FRUGAL_TEST_ENV_X");
+}
+
+TEST(EnvTest, EmptyStringTreatedAsUnset) {
+  setenv("FRUGAL_TEST_ENV_X", "", 1);
+  EXPECT_FALSE(env_string("FRUGAL_TEST_ENV_X").has_value());
+  EXPECT_EQ(env_int("FRUGAL_TEST_ENV_X", 9), 9);
+  unsetenv("FRUGAL_TEST_ENV_X");
+}
+
+TEST(EnvTest, BoolSpellings) {
+  for (const char* yes : {"1", "true", "yes", "on"}) {
+    setenv("FRUGAL_TEST_ENV_X", yes, 1);
+    EXPECT_TRUE(env_bool("FRUGAL_TEST_ENV_X", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "off", "banana"}) {
+    setenv("FRUGAL_TEST_ENV_X", no, 1);
+    EXPECT_FALSE(env_bool("FRUGAL_TEST_ENV_X", true)) << no;
+  }
+  unsetenv("FRUGAL_TEST_ENV_X");
+}
+
+// -- logging -------------------------------------------------------------------
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = Logger::level();
+  Logger::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  Logger::set_level(before);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateEagerly) {
+  const LogLevel before = Logger::level();
+  Logger::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  FRUGAL_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits below the level
+  Logger::set_level(before);
+}
+
+TEST(LoggingTest, EnabledLevelWrites) {
+  const LogLevel before = Logger::level();
+  Logger::set_level(LogLevel::kTrace);
+  FRUGAL_LOG(kInfo) << "logging smoke " << 42;  // must not crash
+  Logger::set_level(before);
+}
+
+}  // namespace
+}  // namespace frugal

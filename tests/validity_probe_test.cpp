@@ -1,0 +1,67 @@
+// Validates the optimization the figure harnesses rely on (DESIGN.md §3,
+// Figs. 11/12/16): for a single-publisher workload with ample memory, the
+// protocol's externally visible behaviour up to time `publish + v` is
+// identical for every run validity >= v, so reliability at probe validity v
+// measured from one long run equals the reliability of an actual run
+// executed with validity v.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace frugal::core {
+namespace {
+
+ExperimentConfig world(std::uint64_t seed, double validity_s) {
+  ExperimentConfig config;
+  config.node_count = 35;
+  config.interest_fraction = 0.8;
+  RandomWaypointSetup rwp;
+  rwp.config.width_m = 1600;
+  rwp.config.height_m = 1600;
+  rwp.config.speed_min_mps = 8;
+  rwp.config.speed_max_mps = 8;
+  config.mobility = rwp;
+  config.warmup = SimDuration::from_seconds(20);
+  config.event_validity = SimDuration::from_seconds(validity_s);
+  config.seed = seed;
+  return config;
+}
+
+class ValidityProbeEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ValidityProbeEquivalence, ProbeEqualsDedicatedRun) {
+  const auto [seed, probe_s] = GetParam();
+  const RunResult long_run = run_experiment(world(seed, 90.0));
+  const RunResult short_run = run_experiment(world(seed, probe_s));
+  EXPECT_DOUBLE_EQ(
+      long_run.reliability_within(SimDuration::from_seconds(probe_s)),
+      short_run.reliability());
+  // Stronger: the same subscribers were reached by the probe deadline.
+  for (std::size_t i = 0; i < long_run.nodes.size(); ++i) {
+    const auto& in_long = long_run.nodes[i].delivered_at[0];
+    const auto& in_short = short_run.nodes[i].delivered_at[0];
+    const SimTime deadline = long_run.events[0].published_at +
+                             SimDuration::from_seconds(probe_s);
+    const bool long_reached = in_long.has_value() && *in_long <= deadline;
+    ASSERT_EQ(long_reached, in_short.has_value()) << "node " << i;
+    if (long_reached) {
+      ASSERT_EQ(*in_long, *in_short) << "node " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndProbes, ValidityProbeEquivalence,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values(15.0, 30.0, 60.0)));
+
+TEST(ValidityProbeTest, ProbeAtFullValidityIsIdentity) {
+  const RunResult run = run_experiment(world(9, 90.0));
+  EXPECT_DOUBLE_EQ(run.reliability_within(SimDuration::from_seconds(90)),
+                   run.reliability());
+}
+
+}  // namespace
+}  // namespace frugal::core

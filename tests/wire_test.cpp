@@ -1,0 +1,213 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace frugal::core {
+namespace {
+
+using topics::SubscriptionSet;
+using topics::Topic;
+
+Event sample_event(NodeId publisher = 3, std::uint32_t seq = 7) {
+  Event e;
+  e.id = EventId{publisher, seq};
+  e.topic = Topic::parse(".news.local");
+  e.published_at = SimTime::from_seconds(12.5);
+  e.validity = SimDuration::from_seconds(180);
+  e.wire_bytes = 400;
+  e.payload = "parking spot at level 2";
+  return e;
+}
+
+// -- wire size accounting ----------------------------------------------------
+
+TEST(WireSizeTest, HeartbeatIsPaperConstant) {
+  Heartbeat hb;
+  hb.sender = 1;
+  hb.subscriptions.add(Topic::parse(".a"));
+  hb.subscriptions.add(Topic::parse(".b.c"));
+  hb.speed_mps = 12.0;
+  EXPECT_EQ(wire_size(hb), kHeartbeatWireBytes);
+  EXPECT_EQ(kHeartbeatWireBytes, 50u);  // paper §5.2
+}
+
+TEST(WireSizeTest, EventIdListScalesWithIds) {
+  EventIdList list;
+  list.sender = 1;
+  EXPECT_EQ(wire_size(list), kMessageHeaderBytes);
+  list.ids.push_back(EventId{1, 1});
+  EXPECT_EQ(wire_size(list), kMessageHeaderBytes + kEventIdWireBytes);
+  list.ids.push_back(EventId{1, 2});
+  EXPECT_EQ(wire_size(list), kMessageHeaderBytes + 2 * kEventIdWireBytes);
+  EXPECT_EQ(kEventIdWireBytes, 16u);  // 128-bit ids, paper §5.2
+}
+
+TEST(WireSizeTest, EventBundleUsesEventWireBytes) {
+  EventBundle bundle;
+  bundle.sender = 2;
+  bundle.events.push_back(sample_event());
+  bundle.presumed_receivers = {4, 5, 6};
+  EXPECT_EQ(wire_size(bundle),
+            kMessageHeaderBytes + 400 + 3 * kNeighborIdWireBytes);
+}
+
+TEST(WireSizeTest, MessageVariantDispatch) {
+  Heartbeat hb;
+  EXPECT_EQ(wire_size(Message{hb}), kHeartbeatWireBytes);
+}
+
+// -- codec round trips -------------------------------------------------------
+
+TEST(CodecTest, HeartbeatRoundTrip) {
+  Heartbeat hb;
+  hb.sender = 17;
+  hb.subscriptions.add(Topic::parse(".conf.mw"));
+  hb.subscriptions.add(Topic::parse(".news"));
+  hb.speed_mps = 8.25;
+
+  const auto decoded = decode(encode(Message{hb}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* out = std::get_if<Heartbeat>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sender, 17u);
+  EXPECT_EQ(out->subscriptions, hb.subscriptions);
+  ASSERT_TRUE(out->speed_mps.has_value());
+  EXPECT_DOUBLE_EQ(*out->speed_mps, 8.25);
+}
+
+TEST(CodecTest, HeartbeatWithoutSpeed) {
+  Heartbeat hb;
+  hb.sender = 1;
+  hb.subscriptions.add(Topic::parse(".x"));
+  const auto decoded = decode(encode(Message{hb}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(std::get<Heartbeat>(*decoded).speed_mps.has_value());
+}
+
+TEST(CodecTest, EventIdListRoundTrip) {
+  EventIdList list;
+  list.sender = 9;
+  list.ids = {EventId{1, 2}, EventId{3, 4}, EventId{0xFFFFFFFE, 0xFFFFFFFF}};
+  const auto decoded = decode(encode(Message{list}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<EventIdList>(*decoded);
+  EXPECT_EQ(out.sender, 9u);
+  EXPECT_EQ(out.ids, list.ids);
+}
+
+TEST(CodecTest, EventBundleRoundTrip) {
+  EventBundle bundle;
+  bundle.sender = 5;
+  bundle.events = {sample_event(1, 1), sample_event(2, 9)};
+  bundle.presumed_receivers = {7, 8};
+  const auto decoded = decode(encode(Message{bundle}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<EventBundle>(*decoded);
+  EXPECT_EQ(out.sender, 5u);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].id, (EventId{1, 1}));
+  EXPECT_EQ(out.events[1].id, (EventId{2, 9}));
+  EXPECT_EQ(out.events[0].topic, Topic::parse(".news.local"));
+  EXPECT_EQ(out.events[0].published_at, SimTime::from_seconds(12.5));
+  EXPECT_EQ(out.events[0].validity, SimDuration::from_seconds(180));
+  EXPECT_EQ(out.events[0].wire_bytes, 400u);
+  EXPECT_EQ(out.events[0].payload, "parking spot at level 2");
+  EXPECT_EQ(out.presumed_receivers, (std::vector<NodeId>{7, 8}));
+}
+
+TEST(CodecTest, EmptyBundleRoundTrip) {
+  EventBundle bundle;
+  bundle.sender = 0;
+  const auto decoded = decode(encode(Message{bundle}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<EventBundle>(*decoded).events.empty());
+}
+
+TEST(CodecTest, RootTopicRoundTrip) {
+  Event e = sample_event();
+  e.topic = Topic{};
+  EventBundle bundle;
+  bundle.sender = 1;
+  bundle.events = {e};
+  const auto decoded = decode(encode(Message{bundle}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<EventBundle>(*decoded).events[0].topic.is_root());
+}
+
+// -- malformed input ---------------------------------------------------------
+
+TEST(CodecTest, EmptyInputRejected) {
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(CodecTest, UnknownTagRejected) {
+  EXPECT_FALSE(decode({std::byte{0xEE}}).has_value());
+}
+
+TEST(CodecTest, TruncationAlwaysRejected) {
+  EventBundle bundle;
+  bundle.sender = 5;
+  bundle.events = {sample_event()};
+  bundle.presumed_receivers = {1, 2, 3};
+  const auto bytes = encode(Message{bundle});
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::byte> prefix(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    EXPECT_FALSE(decode(prefix).has_value()) << "prefix length " << n;
+  }
+}
+
+TEST(CodecTest, TrailingGarbageRejected) {
+  Heartbeat hb;
+  hb.sender = 1;
+  auto bytes = encode(Message{hb});
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecTest, AbsurdLengthDoesNotAllocate) {
+  // Tag + sender + claimed 2^32-1 ids, then nothing: must fail cleanly.
+  std::vector<std::byte> bytes;
+  bytes.push_back(std::byte{2});  // EventIdList
+  for (int i = 0; i < 4; ++i) bytes.push_back(std::byte{0});  // sender
+  for (int i = 0; i < 4; ++i) bytes.push_back(std::byte{0xFF});  // count
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+// Fuzz-ish property: random byte strings never crash the decoder, and decoded
+// messages re-encode to the identical bytes (canonical form).
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrash) {
+  Rng rng{GetParam()};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = rng.uniform_u64(64);
+    std::vector<std::byte> bytes(n);
+    for (auto& b : bytes) b = static_cast<std::byte>(rng.uniform_u64(256));
+    const auto decoded = decode(bytes);
+    if (decoded.has_value()) {
+      EXPECT_EQ(encode(*decoded), bytes);  // canonical round trip
+    }
+  }
+}
+
+TEST_P(CodecFuzz, BitFlipsNeverCrash) {
+  EventBundle bundle;
+  bundle.sender = 5;
+  bundle.events = {sample_event()};
+  const auto original = encode(Message{bundle});
+  Rng rng{GetParam() ^ 0xF00DULL};
+  for (int iter = 0; iter < 200; ++iter) {
+    auto bytes = original;
+    const std::size_t pos = rng.uniform_u64(bytes.size());
+    bytes[pos] ^= static_cast<std::byte>(1u << rng.uniform_u64(8));
+    (void)decode(bytes);  // must not crash; value correctness not required
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace frugal::core
