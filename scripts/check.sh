@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full ctest
+# suite. This is the exact command sequence CI and the roadmap gate on.
+#
+# Usage: scripts/check.sh [build-dir]
+#
+# Environment:
+#   FRUGAL_SANITIZE=1   configure with -DFRUGAL_SANITIZE=ON (ASan+UBSan)
+#   FRUGAL_SMOKE=1      additionally run a 1-seed bench_headline smoke pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+configure_args=()
+if [[ "${FRUGAL_SANITIZE:-0}" == "1" ]]; then
+  configure_args+=(-DFRUGAL_SANITIZE=ON)
+fi
+
+cmake -B "$build_dir" -S . "${configure_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${FRUGAL_SMOKE:-0}" == "1" ]]; then
+  echo "== bench smoke (FRUGAL_SEEDS=1 bench_headline) =="
+  FRUGAL_SEEDS=1 "$build_dir/bench/bench_headline"
+fi
+
+echo "check.sh: all green"

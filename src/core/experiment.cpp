@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
 #include "mobility/static_mobility.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 #include "util/expect.hpp"
 
 namespace frugal::core {
@@ -264,6 +266,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   // Churn: pre-generate each node's crash/recovery timeline (Poisson crash
   // arrivals, uniform downtime) and schedule radio-down/up flips.
+  std::vector<trace::TraceRecord> churn_flips;
   if (config.churn.crashes_per_node_per_minute > 0) {
     FRUGAL_EXPECT(config.churn.downtime_min <= config.churn.downtime_max);
     const double lambda_per_s =
@@ -282,9 +285,16 @@ RunResult run_experiment(const ExperimentConfig& config) {
                         config.churn.downtime_max.seconds()));
         simulator.scheduler().schedule_at(
             t, [&medium, id] { medium.set_up(id, false); });
+        if (config.trace != nullptr) {
+          churn_flips.push_back({t, trace::TraceKind::kNodeDown, id, {}, {}});
+        }
         if (t + down < run_end) {
           simulator.scheduler().schedule_at(
               t + down, [&medium, id] { medium.set_up(id, true); });
+          if (config.trace != nullptr) {
+            churn_flips.push_back({t + down, trace::TraceKind::kNodeUp, id,
+                                   {}, {}});
+          }
         }
         t += down;
       }
@@ -312,6 +322,50 @@ RunResult run_experiment(const ExperimentConfig& config) {
     for (std::size_t e = 0; e < result.events.size(); ++e) {
       const auto it = m.deliveries.find(result.events[e].id);
       if (it != m.deliveries.end()) outcome.delivered_at[e] = it->second;
+    }
+  }
+
+  if (config.trace != nullptr) {
+    // Assemble the run's records in (time, kind, node) order. Deliveries are
+    // only observable post-run from the metrics maps, so everything is
+    // gathered here and sorted rather than recorded live.
+    std::vector<trace::TraceRecord> all = std::move(churn_flips);
+    for (const PublishedEventRecord& event : result.events) {
+      all.push_back({event.published_at, trace::TraceKind::kPublish, publisher,
+                     event.id, {}});
+    }
+    for (NodeId id = 0; id < config.node_count; ++id) {
+      const NodeOutcome& outcome = result.nodes[id];
+      for (std::size_t e = 0; e < result.events.size(); ++e) {
+        if (outcome.delivered_at[e].has_value()) {
+          all.push_back({*outcome.delivered_at[e], trace::TraceKind::kDeliver,
+                         id, result.events[e].id, {}});
+        }
+      }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const trace::TraceRecord& a,
+                        const trace::TraceRecord& b) {
+                       return std::tie(a.at, a.kind, a.node) <
+                              std::tie(b.at, b.kind, b.node);
+                     });
+    for (const trace::TraceRecord& record : all) {
+      switch (record.kind) {
+        case trace::TraceKind::kPublish:
+          config.trace->publish(record.at, record.node, *record.event);
+          break;
+        case trace::TraceKind::kDeliver:
+          config.trace->deliver(record.at, record.node, *record.event);
+          break;
+        case trace::TraceKind::kNodeDown:
+          config.trace->node_down(record.at, record.node);
+          break;
+        case trace::TraceKind::kNodeUp:
+          config.trace->node_up(record.at, record.node);
+          break;
+        case trace::TraceKind::kPosition:
+          break;
+      }
     }
   }
   return result;

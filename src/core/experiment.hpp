@@ -25,6 +25,10 @@
 #include "mobility/random_waypoint.hpp"
 #include "net/medium.hpp"
 
+namespace frugal::trace {
+class TraceRecorder;
+}
+
 namespace frugal::core {
 
 enum class Protocol : std::uint8_t {
@@ -89,6 +93,10 @@ struct ExperimentConfig {
   std::optional<NodeId> publisher;
   ChurnConfig churn;
   std::uint64_t seed = 1;
+  /// Optional: receives the run's publish/delivery/churn records, appended
+  /// in time order after the run completes. Not owned; must outlive the
+  /// run_experiment call. The golden-trace regression tests diff this.
+  trace::TraceRecorder* trace = nullptr;
 };
 
 struct PublishedEventRecord {

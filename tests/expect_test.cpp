@@ -1,0 +1,44 @@
+// Death tests for the contract-checking macros: a violated contract must
+// abort with a message naming the contract kind, the expression and the
+// source location; a satisfied contract must be a no-op (including side
+// effects of the condition, which is evaluated exactly once).
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+TEST(ExpectDeathTest, SatisfiedContractsAreNoOps) {
+  FRUGAL_EXPECT(1 + 1 == 2);
+  FRUGAL_ENSURE(true);
+  FRUGAL_ASSERT(2 > 1);
+}
+
+TEST(ExpectDeathTest, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  FRUGAL_EXPECT(++calls > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExpectDeathTest, ExpectAbortsWithPreconditionMessage) {
+  EXPECT_DEATH(FRUGAL_EXPECT(1 == 2),
+               "precondition violation: \\(1 == 2\\) at .*expect_test\\.cpp");
+}
+
+TEST(ExpectDeathTest, EnsureAbortsWithPostconditionMessage) {
+  EXPECT_DEATH(FRUGAL_ENSURE(false),
+               "postcondition violation: \\(false\\) at .*expect_test\\.cpp");
+}
+
+TEST(ExpectDeathTest, AssertAbortsWithInvariantMessage) {
+  EXPECT_DEATH(FRUGAL_ASSERT(2 < 1),
+               "invariant violation: \\(2 < 1\\) at .*expect_test\\.cpp");
+}
+
+TEST(ExpectDeathTest, MessageNamesTheFailingExpression) {
+  const int limit = 3;
+  EXPECT_DEATH(FRUGAL_ASSERT(limit == 4), "limit == 4");
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Deterministic scenario-regression helper.
+//
+// A golden scenario is a small seeded experiment whose complete observable
+// outcome (publish/delivery trace plus per-node counters) is serialized to a
+// canonical text form and compared byte-for-byte against a checked-in file
+// under tests/golden/. Any change to the simulator, the radio model, the
+// mobility models or the protocols that alters even one delivery timestamp
+// fails the diff — locking in determinism before performance work begins.
+//
+// Regenerate after an intentional behaviour change with
+//   FRUGAL_REGEN_GOLDEN=1 ./build/tests/golden_trace_test
+// and review the diff of tests/golden/ like any other code change.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "trace/trace.hpp"
+
+namespace frugal::testing {
+
+struct GoldenScenario {
+  std::string name;  ///< golden file is tests/golden/<name>.trace
+  core::ExperimentConfig config;
+};
+
+/// The canonical serialization: one header line, then the run's full
+/// publish/delivery/churn trace in time order, then one summary line per
+/// node. Only integer fields (microsecond ticks, byte counts) appear, so
+/// the text is bit-stable across platforms as long as the simulation is.
+[[nodiscard]] inline std::string serialize_trace(
+    const core::ExperimentConfig& config, const core::RunResult& result,
+    const trace::TraceRecorder& recorder) {
+  std::string out;
+  char line[160];
+
+  const auto append = [&out, &line](auto... args) {
+    std::snprintf(line, sizeof(line), args...);
+    out += line;
+  };
+
+  append("scenario protocol=%s nodes=%zu seed=%" PRIu64 "\n",
+         core::to_string(config.protocol), config.node_count, config.seed);
+  append("publisher %u\n", result.publisher);
+  for (const trace::TraceRecord& record : recorder.records()) {
+    if (record.event.has_value()) {
+      append("%s node=%u event=%u.%u at_us=%" PRId64 "\n",
+             trace::to_string(record.kind), record.node,
+             record.event->publisher, record.event->seq, record.at.us());
+    } else {
+      append("%s node=%u at_us=%" PRId64 "\n", trace::to_string(record.kind),
+             record.node, record.at.us());
+    }
+  }
+  for (std::size_t n = 0; n < result.nodes.size(); ++n) {
+    const core::NodeOutcome& node = result.nodes[n];
+    append("node %zu sub=%d sent_frames=%" PRIu64 " sent_bytes=%" PRIu64
+           " events_sent=%" PRIu64 " dup=%" PRIu64 " parasite=%" PRIu64 "\n",
+           n, node.subscribed ? 1 : 0, node.traffic.frames_sent,
+           node.traffic.bytes_sent, node.events_sent, node.duplicates,
+           node.parasites);
+  }
+  return out;
+}
+
+/// Runs the scenario and returns its canonical trace.
+[[nodiscard]] inline std::string replay_trace(const GoldenScenario& scenario) {
+  trace::TraceRecorder recorder;
+  core::ExperimentConfig config = scenario.config;
+  config.trace = &recorder;
+  const core::RunResult result = core::run_experiment(config);
+  return serialize_trace(config, result, recorder);
+}
+
+/// The regression corpus: frugal vs. flooding over static, random-waypoint
+/// and city-section mobility. Small worlds keep the whole suite fast while
+/// still exercising radio contention, mobility and protocol timers.
+[[nodiscard]] inline std::vector<GoldenScenario> golden_scenarios() {
+  using core::ExperimentConfig;
+  using core::Protocol;
+
+  const auto base = [](std::uint64_t seed) {
+    ExperimentConfig config;
+    config.node_count = 16;
+    config.interest_fraction = 0.75;
+    config.warmup = SimDuration::from_seconds(20);
+    config.event_validity = SimDuration::from_seconds(40);
+    config.event_count = 2;
+    config.seed = seed;
+    return config;
+  };
+
+  const auto with_static = [&base](std::uint64_t seed) {
+    ExperimentConfig config = base(seed);
+    config.mobility = core::StaticSetup{1200.0, 1200.0};
+    return config;
+  };
+  const auto with_rwp = [&base](std::uint64_t seed) {
+    ExperimentConfig config = base(seed);
+    core::RandomWaypointSetup rwp;
+    rwp.config.width_m = 1200.0;
+    rwp.config.height_m = 1200.0;
+    rwp.config.speed_min_mps = 5.0;
+    rwp.config.speed_max_mps = 15.0;
+    config.mobility = rwp;
+    return config;
+  };
+  const auto with_city = [&base](std::uint64_t seed) {
+    ExperimentConfig config = base(seed);
+    config.node_count = 10;
+    config.mobility = core::CitySetup{};
+    config.medium.range_m = 60.0;
+    return config;
+  };
+
+  std::vector<GoldenScenario> scenarios;
+  const auto add = [&scenarios](std::string name, ExperimentConfig config,
+                                Protocol protocol) {
+    config.protocol = protocol;
+    scenarios.push_back({std::move(name), config});
+  };
+
+  add("frugal_static", with_static(11), Protocol::kFrugal);
+  add("flooding_static", with_static(11), Protocol::kFloodSimple);
+  add("frugal_rwp", with_rwp(23), Protocol::kFrugal);
+  add("flooding_rwp", with_rwp(23), Protocol::kFloodSimple);
+  add("flooding_interest_rwp", with_rwp(23), Protocol::kFloodInterestAware);
+  add("flooding_neighbor_rwp", with_rwp(23), Protocol::kFloodNeighborInterest);
+  add("frugal_city", with_city(37), Protocol::kFrugal);
+  add("flooding_city", with_city(37), Protocol::kFloodSimple);
+
+  // Churn locks in the crash/recovery timeline as well (kNodeDown/kNodeUp
+  // records appear in the trace).
+  ExperimentConfig churn = with_rwp(51);
+  churn.churn.crashes_per_node_per_minute = 2.0;
+  add("frugal_rwp_churn", churn, Protocol::kFrugal);
+  add("flooding_rwp_churn", churn, Protocol::kFloodSimple);
+  return scenarios;
+}
+
+}  // namespace frugal::testing

@@ -1,0 +1,96 @@
+// Scenario-regression tests: replay each golden scenario and diff its
+// canonical trace byte-for-byte against the checked-in file. See
+// golden_trace.hpp for the regeneration workflow.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "golden_trace.hpp"
+
+namespace frugal::testing {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(FRUGAL_GOLDEN_DIR) + "/" + name + ".trace";
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool regen_requested() {
+  const char* value = std::getenv("FRUGAL_REGEN_GOLDEN");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+/// Shows the first differing line so a trace mismatch is debuggable without
+/// manually diffing multi-hundred-line strings.
+std::string first_diff(const std::string& expected, const std::string& got) {
+  std::istringstream a(expected);
+  std::istringstream b(got);
+  std::string line_a;
+  std::string line_b;
+  for (int line_no = 1;; ++line_no) {
+    const bool more_a = static_cast<bool>(std::getline(a, line_a));
+    const bool more_b = static_cast<bool>(std::getline(b, line_b));
+    if (!more_a && !more_b) {
+      return "traces identical";
+    }
+    if (line_a != line_b || more_a != more_b) {
+      std::ostringstream out;
+      out << "first difference at line " << line_no << ":\n  golden: "
+          << (more_a ? line_a : "<end of trace>")
+          << "\n  actual: " << (more_b ? line_b : "<end of trace>");
+      return out.str();
+    }
+  }
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<GoldenScenario> {};
+
+TEST_P(GoldenTraceTest, ReplayMatchesGoldenTrace) {
+  const GoldenScenario& scenario = GetParam();
+  const std::string trace = replay_trace(scenario);
+  ASSERT_FALSE(trace.empty());
+
+  const std::string path = golden_path(scenario.name);
+  if (regen_requested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << trace;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  const std::optional<std::string> golden = read_file(path);
+  ASSERT_TRUE(golden.has_value())
+      << "missing golden file " << path
+      << " — regenerate with FRUGAL_REGEN_GOLDEN=1";
+  EXPECT_EQ(*golden, trace) << first_diff(*golden, trace);
+}
+
+TEST_P(GoldenTraceTest, ReplayIsDeterministic) {
+  // Two replays in the same process must serialize identically; combined
+  // with the golden diff this locks determinism across processes and runs.
+  const GoldenScenario& scenario = GetParam();
+  EXPECT_EQ(replay_trace(scenario), replay_trace(scenario));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, GoldenTraceTest, ::testing::ValuesIn(golden_scenarios()),
+    [](const ::testing::TestParamInfo<GoldenScenario>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace frugal::testing
