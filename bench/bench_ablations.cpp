@@ -1,103 +1,13 @@
-// Ablation study: which of the frugal algorithm's mechanisms buys what.
+// Ablation study: which of the frugal algorithm's mechanisms buys what,
+// on the paper's frugality workload.
 //
-// Four configurations on the paper's frugality workload (RWP @ 10 mps, 80%
-// subscribers, 5 events of 400 B, validity 180 s):
-//   full          — the complete algorithm
-//   no-backoff    — dissemination fires immediately (no overhearing window)
-//   no-id-exchange— neighbors never advertise held event ids
-//   fixed-hb      — heartbeat period pinned to hb_upper (no speed adaptation)
-//
-// Reported per configuration: reliability, bytes sent, event copies sent and
-// duplicates per process. The back-off and the id exchange are the paper's
-// two duplicate-suppression mechanisms; removing either should keep
-// reliability but cost duplicates/bandwidth.
+// Thin wrapper: the whole experiment is the registered "ablations"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <cstdio>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
-
-namespace {
-
-struct Ablation {
-  const char* name;
-  void (*apply)(core::FrugalConfig&);
-  double churn_per_min = 0.0;  ///< crash/recovery injection (radio blackout)
-};
-
-}  // namespace
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Ablations", "frugal mechanisms on the frugality workload");
-
-  const Ablation ablations[] = {
-      {"full", [](core::FrugalConfig&) {}},
-      {"no-backoff",
-       [](core::FrugalConfig& config) { config.use_backoff = false; }},
-      {"no-id-exchange",
-       [](core::FrugalConfig& config) { config.exchange_event_ids = false; }},
-      {"fixed-hb",
-       [](core::FrugalConfig& config) { config.adaptive_heartbeat = false; }},
-      {"tiny-event-table",
-       [](core::FrugalConfig& config) { config.event_table_capacity = 2; }},
-      {"churn-1/min", [](core::FrugalConfig&) {}, 1.0},
-      {"churn-6/min", [](core::FrugalConfig&) {}, 6.0},
-      // GC-policy comparison under the same severe memory pressure: does
-      // Equation 1 beat naive eviction orders?
-      {"gc-eq1-cap4",
-       [](core::FrugalConfig& config) { config.event_table_capacity = 4; }},
-      {"gc-fifo-cap4",
-       [](core::FrugalConfig& config) {
-         config.event_table_capacity = 4;
-         config.gc_policy = core::GcPolicy::kFifo;
-       }},
-      {"gc-mostfwd-cap4",
-       [](core::FrugalConfig& config) {
-         config.event_table_capacity = 4;
-         config.gc_policy = core::GcPolicy::kMostForwarded;
-       }},
-  };
-
-  stats::Table table{"Ablation study (RWP 10 mps, 80% interest, 5 events)",
-                     {"config", "reliability", "bytes/proc", "copies/proc",
-                      "dup/proc", "parasites/proc"}};
-
-  for (const Ablation& ablation : ablations) {
-    stats::Summary reliability;
-    stats::Summary bytes;
-    stats::Summary copies;
-    stats::Summary duplicates;
-    stats::Summary parasites;
-    for (int seed = 1; seed <= seed_count(); ++seed) {
-      auto config =
-          rwp_world(10.0, 10.0, 0.8, static_cast<std::uint64_t>(seed));
-      config.event_count = 5;
-      config.publish_spacing = SimDuration::from_seconds(1.0);
-      config.churn.crashes_per_node_per_minute = ablation.churn_per_min;
-      ablation.apply(config.frugal);
-      const auto result = core::run_experiment(config);
-      reliability.add(result.reliability());
-      bytes.add(result.mean_bytes_sent_per_node());
-      copies.add(result.mean_events_sent_per_node());
-      duplicates.add(result.mean_duplicates_per_node());
-      parasites.add(result.mean_parasites_per_node());
-    }
-    table.add_row({ablation.name,
-                   stats::format_double(reliability.mean(), 3),
-                   stats::format_double(bytes.mean(), 0),
-                   stats::format_double(copies.mean(), 1),
-                   stats::format_double(duplicates.mean(), 1),
-                   stats::format_double(parasites.mean(), 1)});
-  }
-  table.emit();
-
-  std::printf(
-      "\nReading guide: no-backoff and no-id-exchange should preserve "
-      "reliability while inflating duplicates and bandwidth; fixed-hb "
-      "matters only when speeds vary; tiny-event-table shows Equation 1 "
-      "keeping dissemination alive under severe memory pressure; the churn "
-      "rows inject Poisson radio blackouts (5-30 s) per process.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("ablations");
 }

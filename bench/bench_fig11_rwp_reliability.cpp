@@ -2,60 +2,13 @@
 // period, the speed of the processes and the number of subscribers (20% vs
 // 80%), in the random waypoint model (150 processes, 25 km^2).
 //
-// One simulated run per (speed, interest, seed) is enough for the whole
-// validity axis: reliability at probe validity v is the fraction of
-// subscribers whose delivery time is within v of publication, which is
-// exactly what a shorter-validity run would measure (single event, ample
-// memory; see DESIGN.md).
+// Thin wrapper: the whole experiment is the registered "fig11_rwp_reliability"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <vector>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 11",
-         "reliability vs validity x speed, 20% and 80% subscribers (RWP)");
-
-  const std::vector<double> speeds =
-      full_sweep() ? std::vector<double>{0, 1, 5, 10, 20, 30, 40}
-                   : std::vector<double>{0, 1, 10, 20, 40};
-  const std::vector<double> validities =
-      full_sweep()
-          ? std::vector<double>{20, 40, 60, 80, 100, 120, 140, 160, 180}
-          : std::vector<double>{20, 60, 100, 140, 180};
-
-  for (const double interest : {0.2, 0.8}) {
-    std::vector<std::string> columns{"speed[mps]"};
-    for (const double v : validities) {
-      columns.push_back("rel@" + stats::format_double(v, 0) + "s");
-    }
-    stats::Table table{
-        "Fig 11 reliability, " + stats::format_double(interest * 100, 0) +
-            "pct subscribers",
-        columns};
-
-    for (const double speed : speeds) {
-      std::vector<stats::Summary> by_validity(validities.size());
-      for (int seed = 1; seed <= seed_count(); ++seed) {
-        const auto result = core::run_experiment(
-            rwp_world(speed, speed, interest, static_cast<std::uint64_t>(seed)));
-        for (std::size_t i = 0; i < validities.size(); ++i) {
-          by_validity[i].add(result.reliability_within(
-              SimDuration::from_seconds(validities[i])));
-        }
-      }
-      std::vector<double> row{speed};
-      for (const auto& summary : by_validity) row.push_back(summary.mean());
-      table.add_numeric_row(row, 3);
-    }
-    table.emit();
-  }
-  std::printf(
-      "\nExpected shape (paper): reliability rises with validity and with "
-      "speed; the 20%% surface stays low (30 subscribers over 25 km^2 is too "
-      "sparse) while 80%% reaches ~0.95 at 10 mps x 180 s.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig11_rwp_reliability");
 }

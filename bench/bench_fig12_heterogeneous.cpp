@@ -1,53 +1,14 @@
 // Figure 12: probability of event reception as a function of the validity
 // period and the number of subscribers, in a heterogeneous mobile network
 // where every process draws its own constant speed from U[1, 40] mps.
+//
+// Thin wrapper: the whole experiment is the registered "fig12_heterogeneous"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <vector>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 12",
-         "reliability vs validity x interest, speeds U[1,40] mps (RWP)");
-
-  const std::vector<double> interests =
-      full_sweep() ? std::vector<double>{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
-                                         0.9, 1.0}
-                   : std::vector<double>{0.2, 0.4, 0.6, 0.8, 1.0};
-  const std::vector<double> validities =
-      full_sweep()
-          ? std::vector<double>{20, 40, 60, 80, 100, 120, 140, 160, 180}
-          : std::vector<double>{40, 80, 120, 180};
-
-  std::vector<std::string> columns{"interest[%]"};
-  for (const double v : validities) {
-    columns.push_back("rel@" + stats::format_double(v, 0) + "s");
-  }
-  stats::Table table{"Fig 12 reliability, heterogeneous 1-40 mps", columns};
-
-  for (const double interest : interests) {
-    std::vector<stats::Summary> by_validity(validities.size());
-    for (int seed = 1; seed <= seed_count(); ++seed) {
-      const auto result = core::run_experiment(
-          rwp_world(1.0, 40.0, interest, static_cast<std::uint64_t>(seed)));
-      for (std::size_t i = 0; i < validities.size(); ++i) {
-        by_validity[i].add(result.reliability_within(
-            SimDuration::from_seconds(validities[i])));
-      }
-    }
-    std::vector<double> row{interest * 100};
-    for (const auto& summary : by_validity) row.push_back(summary.mean());
-    table.add_numeric_row(row, 3);
-  }
-  table.emit();
-
-  std::printf(
-      "\nExpected shape (paper): low interest => low reliability; from ~60%% "
-      "interest a 120 s validity already reaches everyone — overall "
-      "reliability tracks the network's average speed (~20 mps), not "
-      "individual speeds.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig12_heterogeneous");
 }

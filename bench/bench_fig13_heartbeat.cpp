@@ -2,40 +2,14 @@
 // upper bound period (1-5 s), city section model, 100% subscribers, validity
 // 150 s. Every process publishes in turn; results are averaged over all
 // publishers and seeds, as in the paper.
+//
+// Thin wrapper: the whole experiment is the registered "fig13_heartbeat"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <vector>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 13", "reliability vs heartbeat upper bound (city section)");
-
-  stats::Table table{"Fig 13 reliability vs heartbeat period",
-                     {"hb_upper[s]", "reliability", "ci95"}};
-
-  for (const double hb_upper : {1.0, 2.0, 3.0, 4.0, 5.0}) {
-    stats::Summary reliability;
-    for (int seed = 1; seed <= seed_count(); ++seed) {
-      for (NodeId publisher = 0; publisher < 15; ++publisher) {
-        auto config =
-            city_world(/*interest=*/1.0, static_cast<std::uint64_t>(seed));
-        config.frugal.hb_upper = SimDuration::from_seconds(hb_upper);
-        config.publisher = publisher;
-        reliability.add(core::run_experiment(config).reliability());
-      }
-    }
-    table.add_numeric_row(
-        {hb_upper, reliability.mean(), reliability.ci95_half_width()}, 3);
-  }
-  table.emit();
-
-  std::printf(
-      "\nExpected shape (paper: 76.9 / 75.1 / 65.5 / 69.9 / 54.0 %%): "
-      "reliability degrades as heartbeats slow from 1-2 s to 5 s (~20 pts "
-      "lost), with a non-monotonic dip near 3 s attributed to heartbeat "
-      "collisions.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig13_heartbeat");
 }

@@ -1,38 +1,14 @@
 // Figure 14: probability of event reception as a function of the number of
 // subscribers (20-100%), city section model, heartbeat upper bound 1 s,
-// validity 150 s. Every process publishes in turn (including processes that
-// did not subscribe, when interest < 100%).
+// validity 150 s. Every process publishes in turn.
+//
+// Thin wrapper: the whole experiment is the registered "fig14_city_subscribers"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 14", "reliability vs subscribers (city section)");
-
-  stats::Table table{"Fig 14 reliability vs subscribers",
-                     {"subscribers[%]", "reliability", "ci95"}};
-
-  for (const double interest : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    stats::Summary reliability;
-    for (int seed = 1; seed <= seed_count(); ++seed) {
-      for (NodeId publisher = 0; publisher < 15; ++publisher) {
-        auto config = city_world(interest, static_cast<std::uint64_t>(seed));
-        config.publisher = publisher;
-        reliability.add(core::run_experiment(config).reliability());
-      }
-    }
-    table.add_numeric_row(
-        {interest * 100, reliability.mean(), reliability.ci95_half_width()},
-        3);
-  }
-  table.emit();
-
-  std::printf(
-      "\nExpected shape (paper: 58.1 / 59.7 / 62.5 / 68.6 / 76.9 %%): "
-      "reliability grows slowly with the subscriber fraction, and even 20%% "
-      "subscribers reach ~60%% — constrained paths make encounters far more "
-      "likely than in the random waypoint model.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig14_city_subscribers");
 }

@@ -1,50 +1,14 @@
-// Figure 15: difference between the best and the worst publisher —
+// Figure 15: difference between the best and the worst publisher --
 // max-over-publishers minus min-over-publishers of reliability, for
-// different subscriber fractions (city section). The spread demonstrates
-// how much the path taken by the original publisher matters.
+// different subscriber fractions (city section).
+//
+// Thin wrapper: the whole experiment is the registered "fig15_publisher_spread"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <algorithm>
-#include <vector>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 15", "reliability spread across publishers (city section)");
-
-  stats::Table table{
-      "Fig 15 publisher reliability spread",
-      {"subscribers[%]", "max-min[pp]", "best[%]", "worst[%]"}};
-
-  for (const double interest : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    // Average each publisher over seeds, then take the spread — the paper's
-    // "difference between the minimum and maximum reliability between the
-    // publishers".
-    std::vector<stats::Summary> per_publisher(15);
-    for (int seed = 1; seed <= seed_count(); ++seed) {
-      for (NodeId publisher = 0; publisher < 15; ++publisher) {
-        auto config = city_world(interest, static_cast<std::uint64_t>(seed));
-        config.publisher = publisher;
-        per_publisher[publisher].add(
-            core::run_experiment(config).reliability());
-      }
-    }
-    double best = 0.0;
-    double worst = 1.0;
-    for (const auto& summary : per_publisher) {
-      best = std::max(best, summary.mean());
-      worst = std::min(worst, summary.mean());
-    }
-    table.add_numeric_row(
-        {interest * 100, (best - worst) * 100, best * 100, worst * 100}, 1);
-  }
-  table.emit();
-
-  std::printf(
-      "\nExpected shape (paper: 40.9 / 44.7 / 47.9 / 53.9 / 60.0 pp): a "
-      "large gap between the luckiest and unluckiest publisher at every "
-      "subscriber fraction, growing with the fraction.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig15_publisher_spread");
 }

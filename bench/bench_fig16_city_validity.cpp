@@ -1,46 +1,14 @@
 // Figure 16: probability of event reception as a function of the event
 // validity period (25-150 s), city section model, 100% subscribers,
-// heartbeat upper bound 1 s. One run per (publisher, seed) at validity 150 s
-// yields the whole axis from the recorded delivery times.
+// heartbeat upper bound 1 s.
+//
+// Thin wrapper: the whole experiment is the registered "fig16_city_validity"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <vector>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 16", "reliability vs event validity period (city section)");
-
-  const std::vector<double> validities{25, 50, 75, 100, 125, 150};
-  std::vector<stats::Summary> by_validity(validities.size());
-
-  for (int seed = 1; seed <= seed_count(); ++seed) {
-    for (NodeId publisher = 0; publisher < 15; ++publisher) {
-      auto config =
-          city_world(/*interest=*/1.0, static_cast<std::uint64_t>(seed));
-      config.publisher = publisher;
-      const auto result = core::run_experiment(config);
-      for (std::size_t i = 0; i < validities.size(); ++i) {
-        by_validity[i].add(result.reliability_within(
-            SimDuration::from_seconds(validities[i])));
-      }
-    }
-  }
-
-  stats::Table table{"Fig 16 reliability vs validity",
-                     {"validity[s]", "reliability", "ci95"}};
-  for (std::size_t i = 0; i < validities.size(); ++i) {
-    table.add_numeric_row({validities[i], by_validity[i].mean(),
-                           by_validity[i].ci95_half_width()},
-                          3);
-  }
-  table.emit();
-
-  std::printf(
-      "\nExpected shape (paper: 11 / 27 / 44 / 52 / 69 / 77 %%): reliability "
-      "grows steeply and roughly linearly with validity — processes meet at "
-      "hot spots, so long-lived events profit from later encounters.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig16_city_validity");
 }

@@ -1,23 +1,14 @@
 // Figure 17: bandwidth used per process (bytes sent during the 180 s
-// dissemination window, including heartbeats and id lists) as a function of
-// the number of events to publish and the subscriber fraction, for the
-// frugal algorithm and the flooding baselines.
+// dissemination window) as a function of the number of events to publish
+// and the subscriber fraction, frugal vs the flooding baselines.
+//
+// Thin wrapper: the whole experiment is the registered "fig17_bandwidth"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include "frugality.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 17", "bandwidth per process vs events x subscribers");
-  run_frugality_figure("Fig 17 bandwidth", "bytes sent/process",
-                       [](const core::RunResult& result) {
-                         return result.mean_bytes_sent_per_node();
-                       });
-  std::printf(
-      "\nExpected shape (paper): the frugal algorithm uses the least "
-      "bandwidth everywhere except when total event bytes < ~1.5 kB and "
-      "interest <= 20%% (interests-aware flooding wins that corner); "
-      "neighbors'-interests flooding is the most expensive (> 1 MB).\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig17_bandwidth");
 }

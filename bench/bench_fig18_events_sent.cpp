@@ -1,20 +1,13 @@
 // Figure 18: number of events sent per process as a function of the number
 // of events to publish and the subscriber fraction.
+//
+// Thin wrapper: the whole experiment is the registered "fig18_events_sent"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include "frugality.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 18", "events sent per process vs events x subscribers");
-  run_frugality_figure("Fig 18 events sent", "event copies sent/process",
-                       [](const core::RunResult& result) {
-                         return result.mean_events_sent_per_node();
-                       });
-  std::printf(
-      "\nExpected shape (paper): the frugal algorithm sends 50-100x fewer "
-      "event copies than the flooding alternatives (which retransmit every "
-      "second for the whole validity period).\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig18_events_sent");
 }

@@ -1,20 +1,13 @@
 // Figure 19: number of duplicate events received per process as a function
 // of the number of events to publish and the subscriber fraction.
+//
+// Thin wrapper: the whole experiment is the registered "fig19_duplicates"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include "frugality.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 19", "duplicates received per process vs events x subscribers");
-  run_frugality_figure("Fig 19 duplicates", "duplicates received/process",
-                       [](const core::RunResult& result) {
-                         return result.mean_duplicates_per_node();
-                       });
-  std::printf(
-      "\nExpected shape (paper): frugal beats interests-aware flooding by "
-      "50-80x and the other variants by 80-700x; in the worst case a frugal "
-      "subscriber sees an event ~4 times in 180 s.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig19_duplicates");
 }

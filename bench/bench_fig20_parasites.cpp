@@ -1,22 +1,13 @@
-// Figure 20: number of parasite events (events of topics the process did not
-// subscribe to) received per process, as a function of the number of events
-// to publish and the subscriber fraction.
+// Figure 20: number of parasite events (events of topics the process did
+// not subscribe to) received per process.
+//
+// Thin wrapper: the whole experiment is the registered "fig20_parasites"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include "frugality.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Figure 20", "parasite events received per process");
-  run_frugality_figure("Fig 20 parasites", "parasites received/process",
-                       [](const core::RunResult& result) {
-                         return result.mean_parasites_per_node();
-                       });
-  std::printf(
-      "\nExpected shape (paper): parasites peak around 60%% subscribers "
-      "(many broadcasts x many uninterested processes) and vanish at 100%%; "
-      "frugal outperforms the shown alternatives by 20-50x and simple "
-      "flooding by up to 800x.\n");
-  return 0;
+  return frugal::runner::figure_bench_main("fig20_parasites");
 }

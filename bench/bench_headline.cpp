@@ -1,84 +1,13 @@
-// Headline claims (paper abstract / §1): one binary that checks the numbers
-// the paper leads with, in the paper's own setting:
+// Headline claims (paper abstract / s1): reliability, bandwidth savings,
+// duplicate and parasite factors in the paper's own RWP setting.
 //
-//  1. "an event with a validity period of 180 s is received by 95% of the
-//     120 devices which move at 10 mps in an area of 25 km^2"
-//     (120 subscribed devices = 80% of 150).
-//  2. "for disseminating one event of 400 bytes ... we save between 300%
-//     and 450% of the bandwidth" vs the flooding alternatives.
-//  3. "each subscriber receives between 70 and 100 times less duplicates"
-//  4. "and between 50 and 90 times less parasite events."
+// Thin wrapper: the whole experiment is the registered "headline"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
 
-#include <cstdio>
-
-#include "common.hpp"
-
-using namespace frugal;
-using namespace frugal::bench;
+#include "runner/bench_main.hpp"
 
 int main() {
-  banner("Headline", "the abstract's numbers, in the paper's RWP setting");
-
-  struct Accumulator {
-    stats::Summary reliability;
-    stats::Summary bytes;
-    stats::Summary duplicates;
-    stats::Summary parasites;
-  };
-  Accumulator frugal_acc;
-  Accumulator interest_acc;
-  Accumulator simple_acc;
-
-  for (int seed = 1; seed <= seed_count(); ++seed) {
-    auto config = rwp_world(10.0, 10.0, 0.8, static_cast<std::uint64_t>(seed));
-    const auto run = [&](core::Protocol protocol, Accumulator& acc) {
-      config.protocol = protocol;
-      const auto result = core::run_experiment(config);
-      acc.reliability.add(result.reliability());
-      acc.bytes.add(result.mean_bytes_sent_per_node());
-      acc.duplicates.add(result.mean_duplicates_per_node());
-      acc.parasites.add(result.mean_parasites_per_node());
-    };
-    run(core::Protocol::kFrugal, frugal_acc);
-    run(core::Protocol::kFloodInterestAware, interest_acc);
-    run(core::Protocol::kFloodSimple, simple_acc);
-  }
-
-  stats::Table table{"Headline: 1 event, 400 B, 150 nodes, 10 mps, 80% subs",
-                     {"metric", "frugal", "interests-aware", "simple",
-                      "paper claim"}};
-  table.add_row({"reliability @180s",
-                 stats::format_double(frugal_acc.reliability.mean(), 3),
-                 stats::format_double(interest_acc.reliability.mean(), 3),
-                 stats::format_double(simple_acc.reliability.mean(), 3),
-                 "0.95 (frugal)"});
-  table.add_row({"bytes sent/process",
-                 stats::format_double(frugal_acc.bytes.mean(), 0),
-                 stats::format_double(interest_acc.bytes.mean(), 0),
-                 stats::format_double(simple_acc.bytes.mean(), 0),
-                 "3-4.5x saved"});
-  table.add_row({"duplicates/process",
-                 stats::format_double(frugal_acc.duplicates.mean(), 1),
-                 stats::format_double(interest_acc.duplicates.mean(), 1),
-                 stats::format_double(simple_acc.duplicates.mean(), 1),
-                 "70-100x fewer"});
-  table.add_row({"parasites/process",
-                 stats::format_double(frugal_acc.parasites.mean(), 1),
-                 stats::format_double(interest_acc.parasites.mean(), 1),
-                 stats::format_double(simple_acc.parasites.mean(), 1),
-                 "50-90x fewer"});
-  table.emit();
-
-  const double bandwidth_factor =
-      interest_acc.bytes.mean() / std::max(frugal_acc.bytes.mean(), 1.0);
-  const double duplicate_factor = interest_acc.duplicates.mean() /
-                                  std::max(frugal_acc.duplicates.mean(), 0.01);
-  const double parasite_factor = interest_acc.parasites.mean() /
-                                 std::max(frugal_acc.parasites.mean(), 0.01);
-  std::printf(
-      "\nMeasured factors vs the best flooding alternative: bandwidth %.1fx, "
-      "duplicates %.0fx, parasites %.0fx (paper: 3-4.5x / 70-100x / "
-      "50-90x).\n",
-      bandwidth_factor, duplicate_factor, parasite_factor);
-  return 0;
+  return frugal::runner::figure_bench_main("headline");
 }

@@ -1,58 +1,129 @@
-// Command-line experiment driver: run any single configuration of the
-// paper's evaluation from the shell and print the full metric set, without
-// writing C++. Useful for exploring the parameter space beyond the figures.
+// Orchestration CLI for the scenario registry: list scenarios, run any of
+// them with custom grids, worker counts and output formats — the shell
+// front-end of the src/runner/ subsystem.
 //
 // Usage:
-//   experiment_cli [--protocol frugal|simple|interest|neighbor]
-//                  [--mobility rwp|city|static] [--nodes N] [--interest F]
-//                  [--speed MPS] [--speed-max MPS] [--events N]
-//                  [--validity S] [--warmup S] [--range M] [--hb-upper S]
-//                  [--churn CRASHES_PER_MIN] [--seeds N] [--seed BASE]
-//                  [--publisher ID] [--latency]
+//   experiment_cli --list
+//   experiment_cli --scenario NAME [--jobs N] [--seeds N] [--seed-base N]
+//                  [--full] [--grid axis=v1,v2,...]...
+//                  [--format table|csv|jsonl] [--csv-dir DIR]
 //
-// Example — the paper's headline point (95% at 10 mps, 180 s, 80%):
-//   experiment_cli --mobility rwp --nodes 150 --interest 0.8 --speed 10
+// Examples:
+//   experiment_cli --list
+//   experiment_cli --scenario fig11_rwp_reliability --jobs 8 --format csv
+//   experiment_cli --scenario fig13_heartbeat --grid hb_upper_s=1,5 --seeds 2
+//   experiment_cli --scenario high_density --grid nodes=600 --format jsonl
+//
+// The aggregated output is byte-identical whatever --jobs says: jobs are
+// pure functions of their (grid point, seed) coordinates and aggregation
+// runs serially in canonical grid order.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "core/experiment.hpp"
-#include "stats/histogram.hpp"
-#include "stats/summary.hpp"
+#include "runner/pool.hpp"
+#include "runner/registry.hpp"
+#include "runner/sink.hpp"
+#include "runner/sweep.hpp"
+#include "util/env.hpp"
 
 using namespace frugal;
-using namespace frugal::core;
+using namespace frugal::runner;
 
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--protocol frugal|simple|interest|neighbor] "
-               "[--mobility rwp|city|static]\n"
-               "  [--nodes N] [--interest F] [--speed MPS] [--speed-max MPS]\n"
-               "  [--events N] [--validity S] [--warmup S] [--range M]\n"
-               "  [--hb-upper S] [--churn PER_MIN] [--seeds N] [--seed BASE]\n"
-               "  [--publisher ID] [--latency]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s --list\n"
+      "       %s --scenario NAME [--jobs N] [--seeds N] [--seed-base N]\n"
+      "          [--full] [--grid axis=v1,v2,...]...\n"
+      "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
+      "\n"
+      "Defaults honour FRUGAL_JOBS, FRUGAL_SEEDS, FRUGAL_FULL and\n"
+      "FRUGAL_CSV_DIR; flags win over the environment.\n",
+      argv0, argv0);
   std::exit(2);
 }
 
-double parse_double(const char* text) { return std::strtod(text, nullptr); }
+void list_scenarios() {
+  std::printf("%-24s %-10s %s\n", "name", "figure", "description");
+  for (const ScenarioSpec* spec : all_scenarios()) {
+    std::printf("%-24s %-10s %s\n", spec->name.c_str(),
+                spec->figure.empty() ? "-" : spec->figure.c_str(),
+                spec->description.c_str());
+    std::string axes = "  axes: ";
+    for (std::size_t a = 0; a < spec->axes.size(); ++a) {
+      if (a > 0) axes += ", ";
+      axes += spec->axes[a].name;
+      axes += '[';
+      axes += std::to_string(spec->axes[a].values.size());
+      if (!spec->axes[a].full_values.empty()) {
+        axes += '/';
+        axes += std::to_string(spec->axes[a].full_values.size());
+      }
+      axes += ']';
+      if (spec->axes[a].aggregate) axes += "(agg)";
+    }
+    std::printf("%s; metrics: %zu; default seeds: %d\n", axes.c_str(),
+                spec->metrics.size(), spec->default_seeds);
+  }
+}
+
+/// Strict positive-integer flag parsing: rejects junk instead of letting
+/// atoi silently turn "--seeds abc" into "use the default".
+int parse_positive_int(const char* text, const char* flag,
+                       const char* argv0) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0 || value > 1'000'000) {
+    std::fprintf(stderr, "%s wants a positive integer, got \"%s\"\n", flag,
+                 text);
+    usage(argv0);
+  }
+  return static_cast<int>(value);
+}
+
+/// Parses "axis=v1,v2,..." into an override Axis.
+Axis parse_grid_override(const char* text, const char* argv0) {
+  const char* equals = std::strchr(text, '=');
+  if (equals == nullptr || equals == text || equals[1] == '\0') {
+    std::fprintf(stderr, "bad --grid \"%s\" (want axis=v1,v2,...)\n", text);
+    usage(argv0);
+  }
+  Axis axis;
+  axis.name.assign(text, static_cast<std::size_t>(equals - text));
+  const char* cursor = equals + 1;
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const double value = std::strtod(cursor, &end);
+    if (end == cursor) {
+      std::fprintf(stderr, "bad --grid value in \"%s\"\n", text);
+      usage(argv0);
+    }
+    axis.values.push_back(value);
+    cursor = end;
+    if (*cursor == ',') ++cursor;
+  }
+  if (axis.values.empty()) {
+    std::fprintf(stderr, "empty --grid \"%s\"\n", text);
+    usage(argv0);
+  }
+  return axis;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ExperimentConfig config;
-  config.node_count = 150;
-  config.interest_fraction = 0.8;
-  std::string mobility_kind = "rwp";
-  double speed = 10.0;
-  double speed_max = -1.0;
-  int seeds = 3;
-  std::uint64_t seed_base = 1;
-  bool show_latency = false;
+  std::string scenario_name;
+  SweepOptions options;
+  options.full = env_bool("FRUGAL_FULL", false);
+  Format format = Format::kTable;
+  std::string csv_dir = env_string("FRUGAL_CSV_DIR").value_or("");
+  bool list_requested = false;
 
   for (int i = 1; i < argc; ++i) {
     const auto is = [&](const char* flag) {
@@ -62,109 +133,63 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (is("--protocol")) {
-      const std::string p = value();
-      if (p == "frugal") {
-        config.protocol = Protocol::kFrugal;
-      } else if (p == "simple") {
-        config.protocol = Protocol::kFloodSimple;
-      } else if (p == "interest") {
-        config.protocol = Protocol::kFloodInterestAware;
-      } else if (p == "neighbor") {
-        config.protocol = Protocol::kFloodNeighborInterest;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (is("--mobility")) {
-      mobility_kind = value();
-    } else if (is("--nodes")) {
-      config.node_count = static_cast<std::size_t>(std::atoll(value()));
-    } else if (is("--interest")) {
-      config.interest_fraction = parse_double(value());
-    } else if (is("--speed")) {
-      speed = parse_double(value());
-    } else if (is("--speed-max")) {
-      speed_max = parse_double(value());
-    } else if (is("--events")) {
-      config.event_count = static_cast<std::uint32_t>(std::atoi(value()));
-    } else if (is("--validity")) {
-      config.event_validity = SimDuration::from_seconds(parse_double(value()));
-    } else if (is("--warmup")) {
-      config.warmup = SimDuration::from_seconds(parse_double(value()));
-    } else if (is("--range")) {
-      config.medium.range_m = parse_double(value());
-    } else if (is("--hb-upper")) {
-      config.frugal.hb_upper = SimDuration::from_seconds(parse_double(value()));
-    } else if (is("--churn")) {
-      config.churn.crashes_per_node_per_minute = parse_double(value());
+    if (is("--list")) {
+      list_requested = true;
+    } else if (is("--scenario")) {
+      scenario_name = value();
+    } else if (is("--jobs")) {
+      options.jobs = parse_positive_int(value(), "--jobs", argv[0]);
     } else if (is("--seeds")) {
-      seeds = std::atoi(value());
-    } else if (is("--seed")) {
-      seed_base = std::strtoull(value(), nullptr, 10);
-    } else if (is("--publisher")) {
-      config.publisher = static_cast<NodeId>(std::atoi(value()));
-    } else if (is("--latency")) {
-      show_latency = true;
+      options.seeds = parse_positive_int(value(), "--seeds", argv[0]);
+    } else if (is("--seed-base")) {
+      options.seed_base = static_cast<std::uint64_t>(
+          parse_positive_int(value(), "--seed-base", argv[0]));
+    } else if (is("--full")) {
+      options.full = true;
+    } else if (is("--grid")) {
+      options.overrides.push_back(parse_grid_override(value(), argv[0]));
+    } else if (is("--format")) {
+      const std::string text = value();
+      if (text != "table" && text != "csv" && text != "jsonl") usage(argv[0]);
+      format = parse_format(text);
+    } else if (is("--csv-dir")) {
+      csv_dir = value();
+    } else if (is("--help") || is("-h")) {
+      usage(argv[0]);
     } else {
+      std::fprintf(stderr, "unknown flag \"%s\"\n", argv[i]);
       usage(argv[0]);
     }
   }
 
-  if (mobility_kind == "rwp") {
-    RandomWaypointSetup rwp;
-    rwp.config.speed_min_mps = speed;
-    rwp.config.speed_max_mps = speed_max > 0 ? speed_max : speed;
-    rwp.config.per_node_constant_speed = speed_max > 0;
-    config.mobility = rwp;
-  } else if (mobility_kind == "city") {
-    config.mobility = CitySetup{};
-    if (config.node_count == 150) config.node_count = 15;
-    config.medium.range_m = 44.0;
-    config.warmup = SimDuration::from_seconds(30);
-  } else if (mobility_kind == "static") {
-    config.mobility = StaticSetup{};
-  } else {
-    usage(argv[0]);
+  if (list_requested) {
+    list_scenarios();
+    return 0;
   }
+  if (scenario_name.empty()) usage(argv[0]);
 
-  std::printf(
-      "protocol=%s mobility=%s nodes=%zu interest=%.2f events=%u "
-      "validity=%.0fs seeds=%d\n",
-      to_string(config.protocol), mobility_kind.c_str(), config.node_count,
-      config.interest_fraction, config.event_count,
-      config.event_validity.seconds(), seeds);
-
-  stats::Summary reliability;
-  stats::Summary bytes;
-  stats::Summary copies;
-  stats::Summary duplicates;
-  stats::Summary parasites;
-  stats::Summary latency;
-  stats::Histogram latency_histogram{1.0, 200};
-
-  for (int s = 0; s < seeds; ++s) {
-    config.seed = seed_base + static_cast<std::uint64_t>(s);
-    const RunResult result = run_experiment(config);
-    reliability.add(result.reliability());
-    bytes.add(result.mean_bytes_sent_per_node());
-    copies.add(result.mean_events_sent_per_node());
-    duplicates.add(result.mean_duplicates_per_node());
-    parasites.add(result.mean_parasites_per_node());
-    latency.add(result.mean_delivery_latency_s());
-    for (const double l : result.delivery_latencies_s()) {
-      latency_histogram.add(l);
+  const ScenarioSpec* spec = find_scenario(scenario_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "unknown scenario \"%s\" (see --list)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  for (const Axis& override_axis : options.overrides) {
+    bool found = false;
+    for (const Axis& axis : spec->axes) found |= axis.name == override_axis.name;
+    if (!found) {
+      std::fprintf(stderr, "scenario %s has no axis \"%s\"\n",
+                   spec->name.c_str(), override_axis.name.c_str());
+      return 2;
     }
   }
 
-  std::printf("reliability      %.3f +- %.3f\n", reliability.mean(),
-              reliability.ci95_half_width());
-  std::printf("bytes/process    %.0f\n", bytes.mean());
-  std::printf("copies/process   %.1f\n", copies.mean());
-  std::printf("dups/process     %.1f\n", duplicates.mean());
-  std::printf("parasites/proc   %.1f\n", parasites.mean());
-  std::printf("mean latency     %.2f s\n", latency.mean());
-  if (show_latency) {
-    std::printf("latency          %s\n", latency_histogram.summary().c_str());
+  if (format == Format::kTable) {
+    std::printf("# %s — %s\n", spec->name.c_str(), spec->description.c_str());
+    std::printf("# %d worker(s)\n", resolve_jobs(options.jobs));
   }
+  const SweepResult sweep = run_sweep(*spec, options);
+  emit(sweep, format, csv_dir);
   return 0;
 }

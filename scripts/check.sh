@@ -5,17 +5,20 @@
 # Usage: scripts/check.sh [build-dir]
 #
 # Environment:
-#   FRUGAL_SANITIZE=1   configure with -DFRUGAL_SANITIZE=ON (ASan+UBSan)
-#   FRUGAL_SMOKE=1      additionally run a 1-seed bench_headline smoke pass
+#   FRUGAL_SANITIZE=1        configure with -DFRUGAL_SANITIZE=ON (ASan+UBSan)
+#   FRUGAL_SANITIZE=thread   configure with -DFRUGAL_SANITIZE=thread (TSan)
+#   FRUGAL_SMOKE=1           additionally run a 1-seed bench_headline smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
 
 configure_args=()
-if [[ "${FRUGAL_SANITIZE:-0}" == "1" ]]; then
-  configure_args+=(-DFRUGAL_SANITIZE=ON)
-fi
+case "${FRUGAL_SANITIZE:-0}" in
+  0) ;;
+  1) configure_args+=(-DFRUGAL_SANITIZE=ON) ;;
+  *) configure_args+=(-DFRUGAL_SANITIZE="${FRUGAL_SANITIZE}") ;;
+esac
 
 cmake -B "$build_dir" -S . "${configure_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"

@@ -226,23 +226,40 @@ RunResult run_experiment(const ExperimentConfig& config) {
     if (subscribed[id]) nodes.back()->subscribe(subscription);
   }
 
+  // The publisher set: the configured (or default-drawn) first publisher,
+  // then further processes in the seeded shuffle order. Events round-robin
+  // across it; count 1 reproduces the original single-publisher workload.
+  FRUGAL_EXPECT(config.publisher_count >= 1);
+  FRUGAL_EXPECT(config.publisher_count <= config.node_count);
   const NodeId publisher =
       config.publisher.value_or(subscriber_count > 0 ? order[0] : NodeId{0});
   FRUGAL_EXPECT(publisher < config.node_count);
+  std::vector<NodeId> publishers{publisher};
+  for (const NodeId candidate : order) {
+    if (publishers.size() >= config.publisher_count) break;
+    if (candidate != publisher) publishers.push_back(candidate);
+  }
+  FRUGAL_ENSURE(publishers.size() == config.publisher_count);
 
-  // Schedule the workload: event i at warmup + i * spacing.
+  // Schedule the workload: event i at warmup + i * spacing, published by
+  // publishers[i % k]. Each node numbers its own publications, so event i
+  // carries the publishing node's local sequence number.
   std::vector<PublishedEventRecord> records(config.event_count);
+  std::vector<std::uint32_t> next_seq_of(publishers.size(), 0);
   for (std::uint32_t i = 0; i < config.event_count; ++i) {
+    const std::size_t slot = i % publishers.size();
+    const NodeId publishing_node = publishers[slot];
+    const std::uint32_t seq = next_seq_of[slot]++;
     const SimTime at =
         SimTime::zero() + config.warmup + config.publish_spacing * static_cast<std::int64_t>(i);
-    simulator.scheduler().schedule_at(at, [&, i] {
+    simulator.scheduler().schedule_at(at, [&, i, publishing_node, seq] {
       Event event;
       event.topic = event_topic;
       event.validity = config.event_validity;
       event.wire_bytes = config.event_bytes;
-      nodes[publisher]->publish(event);
+      nodes[publishing_node]->publish(event);
       // publish() assigned the id; record it for result extraction.
-      records[i] = PublishedEventRecord{EventId{publisher, i},
+      records[i] = PublishedEventRecord{EventId{publishing_node, seq},
                                         simulator.now(), config.event_validity};
     });
   }
@@ -307,6 +324,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   RunResult result;
   result.events = std::move(records);
   result.publisher = publisher;
+  result.publishers = std::move(publishers);
   result.nodes.resize(config.node_count);
   for (NodeId id = 0; id < config.node_count; ++id) {
     NodeOutcome& outcome = result.nodes[id];
@@ -331,8 +349,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
     // gathered here and sorted rather than recorded live.
     std::vector<trace::TraceRecord> all = std::move(churn_flips);
     for (const PublishedEventRecord& event : result.events) {
-      all.push_back({event.published_at, trace::TraceKind::kPublish, publisher,
-                     event.id, {}});
+      all.push_back({event.published_at, trace::TraceKind::kPublish,
+                     event.id.publisher, event.id, {}});
     }
     for (NodeId id = 0; id < config.node_count; ++id) {
       const NodeOutcome& outcome = result.nodes[id];

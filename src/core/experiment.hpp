@@ -91,6 +91,12 @@ struct ExperimentConfig {
   /// Publisher node; defaults to the first subscriber drawn. May be a
   /// non-subscriber (Fig. 14/15 sweeps publish from every process in turn).
   std::optional<NodeId> publisher;
+  /// Number of distinct publishers; the workload's events round-robin
+  /// across them in publication order. The publisher set starts at
+  /// `publisher` (or the default draw) and continues through the seeded
+  /// subscriber order. 1 — the paper's single-publisher workloads — is
+  /// bit-identical to the pre-multi-publisher behaviour.
+  std::uint32_t publisher_count = 1;
   ChurnConfig churn;
   std::uint64_t seed = 1;
   /// Optional: receives the run's publish/delivery/churn records, appended
@@ -119,7 +125,10 @@ struct NodeOutcome {
 struct RunResult {
   std::vector<PublishedEventRecord> events;
   std::vector<NodeOutcome> nodes;
+  /// The first (for single-publisher runs: the only) publishing node.
   NodeId publisher = kInvalidNode;
+  /// Every publishing node, in round-robin order (size = publisher_count).
+  std::vector<NodeId> publishers;
 
   /// Fraction of subscribers that received each event within `validity` of
   /// its publication, averaged over events. `validity` must not exceed the

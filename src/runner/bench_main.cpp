@@ -1,0 +1,43 @@
+#include "runner/bench_main.hpp"
+
+#include <cstdio>
+
+#include "runner/pool.hpp"
+#include "runner/registry.hpp"
+#include "runner/sink.hpp"
+#include "runner/sweep.hpp"
+#include "util/env.hpp"
+
+namespace frugal::runner {
+
+int figure_bench_main(std::string_view scenario_name) {
+  const ScenarioSpec* spec = find_scenario(scenario_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario \"%.*s\"\n",
+                 static_cast<int>(scenario_name.size()),
+                 scenario_name.data());
+    return 2;
+  }
+
+  SweepOptions options;
+  options.full = env_bool("FRUGAL_FULL", false);
+
+  std::printf("# %s — %s\n",
+              spec->figure.empty() ? spec->name.c_str()
+                                   : spec->figure.c_str(),
+              spec->description.c_str());
+  const int default_seeds = options.full && spec->full_seeds > 0
+                                ? spec->full_seeds
+                                : spec->default_seeds;
+  std::printf(
+      "# seeds per point: %lld%s (FRUGAL_SEEDS to change), %d worker(s) "
+      "(FRUGAL_JOBS)\n",
+      static_cast<long long>(env_int("FRUGAL_SEEDS", default_seeds)),
+      options.full ? ", full paper grid" : "", resolve_jobs(0));
+
+  const SweepResult sweep = run_sweep(*spec, options);
+  emit(sweep, Format::kTable, env_string("FRUGAL_CSV_DIR").value_or(""));
+  return 0;
+}
+
+}  // namespace frugal::runner

@@ -1,0 +1,19 @@
+// The whole figure-bench harness in one call: every bench binary is a
+// scenario name away from the registry + sweep runner + sink.
+//
+// Environment knobs (all optional):
+//   FRUGAL_SEEDS    seeded runs per grid point (default: the spec's)
+//   FRUGAL_FULL     1 -> paper-strength parameter grids
+//   FRUGAL_JOBS     worker threads (default: hardware concurrency)
+//   FRUGAL_CSV_DIR  also write the canonical long CSV there
+#pragma once
+
+#include <string_view>
+
+namespace frugal::runner {
+
+/// Runs the named registered scenario with env-configured options and
+/// prints the table rendering. Returns a process exit code.
+[[nodiscard]] int figure_bench_main(std::string_view scenario_name);
+
+}  // namespace frugal::runner

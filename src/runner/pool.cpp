@@ -1,0 +1,64 @@
+#include "runner/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const auto from_env = static_cast<int>(env_int("FRUGAL_JOBS", 0));
+  if (from_env > 0) return from_env;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  FRUGAL_EXPECT(fn != nullptr);
+  if (count == 0) return;
+
+  const auto worker_count = static_cast<std::size_t>(
+      std::clamp<std::size_t>(jobs > 0 ? static_cast<std::size_t>(jobs) : 1,
+                              1, count));
+  if (worker_count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining: other items may be mid-flight and the caller
+        // expects every worker to have stopped touching shared state.
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(worker_count);
+  for (std::size_t t = 0; t < worker_count; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace frugal::runner

@@ -1,0 +1,27 @@
+// Work-stealing-free deterministic worker pool.
+//
+// parallel_for runs fn(0..count-1) on up to `jobs` threads. Work items are
+// handed out through one atomic counter, so the *assignment* of items to
+// threads is racy — but each item writes only to its own output slot, so as
+// long as fn(i) is a pure function of i the results are independent of
+// thread count and scheduling. The sweep runner builds on exactly that
+// property to make parallel sweeps byte-identical to serial ones.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace frugal::runner {
+
+/// Resolves a worker count: `requested` when > 0, else FRUGAL_JOBS when set
+/// and > 0, else std::thread::hardware_concurrency (at least 1).
+[[nodiscard]] int resolve_jobs(int requested);
+
+/// Runs fn(i) for every i in [0, count) using at most `jobs` worker threads
+/// (clamped to count; jobs <= 1 runs inline on the calling thread). The
+/// first exception thrown by any fn is rethrown on the calling thread after
+/// all workers finish.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace frugal::runner

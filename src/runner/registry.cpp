@@ -1,0 +1,57 @@
+#include "runner/registry.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(ScenarioSpec spec) {
+  FRUGAL_EXPECT(!spec.name.empty());
+  FRUGAL_EXPECT(spec.make_config != nullptr);
+  FRUGAL_EXPECT(!spec.metrics.empty());
+  FRUGAL_EXPECT(find(spec.name) == nullptr);
+  std::unordered_set<std::string> axis_names;
+  for (const Axis& axis : spec.axes) {
+    FRUGAL_EXPECT(!axis.name.empty());
+    FRUGAL_EXPECT(!axis.values.empty());
+    FRUGAL_EXPECT(axis_names.insert(axis.name).second);
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* Registry::find(std::string_view name) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> Registry::all() const {
+  std::vector<const ScenarioSpec*> specs;
+  specs.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) specs.push_back(&spec);
+  std::sort(specs.begin(), specs.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) {
+              return a->name < b->name;
+            });
+  return specs;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  register_builtin_scenarios();
+  return Registry::instance().find(name);
+}
+
+std::vector<const ScenarioSpec*> all_scenarios() {
+  register_builtin_scenarios();
+  return Registry::instance().all();
+}
+
+}  // namespace frugal::runner

@@ -1,0 +1,44 @@
+// The scenario registry: every named experiment the project can run.
+//
+// Built-in scenarios (the paper's figures plus the exploratory workloads)
+// are defined in scenarios.cpp and registered on first lookup; tests and
+// downstream tools may register additional specs at runtime. Lookup is by
+// the spec's unique name; listing is sorted by name so every consumer
+// enumerates scenarios in the same order.
+#pragma once
+
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "runner/scenario.hpp"
+
+namespace frugal::runner {
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  /// Registers a spec; aborts on a duplicate name or a malformed spec
+  /// (empty name, no make_config, no metrics, duplicate axis names).
+  void add(ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec* find(std::string_view name) const;
+  /// All registered specs, sorted by name. Pointers stay valid for the
+  /// process lifetime (specs are never removed).
+  [[nodiscard]] std::vector<const ScenarioSpec*> all() const;
+
+ private:
+  Registry() = default;
+  /// deque: growth never invalidates the spec pointers handed out.
+  std::deque<ScenarioSpec> specs_;
+};
+
+/// Defined in scenarios.cpp: registers every built-in scenario (idempotent).
+void register_builtin_scenarios();
+
+/// Convenience lookups that make sure the built-ins are registered first.
+[[nodiscard]] const ScenarioSpec* find_scenario(std::string_view name);
+[[nodiscard]] std::vector<const ScenarioSpec*> all_scenarios();
+
+}  // namespace frugal::runner

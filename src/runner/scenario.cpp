@@ -1,0 +1,78 @@
+#include "runner/scenario.hpp"
+
+#include <cstdio>
+
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+std::string Axis::cell(double value) const {
+  if (format) return format(value);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+double ParamPoint::get(std::string_view axis_name) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == axis_name) return values[i];
+  }
+  FRUGAL_ASSERT(false && "ParamPoint::get: unknown axis");
+  return 0.0;
+}
+
+double ParamPoint::get_or(std::string_view axis_name, double fallback) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == axis_name) return values[i];
+  }
+  return fallback;
+}
+
+std::vector<ParamPoint> expand_grid(const std::vector<Axis>& axes,
+                                    bool full) {
+  std::size_t count = 1;
+  for (const Axis& axis : axes) {
+    FRUGAL_EXPECT(!axis.values_for(full).empty());
+    count *= axis.values_for(full).size();
+  }
+
+  std::vector<std::string> names;
+  names.reserve(axes.size());
+  for (const Axis& axis : axes) names.push_back(axis.name);
+
+  std::vector<ParamPoint> points;
+  points.reserve(count);
+  for (std::size_t flat = 0; flat < count; ++flat) {
+    ParamPoint point;
+    point.names = names;
+    point.values.resize(axes.size());
+    // Mixed-radix decomposition, last axis fastest.
+    std::size_t rest = flat;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      const auto& values = axes[a].values_for(full);
+      point.values[a] = values[rest % values.size()];
+      rest /= values.size();
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<Axis> apply_overrides(std::vector<Axis> axes,
+                                  const std::vector<Axis>& overrides) {
+  for (const Axis& override_axis : overrides) {
+    bool found = false;
+    for (Axis& axis : axes) {
+      if (axis.name != override_axis.name) continue;
+      FRUGAL_EXPECT(!override_axis.values.empty());
+      axis.values = override_axis.values;
+      axis.full_values.clear();  // an explicit grid wins in both modes
+      found = true;
+      break;
+    }
+    FRUGAL_EXPECT(found && "--grid names an axis the scenario does not have");
+  }
+  return axes;
+}
+
+}  // namespace frugal::runner

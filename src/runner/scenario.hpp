@@ -1,0 +1,100 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec describes one named experiment — the worlds it runs in, the
+// parameter axes it sweeps, how a grid point plus a seed becomes an
+// ExperimentConfig, and which metrics it reports — without saying anything
+// about *how* it is executed. The sweep runner (sweep.hpp) expands a spec
+// into a job grid and runs it on a worker pool; the sink (sink.hpp) renders
+// the aggregated result. Adding a figure or a new workload is a ~20-line
+// spec in scenarios.cpp instead of a new bench binary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace frugal::runner {
+
+struct SweepResult;  // sweep.hpp; specs may carry a post-processing hook
+
+/// One swept parameter. `values` is the default (quick) grid; `full_values`,
+/// when non-empty, is the paper-strength grid selected by FRUGAL_FULL /
+/// --full. An *aggregate* axis is expanded into jobs like any other but its
+/// points are averaged into one output row (e.g. the city figures run every
+/// publisher in turn and report the mean over publishers and seeds).
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+  std::vector<double> full_values;
+  bool aggregate = false;
+  /// Optional pretty-printer for values (e.g. protocol index -> name). Used
+  /// by every sink format, so axis cells stay stable across formats.
+  std::function<std::string(double)> format;
+
+  [[nodiscard]] const std::vector<double>& values_for(bool full) const {
+    return full && !full_values.empty() ? full_values : values;
+  }
+  [[nodiscard]] std::string cell(double value) const;
+};
+
+/// One point of the expanded grid: the axis values, in spec axis order.
+struct ParamPoint {
+  std::vector<std::string> names;
+  std::vector<double> values;
+
+  /// Value of the named axis; aborts if the axis does not exist.
+  [[nodiscard]] double get(std::string_view name) const;
+  [[nodiscard]] double get_or(std::string_view name, double fallback) const;
+};
+
+/// One reported metric: a name plus an extractor from a finished run. The
+/// extractor also sees the grid point so probe-style metrics can depend on
+/// swept parameters.
+struct MetricSpec {
+  std::string name;
+  int precision = 3;  ///< decimals in the human-readable table
+  std::function<double(const core::RunResult&, const ParamPoint&)> extract;
+};
+
+struct ScenarioSpec {
+  std::string name;         ///< registry key, e.g. "fig11_rwp_reliability"
+  std::string figure;       ///< paper figure ("Figure 11"), empty if none
+  std::string title;        ///< table heading
+  std::string description;  ///< one-liner for --list
+  std::vector<Axis> axes;
+  int default_seeds = 3;  ///< overridden by FRUGAL_SEEDS / --seeds
+  /// Seed default in full-grid mode; 0 means same as default_seeds. (The
+  /// frugality figures run fewer seeds on the quick grid than on the
+  /// paper-strength one.)
+  int full_seeds = 0;
+  std::function<core::ExperimentConfig(const ParamPoint&, std::uint64_t seed)>
+      make_config;
+  std::vector<MetricSpec> metrics;
+  /// Printed after the table: the qualitative shape the paper reports.
+  std::string expected_shape;
+  /// Scenarios whose point grid is only an intermediate (e.g. Fig. 15's
+  /// per-publisher runs) can suppress the default per-point table; the CSV /
+  /// JSONL outputs always carry the full grid.
+  bool suppress_point_table = false;
+  /// Optional derived tables computed from the aggregated sweep (Fig. 15's
+  /// publisher spread, the headline's savings factors).
+  std::function<std::vector<stats::Table>(const SweepResult&)> post;
+};
+
+/// Expands axes into the canonical grid order: first axis slowest, last axis
+/// fastest — the order every sink emits rows in, independent of how jobs are
+/// scheduled.
+[[nodiscard]] std::vector<ParamPoint> expand_grid(
+    const std::vector<Axis>& axes, bool full);
+
+/// Replaces the values of axes named in `overrides` (the CLI's --grid).
+/// Aborts on an override that names no axis of the spec.
+[[nodiscard]] std::vector<Axis> apply_overrides(
+    std::vector<Axis> axes, const std::vector<Axis>& overrides);
+
+}  // namespace frugal::runner

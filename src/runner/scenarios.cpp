@@ -1,0 +1,592 @@
+// Built-in scenario definitions: every figure of the paper's §5 plus the
+// exploratory workloads that go beyond it. Each definition replaces what
+// used to be a hand-rolled bench binary; see EXPERIMENTS.md for the figure
+// -> scenario mapping.
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+
+#include "runner/registry.hpp"
+#include "runner/sweep.hpp"
+#include "runner/worlds.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared metric extractors.
+
+MetricSpec reliability_metric() {
+  return {"reliability", 3,
+          [](const core::RunResult& result, const ParamPoint&) {
+            return result.reliability();
+          }};
+}
+
+/// Reliability evaluated at probe validity `v_s` from the recorded delivery
+/// times — one run yields the whole validity axis (see experiment.hpp).
+MetricSpec rel_probe(double v_s) {
+  return {"rel@" + stats::format_double(v_s, 0) + "s", 3,
+          [v_s](const core::RunResult& result, const ParamPoint&) {
+            return result.reliability_within(SimDuration::from_seconds(v_s));
+          }};
+}
+
+std::vector<MetricSpec> rel_probes(const std::vector<double>& validities) {
+  std::vector<MetricSpec> metrics;
+  metrics.reserve(validities.size());
+  for (const double v : validities) metrics.push_back(rel_probe(v));
+  return metrics;
+}
+
+MetricSpec bytes_metric() {
+  return {"bytes_per_node", 0,
+          [](const core::RunResult& result, const ParamPoint&) {
+            return result.mean_bytes_sent_per_node();
+          }};
+}
+
+MetricSpec copies_metric() {
+  return {"events_sent_per_node", 1,
+          [](const core::RunResult& result, const ParamPoint&) {
+            return result.mean_events_sent_per_node();
+          }};
+}
+
+MetricSpec duplicates_metric() {
+  return {"duplicates_per_node", 1,
+          [](const core::RunResult& result, const ParamPoint&) {
+            return result.mean_duplicates_per_node();
+          }};
+}
+
+MetricSpec parasites_metric() {
+  return {"parasites_per_node", 1,
+          [](const core::RunResult& result, const ParamPoint&) {
+            return result.mean_parasites_per_node();
+          }};
+}
+
+MetricSpec latency_metric() {
+  return {"mean_latency_s", 2,
+          [](const core::RunResult& result, const ParamPoint&) {
+            return result.mean_delivery_latency_s();
+          }};
+}
+
+// ---------------------------------------------------------------------------
+// Shared axes.
+
+Axis axis(std::string name, std::vector<double> values,
+          std::vector<double> full_values = {}) {
+  Axis result;
+  result.name = std::move(name);
+  result.values = std::move(values);
+  result.full_values = std::move(full_values);
+  return result;
+}
+
+std::string protocol_label(double value) {
+  return core::to_string(static_cast<core::Protocol>(
+      static_cast<std::uint8_t>(value)));
+}
+
+Axis protocol_axis(std::vector<double> values) {
+  Axis axis;
+  axis.name = "protocol";
+  axis.values = std::move(values);
+  axis.format = protocol_label;
+  return axis;
+}
+
+/// The city figures publish from every process in turn and average over
+/// publishers (aggregate axis), as the paper does.
+Axis city_publisher_axis(bool aggregate) {
+  Axis axis;
+  axis.name = "publisher";
+  axis.values.reserve(15);
+  for (int p = 0; p < 15; ++p) axis.values.push_back(p);
+  axis.aggregate = aggregate;
+  return axis;
+}
+
+core::Protocol protocol_of(const ParamPoint& point) {
+  return static_cast<core::Protocol>(
+      static_cast<std::uint8_t>(point.get("protocol")));
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11/12: random-waypoint reliability surfaces.
+
+ScenarioSpec fig11_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig11_rwp_reliability";
+  spec.figure = "Figure 11";
+  spec.title = "Fig 11 reliability vs validity x speed x subscribers (RWP)";
+  spec.description =
+      "Reception probability vs validity period, process speed and "
+      "subscriber fraction, random waypoint, 150 processes over 25 km^2";
+  spec.axes = {axis("interest", {0.2, 0.8}),
+               axis("speed_mps", {0, 1, 10, 20, 40},
+                    {0, 1, 5, 10, 20, 30, 40})};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    const double speed = point.get("speed_mps");
+    return rwp_world(speed, speed, point.get("interest"), seed);
+  };
+  spec.metrics = rel_probes({20, 40, 60, 80, 100, 120, 140, 160, 180});
+  spec.expected_shape =
+      "Expected shape (paper): reliability rises with validity and with "
+      "speed; the 20% surface stays low (30 subscribers over 25 km^2 is too "
+      "sparse) while 80% reaches ~0.95 at 10 mps x 180 s.";
+  return spec;
+}
+
+ScenarioSpec fig12_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig12_heterogeneous";
+  spec.figure = "Figure 12";
+  spec.title = "Fig 12 reliability, heterogeneous 1-40 mps (RWP)";
+  spec.description =
+      "Reception probability vs validity and subscribers when every process "
+      "draws its own constant speed from U[1, 40] mps";
+  spec.axes = {axis("interest", {0.2, 0.4, 0.6, 0.8, 1.0},
+                    {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    return rwp_world(1.0, 40.0, point.get("interest"), seed);
+  };
+  spec.metrics = rel_probes({20, 40, 60, 80, 100, 120, 140, 160, 180});
+  spec.expected_shape =
+      "Expected shape (paper): low interest => low reliability; from ~60% "
+      "interest a 120 s validity already reaches everyone — overall "
+      "reliability tracks the network's average speed (~20 mps), not "
+      "individual speeds.";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 13-16: city-section model.
+
+core::ExperimentConfig city_config(const ParamPoint& point,
+                                   std::uint64_t seed, double interest) {
+  core::ExperimentConfig config = city_world(interest, seed);
+  config.publisher = static_cast<NodeId>(point.get("publisher"));
+  return config;
+}
+
+ScenarioSpec fig13_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig13_heartbeat";
+  spec.figure = "Figure 13";
+  spec.title = "Fig 13 reliability vs heartbeat upper bound (city section)";
+  spec.description =
+      "Reception probability vs heartbeat upper bound (1-5 s), city "
+      "section, 100% subscribers, every process publishing in turn";
+  spec.axes = {axis("hb_upper_s", {1, 2, 3, 4, 5}),
+               city_publisher_axis(/*aggregate=*/true)};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    core::ExperimentConfig config = city_config(point, seed, 1.0);
+    config.frugal.hb_upper =
+        SimDuration::from_seconds(point.get("hb_upper_s"));
+    return config;
+  };
+  spec.metrics = {reliability_metric()};
+  spec.expected_shape =
+      "Expected shape (paper: 76.9 / 75.1 / 65.5 / 69.9 / 54.0 %): "
+      "reliability degrades as heartbeats slow from 1-2 s to 5 s (~20 pts "
+      "lost), with a non-monotonic dip near 3 s attributed to heartbeat "
+      "collisions.";
+  return spec;
+}
+
+ScenarioSpec fig14_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig14_city_subscribers";
+  spec.figure = "Figure 14";
+  spec.title = "Fig 14 reliability vs subscribers (city section)";
+  spec.description =
+      "Reception probability vs subscriber fraction, city section, every "
+      "process publishing in turn";
+  spec.axes = {axis("interest", {0.2, 0.4, 0.6, 0.8, 1.0}),
+               city_publisher_axis(/*aggregate=*/true)};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    return city_config(point, seed, point.get("interest"));
+  };
+  spec.metrics = {reliability_metric()};
+  spec.expected_shape =
+      "Expected shape (paper: 58.1 / 59.7 / 62.5 / 68.6 / 76.9 %): "
+      "reliability grows slowly with the subscriber fraction, and even 20% "
+      "subscribers reach ~60% — constrained paths make encounters far more "
+      "likely than in the random waypoint model.";
+  return spec;
+}
+
+ScenarioSpec fig15_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig15_publisher_spread";
+  spec.figure = "Figure 15";
+  spec.title = "Fig 15 publisher reliability spread (city section)";
+  spec.description =
+      "Max-over-publishers minus min-over-publishers reliability per "
+      "subscriber fraction: how much the publisher's path matters";
+  spec.axes = {axis("interest", {0.2, 0.4, 0.6, 0.8, 1.0}),
+               city_publisher_axis(/*aggregate=*/false)};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    return city_config(point, seed, point.get("interest"));
+  };
+  spec.metrics = {reliability_metric()};
+  spec.suppress_point_table = true;
+  spec.post = [](const SweepResult& sweep) {
+    // Per-publisher means (seed-averaged) grouped by the leading interest
+    // axis; the spread is the paper's "difference between the minimum and
+    // maximum reliability between the publishers".
+    FRUGAL_EXPECT(!sweep.axes.empty() && sweep.axes[0].name == "interest");
+    stats::Table table{"Fig 15 publisher reliability spread",
+                       {"subscribers[%]", "max-min[pp]", "best[%]",
+                        "worst[%]"}};
+    std::size_t i = 0;
+    while (i < sweep.points.size()) {
+      const double interest = sweep.points[i].point.values[0];
+      double best = 0.0;
+      double worst = 1.0;
+      for (; i < sweep.points.size() &&
+             sweep.points[i].point.values[0] == interest;
+           ++i) {
+        const double mean = sweep.points[i].metrics[0].mean();
+        best = std::max(best, mean);
+        worst = std::min(worst, mean);
+      }
+      table.add_numeric_row(
+          {interest * 100, (best - worst) * 100, best * 100, worst * 100},
+          1);
+    }
+    return std::vector<stats::Table>{table};
+  };
+  spec.expected_shape =
+      "Expected shape (paper: 40.9 / 44.7 / 47.9 / 53.9 / 60.0 pp): a "
+      "large gap between the luckiest and unluckiest publisher at every "
+      "subscriber fraction, growing with the fraction.";
+  return spec;
+}
+
+ScenarioSpec fig16_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig16_city_validity";
+  spec.figure = "Figure 16";
+  spec.title = "Fig 16 reliability vs event validity (city section)";
+  spec.description =
+      "Reception probability vs validity period (25-150 s), city section, "
+      "100% subscribers, every process publishing in turn";
+  spec.axes = {city_publisher_axis(/*aggregate=*/true)};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    return city_config(point, seed, 1.0);
+  };
+  spec.metrics = rel_probes({25, 50, 75, 100, 125, 150});
+  spec.expected_shape =
+      "Expected shape (paper: 11 / 27 / 44 / 52 / 69 / 77 %): reliability "
+      "grows steeply and roughly linearly with validity — processes meet at "
+      "hot spots, so long-lived events profit from later encounters.";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 17-20: the frugality comparison (frugal vs flooding variants).
+
+/// The shared sweep: events x interest x all four protocols, RWP at 10 mps
+/// with 400-byte events. Default mode runs half the paper's node count over
+/// half the area (identical density, ~4x faster); FRUGAL_FULL restores the
+/// paper's 150 nodes over 25 km^2 and the full grid.
+ScenarioSpec frugality_spec(const char* name, const char* figure,
+                            const char* title, const char* description,
+                            MetricSpec metric, const char* expected_shape) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.figure = figure;
+  spec.title = title;
+  spec.description = description;
+  spec.axes = {protocol_axis({0, 1, 2, 3}),
+               axis("events", {1, 5, 10, 20}, {1, 2, 4, 8, 12, 16, 20}),
+               axis("interest", {0.2, 0.6, 1.0}, {0.2, 0.4, 0.6, 0.8, 1.0}),
+               axis("nodes", {75}, {150}),
+               axis("area_m", {3536}, {5000})};
+  spec.default_seeds = 2;
+  spec.full_seeds = 3;  // the quick grid trades seeds for wall-clock
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    core::ExperimentConfig config = rwp_world_scaled(
+        10.0, point.get("interest"),
+        static_cast<std::size_t>(point.get("nodes")), point.get("area_m"),
+        seed);
+    config.protocol = protocol_of(point);
+    config.event_count = static_cast<std::uint32_t>(point.get("events"));
+    config.event_bytes = 400;
+    config.publish_spacing = SimDuration::from_seconds(1.0);
+    return config;
+  };
+  spec.metrics = {std::move(metric)};
+  spec.expected_shape = expected_shape;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Headline + ablations.
+
+ScenarioSpec headline_spec() {
+  ScenarioSpec spec;
+  spec.name = "headline";
+  spec.figure = "Abstract";
+  spec.title = "Headline: 1 event, 400 B, 150 nodes, 10 mps, 80% subs";
+  spec.description =
+      "The abstract's numbers in the paper's RWP setting: reliability, "
+      "bandwidth, duplicates and parasites for frugal vs flooding";
+  spec.axes = {protocol_axis(
+      {static_cast<double>(core::Protocol::kFrugal),
+       static_cast<double>(core::Protocol::kFloodInterestAware),
+       static_cast<double>(core::Protocol::kFloodSimple)})};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    core::ExperimentConfig config = rwp_world(10.0, 10.0, 0.8, seed);
+    config.protocol = protocol_of(point);
+    return config;
+  };
+  spec.metrics = {reliability_metric(), bytes_metric(), duplicates_metric(),
+                  parasites_metric()};
+  spec.post = [](const SweepResult& sweep) {
+    const auto row_for = [&sweep](core::Protocol protocol)
+        -> const PointResult* {
+      for (const PointResult& row : sweep.points) {
+        if (row.point.values[0] == static_cast<double>(protocol)) return &row;
+      }
+      return nullptr;
+    };
+    const PointResult* frugal_row = row_for(core::Protocol::kFrugal);
+    const PointResult* interest_row =
+        row_for(core::Protocol::kFloodInterestAware);
+    std::vector<stats::Table> tables;
+    if (frugal_row == nullptr || interest_row == nullptr) return tables;
+    stats::Table table{
+        "Measured factors vs interests-aware flooding (paper: 3-4.5x / "
+        "70-100x / 50-90x)",
+        {"metric", "factor"}};
+    const auto factor = [&](std::size_t m, double floor_value) {
+      return interest_row->metrics[m].mean() /
+             std::max(frugal_row->metrics[m].mean(), floor_value);
+    };
+    table.add_row({"bandwidth", stats::format_double(factor(1, 1.0), 1)});
+    table.add_row({"duplicates", stats::format_double(factor(2, 0.01), 0)});
+    table.add_row({"parasites", stats::format_double(factor(3, 0.01), 0)});
+    tables.push_back(std::move(table));
+    return tables;
+  };
+  spec.expected_shape =
+      "Paper claims: 0.95 reliability @ 180 s (frugal), 3-4.5x bandwidth "
+      "saved, 70-100x fewer duplicates, 50-90x fewer parasites.";
+  return spec;
+}
+
+struct Ablation {
+  const char* label;
+  void (*apply)(core::FrugalConfig&);
+  double churn_per_min = 0.0;
+};
+
+constexpr Ablation kAblations[] = {
+    {"full", [](core::FrugalConfig&) {}},
+    {"no-backoff",
+     [](core::FrugalConfig& config) { config.use_backoff = false; }},
+    {"no-id-exchange",
+     [](core::FrugalConfig& config) { config.exchange_event_ids = false; }},
+    {"fixed-hb",
+     [](core::FrugalConfig& config) { config.adaptive_heartbeat = false; }},
+    {"tiny-event-table",
+     [](core::FrugalConfig& config) { config.event_table_capacity = 2; }},
+    {"churn-1/min", [](core::FrugalConfig&) {}, 1.0},
+    {"churn-6/min", [](core::FrugalConfig&) {}, 6.0},
+    // GC-policy comparison under the same severe memory pressure: does
+    // Equation 1 beat naive eviction orders?
+    {"gc-eq1-cap4",
+     [](core::FrugalConfig& config) { config.event_table_capacity = 4; }},
+    {"gc-fifo-cap4",
+     [](core::FrugalConfig& config) {
+       config.event_table_capacity = 4;
+       config.gc_policy = core::GcPolicy::kFifo;
+     }},
+    {"gc-mostfwd-cap4",
+     [](core::FrugalConfig& config) {
+       config.event_table_capacity = 4;
+       config.gc_policy = core::GcPolicy::kMostForwarded;
+     }},
+};
+
+ScenarioSpec ablations_spec() {
+  constexpr std::size_t count = std::size(kAblations);
+  ScenarioSpec spec;
+  spec.name = "ablations";
+  spec.title = "Ablation study (RWP 10 mps, 80% interest, 5 events)";
+  spec.description =
+      "Which frugal mechanism buys what: back-off, id exchange, adaptive "
+      "heartbeat, event-table GC policies, plus churn injection";
+  Axis axis;
+  axis.name = "ablation";
+  for (std::size_t i = 0; i < count; ++i) {
+    axis.values.push_back(static_cast<double>(i));
+  }
+  axis.format = [](double value) {
+    const auto index = static_cast<std::size_t>(value);
+    FRUGAL_EXPECT(index < std::size(kAblations));
+    return std::string{kAblations[index].label};
+  };
+  spec.axes = {std::move(axis)};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    const Ablation& ablation =
+        kAblations[static_cast<std::size_t>(point.get("ablation"))];
+    core::ExperimentConfig config = rwp_world(10.0, 10.0, 0.8, seed);
+    config.event_count = 5;
+    config.publish_spacing = SimDuration::from_seconds(1.0);
+    config.churn.crashes_per_node_per_minute = ablation.churn_per_min;
+    ablation.apply(config.frugal);
+    return config;
+  };
+  spec.metrics = {reliability_metric(), bytes_metric(), copies_metric(),
+                  duplicates_metric(), parasites_metric()};
+  spec.expected_shape =
+      "Reading guide: no-backoff and no-id-exchange should preserve "
+      "reliability while inflating duplicates and bandwidth; fixed-hb "
+      "matters only when speeds vary; tiny-event-table shows Equation 1 "
+      "keeping dissemination alive under severe memory pressure; the churn "
+      "rows inject Poisson radio blackouts (5-30 s) per process.";
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Exploratory scenarios beyond the paper's figures.
+
+ScenarioSpec multi_publisher_spec() {
+  ScenarioSpec spec;
+  spec.name = "multi_publisher";
+  spec.title = "Multi-publisher workload (RWP 10 mps, 80% subscribers)";
+  spec.description =
+      "8 events round-robined across 1-8 distinct publishers: how "
+      "publisher diversity changes reliability, bandwidth and latency";
+  spec.axes = {axis("publishers", {1, 2, 4, 8})};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    core::ExperimentConfig config = rwp_world(10.0, 10.0, 0.8, seed);
+    config.publisher_count =
+        static_cast<std::uint32_t>(point.get("publishers"));
+    config.event_count = 8;
+    config.publish_spacing = SimDuration::from_seconds(1.0);
+    return config;
+  };
+  spec.metrics = {reliability_metric(), bytes_metric(), duplicates_metric(),
+                  latency_metric()};
+  spec.expected_shape =
+      "Expected shape: spreading the same workload over more publishers "
+      "seeds dissemination at more points of the area, so reliability and "
+      "latency should improve slightly at similar bandwidth.";
+  return spec;
+}
+
+ScenarioSpec high_density_spec() {
+  ScenarioSpec spec;
+  spec.name = "high_density";
+  spec.title = "Density scaling (RWP 10 mps, 80% subscribers, 25 km^2)";
+  spec.description =
+      "Same area, growing population: protocol cost and reliability as the "
+      "network densifies well beyond the paper's 150 processes";
+  spec.axes = {axis("nodes", {75, 150, 300}, {75, 150, 300, 450})};
+  spec.default_seeds = 2;
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    return rwp_world_scaled(10.0, 0.8,
+                            static_cast<std::size_t>(point.get("nodes")),
+                            5000.0, seed);
+  };
+  spec.metrics = {reliability_metric(), bytes_metric(),
+                  duplicates_metric()};
+  spec.expected_shape =
+      "Expected shape: reliability saturates toward 1 with density while "
+      "per-process bandwidth stays near-flat — the frugal back-off absorbs "
+      "the extra neighbors instead of multiplying transmissions.";
+  return spec;
+}
+
+ScenarioSpec sparse_partition_spec() {
+  ScenarioSpec spec;
+  spec.name = "sparse_partition";
+  spec.title = "Sparse partitioned network (30 processes over 25 km^2)";
+  spec.description =
+      "A fifth of the paper's density: the network is partitioned at all "
+      "times and only mobility carries events between islands";
+  spec.axes = {axis("speed_mps", {0, 1, 5, 10, 20})};
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    const double speed = point.get("speed_mps");
+    core::ExperimentConfig config = rwp_world(speed, speed, 0.8, seed);
+    config.node_count = 30;
+    return config;
+  };
+  spec.metrics = {rel_probe(60), rel_probe(120), rel_probe(180),
+                  latency_metric()};
+  spec.expected_shape =
+      "Expected shape: at speed 0 events never leave the publisher's "
+      "island; reliability climbs with speed as carriers bridge partitions, "
+      "at the price of high delivery latency.";
+  return spec;
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  static const bool registered = [] {
+    Registry& registry = Registry::instance();
+    registry.add(fig11_spec());
+    registry.add(fig12_spec());
+    registry.add(fig13_spec());
+    registry.add(fig14_spec());
+    registry.add(fig15_spec());
+    registry.add(fig16_spec());
+    registry.add(frugality_spec(
+        "fig17_bandwidth", "Figure 17",
+        "Fig 17 bandwidth per process vs events x subscribers",
+        "Bytes sent per process during the 180 s dissemination window, "
+        "frugal vs the flooding baselines",
+        bytes_metric(),
+        "Expected shape (paper): the frugal algorithm uses the least "
+        "bandwidth everywhere except when total event bytes < ~1.5 kB and "
+        "interest <= 20% (interests-aware flooding wins that corner); "
+        "neighbors'-interests flooding is the most expensive (> 1 MB)."));
+    registry.add(frugality_spec(
+        "fig18_events_sent", "Figure 18",
+        "Fig 18 events sent per process vs events x subscribers",
+        "Event copies put on the air per process, frugal vs flooding",
+        copies_metric(),
+        "Expected shape (paper): the frugal algorithm sends 50-100x fewer "
+        "event copies than the flooding alternatives (which retransmit "
+        "every second for the whole validity period)."));
+    registry.add(frugality_spec(
+        "fig19_duplicates", "Figure 19",
+        "Fig 19 duplicates received per process vs events x subscribers",
+        "Duplicate event receptions per process, frugal vs flooding",
+        duplicates_metric(),
+        "Expected shape (paper): frugal beats interests-aware flooding by "
+        "50-80x and the other variants by 80-700x; in the worst case a "
+        "frugal subscriber sees an event ~4 times in 180 s."));
+    registry.add(frugality_spec(
+        "fig20_parasites", "Figure 20",
+        "Fig 20 parasite events received per process",
+        "Events of unsubscribed topics delivered per process, frugal vs "
+        "flooding",
+        parasites_metric(),
+        "Expected shape (paper): parasites peak around 60% subscribers "
+        "(many broadcasts x many uninterested processes) and vanish at "
+        "100%; frugal outperforms the shown alternatives by 20-50x and "
+        "simple flooding by up to 800x."));
+    registry.add(headline_spec());
+    registry.add(ablations_spec());
+    registry.add(multi_publisher_spec());
+    registry.add(high_density_spec());
+    registry.add(sparse_partition_spec());
+    return true;
+  }();
+  static_cast<void>(registered);
+}
+
+}  // namespace frugal::runner

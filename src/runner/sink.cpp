@@ -1,0 +1,179 @@
+#include "runner/sink.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+namespace {
+
+/// Shortest round-trippable-enough fixed formatting: %.10g is stable across
+/// runs (aggregation order is canonical) and locale-independent under the
+/// default "C" locale the binaries never change.
+std::string number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+/// CSV/JSON cells must not smuggle in separators; axis formatters and
+/// metric names are project-controlled, so a contract check suffices.
+const std::string& checked_cell(const std::string& cell) {
+  FRUGAL_EXPECT(cell.find_first_of(",\"\n") == std::string::npos);
+  return cell;
+}
+
+}  // namespace
+
+Format parse_format(const std::string& text) {
+  if (text == "table") return Format::kTable;
+  if (text == "csv") return Format::kCsv;
+  if (text == "jsonl") return Format::kJsonl;
+  FRUGAL_EXPECT(false && "format must be table, csv or jsonl");
+  return Format::kTable;
+}
+
+stats::Table sweep_table(const SweepResult& sweep) {
+  std::vector<std::string> columns;
+  for (const Axis& axis : sweep.axes) columns.push_back(axis.name);
+  for (const MetricSpec& metric : sweep.spec->metrics) {
+    columns.push_back(metric.name);
+  }
+  stats::Table table{sweep.spec->title, columns};
+  for (const PointResult& row : sweep.points) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+      cells.push_back(sweep.axes[a].cell(row.point.values[a]));
+    }
+    for (std::size_t m = 0; m < sweep.spec->metrics.size(); ++m) {
+      cells.push_back(stats::format_double(row.metrics[m].mean(),
+                                           sweep.spec->metrics[m].precision));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+std::string sweep_csv(const SweepResult& sweep) {
+  std::string out = "scenario";
+  for (const Axis& axis : sweep.axes) {
+    out += ',';
+    out += checked_cell(axis.name);
+  }
+  out += ",metric,seeds,mean,ci95,min,max\n";
+
+  for (const PointResult& row : sweep.points) {
+    for (std::size_t m = 0; m < sweep.spec->metrics.size(); ++m) {
+      const stats::Summary& summary = row.metrics[m];
+      out += checked_cell(sweep.spec->name);
+      for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+        out += ',';
+        out += checked_cell(sweep.axes[a].cell(row.point.values[a]));
+      }
+      out += ',';
+      out += checked_cell(sweep.spec->metrics[m].name);
+      out += ',';
+      out += std::to_string(summary.count());
+      out += ',';
+      out += number(summary.mean());
+      out += ',';
+      out += number(summary.ci95_half_width());
+      out += ',';
+      out += number(summary.min());
+      out += ',';
+      out += number(summary.max());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string sweep_jsonl(const SweepResult& sweep) {
+  std::string out;
+  for (const PointResult& row : sweep.points) {
+    out += "{\"scenario\":\"";
+    out += checked_cell(sweep.spec->name);
+    out += "\",\"axes\":{";
+    for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+      if (a > 0) out += ',';
+      out += '"';
+      out += checked_cell(sweep.axes[a].name);
+      out += "\":";
+      if (sweep.axes[a].format) {
+        out += '"';
+        out += checked_cell(sweep.axes[a].cell(row.point.values[a]));
+        out += '"';
+      } else {
+        out += number(row.point.values[a]);
+      }
+    }
+    out += "},\"seeds\":";
+    out += std::to_string(sweep.seeds);
+    out += ",\"metrics\":{";
+    for (std::size_t m = 0; m < sweep.spec->metrics.size(); ++m) {
+      if (m > 0) out += ',';
+      const stats::Summary& summary = row.metrics[m];
+      out += '"';
+      out += checked_cell(sweep.spec->metrics[m].name);
+      out += "\":{\"mean\":";
+      out += number(summary.mean());
+      out += ",\"ci95\":";
+      out += number(summary.ci95_half_width());
+      out += ",\"min\":";
+      out += number(summary.min());
+      out += ",\"max\":";
+      out += number(summary.max());
+      out += ",\"n\":";
+      out += std::to_string(summary.count());
+      out += '}';
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+void emit(const SweepResult& sweep, Format format,
+          const std::string& csv_dir) {
+  switch (format) {
+    case Format::kTable: {
+      if (!sweep.spec->suppress_point_table) sweep_table(sweep).print();
+      if (sweep.spec->post) {
+        for (const stats::Table& table : sweep.spec->post(sweep)) {
+          table.print();
+        }
+      }
+      if (!sweep.spec->expected_shape.empty()) {
+        std::printf("\n%s\n", sweep.spec->expected_shape.c_str());
+      }
+      std::printf("# %zu runs x %d seed(s) on %d worker(s) in %.1fs\n",
+                  sweep.job_count / static_cast<std::size_t>(sweep.seeds),
+                  sweep.seeds, sweep.jobs, sweep.wall_seconds);
+      break;
+    }
+    case Format::kCsv:
+      std::fputs(sweep_csv(sweep).c_str(), stdout);
+      break;
+    case Format::kJsonl:
+      std::fputs(sweep_jsonl(sweep).c_str(), stdout);
+      break;
+  }
+
+  if (!csv_dir.empty()) {
+    const std::string path = csv_dir + "/" + sweep.spec->name + ".csv";
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    if (out) {
+      out << sweep_csv(sweep);
+      if (format == Format::kTable) {
+        std::printf("# csv written to %s\n", path.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "# failed to write csv under %s\n",
+                   csv_dir.c_str());
+    }
+  }
+}
+
+}  // namespace frugal::runner

@@ -1,0 +1,46 @@
+// Unified metrics sink: one renderer for every sweep, replacing the
+// per-bench CSV plumbing.
+//
+// Three formats over the same aggregated SweepResult:
+//   - table: human-readable wide table (one row per grid point, one column
+//     per metric mean) plus the spec's expected-shape note and any derived
+//     post tables — what the bench binaries print.
+//   - csv:   canonical long format, one row per (point, metric) with
+//     seeds/mean/ci95/min/max — the machine-ingestible record.
+//   - jsonl: one JSON object per grid point, same numbers.
+//
+// Every format is rendered from the canonically-ordered SweepResult with
+// fixed printf formatting, so output is byte-identical across worker
+// counts. Wall-clock/job-count info never appears in csv/jsonl.
+#pragma once
+
+#include <string>
+
+#include "runner/sweep.hpp"
+#include "stats/table.hpp"
+
+namespace frugal::runner {
+
+enum class Format { kTable, kCsv, kJsonl };
+
+/// Parses "table" / "csv" / "jsonl"; aborts on anything else.
+[[nodiscard]] Format parse_format(const std::string& text);
+
+/// The wide human-readable table (means only; spreads live in the CSV).
+[[nodiscard]] stats::Table sweep_table(const SweepResult& sweep);
+
+/// Canonical long CSV: header
+/// `scenario,<axes...>,metric,seeds,mean,ci95,min,max`.
+[[nodiscard]] std::string sweep_csv(const SweepResult& sweep);
+
+/// One JSON object per grid point:
+/// {"scenario":...,"axes":{...},"seeds":N,"metrics":{name:{mean,...}}}.
+[[nodiscard]] std::string sweep_jsonl(const SweepResult& sweep);
+
+/// Renders to stdout in `format`. Table mode also prints the expected-shape
+/// note, the post tables and a timing line. When `csv_dir` is non-empty the
+/// long CSV is additionally written to `<csv_dir>/<scenario>.csv`.
+void emit(const SweepResult& sweep, Format format,
+          const std::string& csv_dir = {});
+
+}  // namespace frugal::runner

@@ -1,0 +1,126 @@
+#include "runner/sweep.hpp"
+
+#include <chrono>
+
+#include "runner/pool.hpp"
+#include "util/env.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+namespace {
+
+/// Per-axis sizes of the expanded grid.
+std::vector<std::size_t> grid_dims(const std::vector<Axis>& axes, bool full) {
+  std::vector<std::size_t> dims;
+  dims.reserve(axes.size());
+  for (const Axis& axis : axes) dims.push_back(axis.values_for(full).size());
+  return dims;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
+  FRUGAL_EXPECT(spec.make_config != nullptr);
+  FRUGAL_EXPECT(!spec.metrics.empty());
+
+  const std::vector<Axis> axes = apply_overrides(spec.axes, options.overrides);
+  const bool full = options.full;
+  const int default_seeds = full && spec.full_seeds > 0 ? spec.full_seeds
+                                                        : spec.default_seeds;
+  const int seeds =
+      options.seeds > 0
+          ? options.seeds
+          : static_cast<int>(env_int("FRUGAL_SEEDS", default_seeds));
+  FRUGAL_EXPECT(seeds > 0);
+
+  const std::vector<ParamPoint> grid = expand_grid(axes, full);
+  const std::vector<std::size_t> dims = grid_dims(axes, full);
+
+  // Map every full-grid point to its output row: the mixed-radix index over
+  // the non-aggregate axes only (aggregate axes fold into the same row).
+  std::vector<Axis> output_axes;
+  for (const Axis& axis : axes) {
+    if (!axis.aggregate) output_axes.push_back(axis);
+  }
+  std::size_t output_count = 1;
+  for (const Axis& axis : output_axes) {
+    output_count *= axis.values_for(full).size();
+  }
+  std::vector<std::size_t> output_index(grid.size());
+  for (std::size_t flat = 0; flat < grid.size(); ++flat) {
+    std::size_t rest = flat;
+    std::vector<std::size_t> coords(axes.size());
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      coords[a] = rest % dims[a];
+      rest /= dims[a];
+    }
+    std::size_t out = 0;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      if (axes[a].aggregate) continue;
+      out = out * dims[a] + coords[a];
+    }
+    output_index[flat] = out;
+  }
+
+  // Execute the job grid: job = point-major, seed-minor. Every job writes
+  // only its own metric slot, keyed by job index — the one invariant the
+  // whole byte-identical-output guarantee rests on.
+  const std::size_t job_count = grid.size() * static_cast<std::size_t>(seeds);
+  const int jobs = resolve_jobs(options.jobs);
+  std::vector<std::vector<double>> job_metrics(job_count);
+
+  const auto started = std::chrono::steady_clock::now();
+  parallel_for(job_count, jobs, [&](std::size_t job) {
+    const std::size_t point_index = job / static_cast<std::size_t>(seeds);
+    const int seed_index = static_cast<int>(job % static_cast<std::size_t>(seeds));
+    const ParamPoint& point = grid[point_index];
+    const core::ExperimentConfig config =
+        spec.make_config(point, job_seed(options.seed_base, seed_index));
+    const core::RunResult result = core::run_experiment(config);
+    std::vector<double>& values = job_metrics[job];
+    values.reserve(spec.metrics.size());
+    for (const MetricSpec& metric : spec.metrics) {
+      values.push_back(metric.extract(result, point));
+    }
+  });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+
+  // Serial aggregation in canonical job order: identical summation order —
+  // hence bit-identical floating-point results — at every thread count.
+  SweepResult sweep;
+  sweep.spec = &spec;
+  sweep.axes = output_axes;
+  sweep.seeds = seeds;
+  sweep.jobs = jobs;
+  sweep.job_count = job_count;
+  sweep.wall_seconds = elapsed.count();
+  sweep.points.resize(output_count);
+
+  const std::vector<ParamPoint> output_grid = expand_grid(output_axes, full);
+  FRUGAL_ASSERT(output_grid.size() == output_count);
+  for (std::size_t out = 0; out < output_count; ++out) {
+    sweep.points[out].point = output_grid[out];
+    sweep.points[out].metrics.resize(spec.metrics.size());
+  }
+  for (std::size_t job = 0; job < job_count; ++job) {
+    const std::size_t point_index = job / static_cast<std::size_t>(seeds);
+    PointResult& row = sweep.points[output_index[point_index]];
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      row.metrics[m].add(job_metrics[job][m]);
+    }
+  }
+  return sweep;
+}
+
+std::vector<core::RunResult> run_parallel(
+    const std::vector<core::ExperimentConfig>& configs, int jobs) {
+  std::vector<core::RunResult> results(configs.size());
+  parallel_for(configs.size(), resolve_jobs(jobs), [&](std::size_t i) {
+    results[i] = core::run_experiment(configs[i]);
+  });
+  return results;
+}
+
+}  // namespace frugal::runner

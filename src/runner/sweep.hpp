@@ -1,0 +1,65 @@
+// Deterministic parallel sweep execution.
+//
+// run_sweep expands a ScenarioSpec into a job grid (grid point x seed),
+// executes every job on a worker pool, and aggregates per-point metric
+// summaries in the canonical grid order. Each job is a pure function of its
+// (point, seed) coordinates — run_experiment is deterministic in
+// config.seed and jobs share nothing — and aggregation happens serially
+// after the pool drains, so the result (and every sink rendering of it) is
+// byte-identical whatever FRUGAL_JOBS says.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "stats/summary.hpp"
+
+namespace frugal::runner {
+
+struct SweepOptions {
+  int jobs = 0;   ///< worker threads; <= 0: FRUGAL_JOBS, else hardware
+  int seeds = 0;  ///< seeded runs per grid point; <= 0: spec.default_seeds
+  bool full = false;           ///< use the paper-strength grids
+  std::uint64_t seed_base = 1;  ///< job s runs with seed job_seed(base, s)
+  std::vector<Axis> overrides;  ///< --grid axis replacements, by name
+};
+
+/// One output row: a point of the *output* grid (aggregate axes collapsed)
+/// plus one summary per spec metric, accumulated over seeds and aggregate
+/// axis points in canonical order.
+struct PointResult {
+  ParamPoint point;
+  std::vector<stats::Summary> metrics;
+};
+
+struct SweepResult {
+  const ScenarioSpec* spec = nullptr;
+  std::vector<Axis> axes;  ///< effective output axes (non-aggregate)
+  std::vector<PointResult> points;  ///< canonical grid order
+  int seeds = 0;
+  int jobs = 1;             ///< workers actually used
+  std::size_t job_count = 0;  ///< simulations executed
+  double wall_seconds = 0;  ///< never part of canonical CSV/JSONL output
+};
+
+/// The per-job seed derivation: deterministic in (base, index) and
+/// independent of grid position, so every grid point sees the same seed
+/// sequence (the paper's paired-comparison setup) and thread scheduling
+/// cannot influence it.
+[[nodiscard]] constexpr std::uint64_t job_seed(std::uint64_t base,
+                                               int seed_index) {
+  return base + static_cast<std::uint64_t>(seed_index);
+}
+
+[[nodiscard]] SweepResult run_sweep(const ScenarioSpec& spec,
+                                    const SweepOptions& options = {});
+
+/// Lower-level: runs every config on the pool and returns results in input
+/// order. Configs may carry per-config trace recorders (each job writes only
+/// its own); the golden-trace determinism test drives the runner through
+/// this entry point.
+[[nodiscard]] std::vector<core::RunResult> run_parallel(
+    const std::vector<core::ExperimentConfig>& configs, int jobs);
+
+}  // namespace frugal::runner

@@ -1,0 +1,65 @@
+#include "runner/worlds.hpp"
+
+namespace frugal::runner {
+
+core::ExperimentConfig rwp_world(double speed_min_mps, double speed_max_mps,
+                                 double interest, std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.node_count = 150;
+  config.interest_fraction = interest;
+  if (speed_max_mps <= 0.0) {
+    config.mobility = core::StaticSetup{5000.0, 5000.0};
+  } else {
+    core::RandomWaypointSetup rwp;
+    rwp.config.width_m = 5000.0;
+    rwp.config.height_m = 5000.0;
+    rwp.config.speed_min_mps = speed_min_mps;
+    rwp.config.speed_max_mps = speed_max_mps;
+    rwp.config.pause = SimDuration::from_seconds(1.0);  // paper §5.1
+    rwp.config.per_node_constant_speed = speed_min_mps != speed_max_mps;
+    config.mobility = rwp;
+  }
+  config.medium.range_m = 442.0;  // 1 Mbps sensitivity -93 dB (two-ray)
+  config.medium.rate_bps = 1e6;
+  config.frugal.hb_upper = SimDuration::from_seconds(1.0);
+  config.warmup = SimDuration::from_seconds(600.0);
+  config.event_validity = SimDuration::from_seconds(180.0);
+  config.seed = seed;
+  return config;
+}
+
+core::ExperimentConfig city_world(double interest, std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.node_count = 15;
+  config.interest_fraction = interest;
+  core::CitySetup city;  // defaults already match the paper's campus
+  config.mobility = city;
+  config.medium.range_m = 44.0;  // city reception sensitivity -65 dB
+  config.medium.rate_bps = 1e6;
+  config.frugal.hb_upper = SimDuration::from_seconds(1.0);
+  // No explicit warm-up in the paper's city runs; a short one lets the
+  // processes leave their starting intersections.
+  config.warmup = SimDuration::from_seconds(30.0);
+  config.event_validity = SimDuration::from_seconds(150.0);
+  config.seed = seed;
+  return config;
+}
+
+core::ExperimentConfig rwp_world_scaled(double speed_mps, double interest,
+                                        std::size_t node_count,
+                                        double area_side_m,
+                                        std::uint64_t seed) {
+  core::ExperimentConfig config = rwp_world(speed_mps, speed_mps, interest,
+                                            seed);
+  config.node_count = node_count;
+  if (auto* rwp = std::get_if<core::RandomWaypointSetup>(&config.mobility)) {
+    rwp->config.width_m = area_side_m;
+    rwp->config.height_m = area_side_m;
+  } else if (auto* fixed = std::get_if<core::StaticSetup>(&config.mobility)) {
+    fixed->width_m = area_side_m;
+    fixed->height_m = area_side_m;
+  }
+  return config;
+}
+
+}  // namespace frugal::runner

@@ -1,0 +1,36 @@
+// The paper's §5.1 evaluation worlds, as reusable config factories.
+//
+// Formerly duplicated between bench/common.hpp and the shape tests; this is
+// the single source of truth the scenario registry, the benches and the
+// tests all build on.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.hpp"
+
+namespace frugal::runner {
+
+/// The paper's random-waypoint world: 150 processes over 25 km^2, 802.11b
+/// basic-rate radio (442 m two-ray range), heartbeat upper bound 1 s, 600 s
+/// of warm-up before the publication (§5.1). speed_max <= 0 selects static
+/// placement over the same area (the speed-0 points of Fig. 11).
+[[nodiscard]] core::ExperimentConfig rwp_world(double speed_min_mps,
+                                               double speed_max_mps,
+                                               double interest,
+                                               std::uint64_t seed);
+
+/// The paper's city-section world: 15 processes on a 1200 x 900 m campus
+/// street grid, 44 m radio range, speed limits 8-13 mps (§5.1).
+[[nodiscard]] core::ExperimentConfig city_world(double interest,
+                                                std::uint64_t seed);
+
+/// rwp_world rescaled to `node_count` processes over a `area_side_m`-sided
+/// square (the frugality figures' density-preserving fast mode).
+[[nodiscard]] core::ExperimentConfig rwp_world_scaled(double speed_mps,
+                                                      double interest,
+                                                      std::size_t node_count,
+                                                      double area_side_m,
+                                                      std::uint64_t seed);
+
+}  // namespace frugal::runner

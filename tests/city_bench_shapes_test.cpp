@@ -6,21 +6,16 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "runner/worlds.hpp"
 #include "stats/summary.hpp"
 
 namespace frugal::core {
 namespace {
 
+/// The paper's §5.1 city world, from the shared registry factory — one
+/// source of truth with the benches (see src/runner/worlds.hpp).
 ExperimentConfig city(std::uint64_t seed, double interest = 1.0) {
-  ExperimentConfig config;
-  config.node_count = 15;
-  config.interest_fraction = interest;
-  config.mobility = CitySetup{};
-  config.medium.range_m = 44.0;
-  config.warmup = SimDuration::from_seconds(30);
-  config.event_validity = SimDuration::from_seconds(150);
-  config.seed = seed;
-  return config;
+  return runner::city_world(interest, seed);
 }
 
 double mean_city_reliability(double hb_upper_s, double interest,

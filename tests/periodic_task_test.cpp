@@ -1,0 +1,127 @@
+// Direct coverage of sim::PeriodicTask restart semantics — previously only
+// exercised indirectly through the protocol suites: stop() from inside the
+// callback, set_period while stopped, restart after stop, and destruction
+// with a pending firing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace frugal::sim {
+namespace {
+
+using namespace frugal::time_literals;
+
+TEST(PeriodicTask, FiresEveryPeriodAfterInitialDelay) {
+  Scheduler scheduler;
+  std::vector<std::int64_t> fired_at_us;
+  PeriodicTask task{scheduler, 1_sec,
+                    [&] { fired_at_us.push_back(scheduler.now().us()); }};
+  task.start(SimDuration::from_ms(500));
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(3600));
+  EXPECT_EQ(fired_at_us, (std::vector<std::int64_t>{500000, 1500000,
+                                                    2500000, 3500000}));
+}
+
+TEST(PeriodicTask, StopInsideCallbackCancelsFollowUp) {
+  Scheduler scheduler;
+  int fired = 0;
+  // The callback needs access to the task itself, so build it via pointer.
+  std::unique_ptr<PeriodicTask> self;
+  self = std::make_unique<PeriodicTask>(scheduler, 1_sec, [&] {
+    ++fired;
+    self->stop();  // stop() from within fn_: arm() must not re-schedule
+  });
+  self->start();
+  scheduler.run_until(SimTime::zero() + 10_sec);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(self->running());
+}
+
+TEST(PeriodicTask, RestartAfterStopFiresAgain) {
+  Scheduler scheduler;
+  int fired = 0;
+  PeriodicTask task{scheduler, 1_sec, [&] { ++fired; }};
+  task.start();  // zero initial delay: fires at 0, 1 s, 2 s
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(2500));
+  EXPECT_EQ(fired, 3);
+
+  task.stop();
+  scheduler.run_until(SimTime::zero() + 5_sec);
+  EXPECT_EQ(fired, 3);  // stopped: the pending firing was cancelled
+
+  task.start();
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(7500));
+  // Restart schedules from "now" with no initial delay: fires at 5 s
+  // immediately on start, then 6 s, 7 s.
+  EXPECT_EQ(fired, 6);
+  EXPECT_TRUE(task.running());
+}
+
+TEST(PeriodicTask, SetPeriodWhileStoppedAppliesOnRestart) {
+  Scheduler scheduler;
+  std::vector<std::int64_t> fired_at_us;
+  PeriodicTask task{scheduler, 1_sec,
+                    [&] { fired_at_us.push_back(scheduler.now().us()); }};
+  task.stop();  // stop before ever starting: harmless
+  task.set_period(2_sec);
+  EXPECT_EQ(task.period(), 2_sec);
+
+  task.start(2_sec);
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(6500));
+  EXPECT_EQ(fired_at_us, (std::vector<std::int64_t>{2000000, 4000000,
+                                                    6000000}));
+}
+
+TEST(PeriodicTask, SetPeriodWhileRunningTakesEffectNextCycle) {
+  Scheduler scheduler;
+  std::vector<std::int64_t> fired_at_us;
+  PeriodicTask task{scheduler, 1_sec,
+                    [&] { fired_at_us.push_back(scheduler.now().us()); }};
+  task.start();  // fires at 0, schedules next at 1 s
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(100));
+  task.set_period(3_sec);  // pending 1 s firing stays; 3 s applies after it
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(7500));
+  EXPECT_EQ(fired_at_us, (std::vector<std::int64_t>{0, 1000000, 4000000,
+                                                    7000000}));
+}
+
+TEST(PeriodicTask, StartWhileRunningIsANoOp) {
+  Scheduler scheduler;
+  int fired = 0;
+  PeriodicTask task{scheduler, 1_sec, [&] { ++fired; }};
+  task.start();
+  task.start(SimDuration::from_ms(1));  // ignored: already running
+  scheduler.run_until(SimTime::zero() + SimDuration::from_ms(2500));
+  EXPECT_EQ(fired, 3);  // 0, 1 s, 2 s — no duplicate schedule
+}
+
+TEST(PeriodicTask, DestructionCancelsPendingFiring) {
+  Scheduler scheduler;
+  int fired = 0;
+  {
+    PeriodicTask task{scheduler, 1_sec, [&] { ++fired; }};
+    task.start(1_sec);
+  }  // destroyed with a firing pending
+  scheduler.run_until(SimTime::zero() + 5_sec);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTask, StopIsIdempotentAndRunningReflectsState) {
+  Scheduler scheduler;
+  PeriodicTask task{scheduler, 1_sec, [] {}};
+  EXPECT_FALSE(task.running());
+  task.stop();
+  task.stop();
+  EXPECT_FALSE(task.running());
+  task.start();
+  EXPECT_TRUE(task.running());
+  task.stop();
+  EXPECT_FALSE(task.running());
+}
+
+}  // namespace
+}  // namespace frugal::sim

@@ -1,0 +1,402 @@
+// Unit tests for the experiment-orchestration subsystem: grid expansion,
+// registry invariants, worker pool, sweep aggregation and the sink formats.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "runner/pool.hpp"
+#include "runner/registry.hpp"
+#include "runner/sink.hpp"
+#include "runner/sweep.hpp"
+#include "runner/worlds.hpp"
+
+namespace frugal::runner {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Grid expansion.
+
+TEST(GridExpansion, CanonicalOrderLastAxisFastest) {
+  std::vector<Axis> axes(2);
+  axes[0].name = "a";
+  axes[0].values = {1, 2};
+  axes[1].name = "b";
+  axes[1].values = {10, 20, 30};
+
+  const std::vector<ParamPoint> grid = expand_grid(axes, /*full=*/false);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].values, (std::vector<double>{1, 10}));
+  EXPECT_EQ(grid[1].values, (std::vector<double>{1, 20}));
+  EXPECT_EQ(grid[2].values, (std::vector<double>{1, 30}));
+  EXPECT_EQ(grid[3].values, (std::vector<double>{2, 10}));
+  EXPECT_EQ(grid[5].values, (std::vector<double>{2, 30}));
+  EXPECT_EQ(grid[4].get("b"), 20);
+  EXPECT_EQ(grid[4].get("a"), 2);
+}
+
+TEST(GridExpansion, FullGridSelectsFullValues) {
+  std::vector<Axis> axes(1);
+  axes[0].name = "a";
+  axes[0].values = {1};
+  axes[0].full_values = {1, 2, 3};
+  EXPECT_EQ(expand_grid(axes, false).size(), 1u);
+  EXPECT_EQ(expand_grid(axes, true).size(), 3u);
+}
+
+TEST(GridExpansion, OverridesReplaceValuesInBothModes) {
+  std::vector<Axis> axes(1);
+  axes[0].name = "a";
+  axes[0].values = {1};
+  axes[0].full_values = {1, 2, 3};
+
+  Axis override_axis;
+  override_axis.name = "a";
+  override_axis.values = {7, 8};
+  const std::vector<Axis> overridden =
+      apply_overrides(axes, {override_axis});
+  EXPECT_EQ(expand_grid(overridden, false).size(), 2u);
+  EXPECT_EQ(expand_grid(overridden, true).size(), 2u);
+  EXPECT_EQ(overridden[0].values, (std::vector<double>{7, 8}));
+}
+
+TEST(ParamPointTest, GetOrFallsBack) {
+  ParamPoint point;
+  point.names = {"x"};
+  point.values = {4};
+  EXPECT_EQ(point.get_or("x", 9), 4);
+  EXPECT_EQ(point.get_or("y", 9), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+TEST(Pool, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 8,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(Pool, SingleJobRunsInline) {
+  int calls = 0;
+  parallel_for(5, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Pool, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for(64, 4,
+                            [](std::size_t i) {
+                              if (i == 13) {
+                                throw std::runtime_error{"boom"};
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(Pool, ResolveJobsPrefersExplicitRequest) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_GE(resolve_jobs(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, AllBuiltinFiguresRegistered) {
+  const char* expected[] = {
+      "fig11_rwp_reliability", "fig12_heterogeneous",   "fig13_heartbeat",
+      "fig14_city_subscribers", "fig15_publisher_spread",
+      "fig16_city_validity",   "fig17_bandwidth",       "fig18_events_sent",
+      "fig19_duplicates",      "fig20_parasites",       "headline",
+      "ablations",             "multi_publisher",       "high_density",
+      "sparse_partition",
+  };
+  for (const char* name : expected) {
+    EXPECT_NE(find_scenario(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+}
+
+TEST(RegistryTest, ListingIsSortedAndSpecsAreWellFormed) {
+  const std::vector<const ScenarioSpec*> specs = all_scenarios();
+  ASSERT_GE(specs.size(), 15u);
+  std::string previous;
+  for (const ScenarioSpec* spec : specs) {
+    EXPECT_LT(previous, spec->name);
+    previous = spec->name;
+    EXPECT_NE(spec->make_config, nullptr) << spec->name;
+    EXPECT_FALSE(spec->metrics.empty()) << spec->name;
+    EXPECT_GT(spec->default_seeds, 0) << spec->name;
+    std::set<std::string> axis_names;
+    for (const Axis& axis : spec->axes) {
+      EXPECT_TRUE(axis_names.insert(axis.name).second)
+          << spec->name << " duplicate axis " << axis.name;
+      EXPECT_FALSE(axis.values.empty()) << spec->name << "/" << axis.name;
+    }
+    for (const MetricSpec& metric : spec->metrics) {
+      EXPECT_NE(metric.extract, nullptr) << spec->name << "/" << metric.name;
+    }
+    // Every config factory must work on every default grid point.
+    for (const ParamPoint& point : expand_grid(spec->axes, false)) {
+      const core::ExperimentConfig config = spec->make_config(point, 1);
+      EXPECT_GT(config.node_count, 0u) << spec->name;
+    }
+  }
+}
+
+TEST(RegistryTest, RuntimeRegistrationAndStablePointers) {
+  ScenarioSpec spec;
+  spec.name = "runner_test_dynamic";
+  spec.description = "registered at runtime by runner_test";
+  spec.make_config = [](const ParamPoint&, std::uint64_t seed) {
+    return city_world(1.0, seed);
+  };
+  spec.metrics = {{"reliability", 3,
+                   [](const core::RunResult& result, const ParamPoint&) {
+                     return result.reliability();
+                   }}};
+  Registry::instance().add(std::move(spec));
+  const ScenarioSpec* found = find_scenario("runner_test_dynamic");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, find_scenario("runner_test_dynamic"));
+}
+
+// ---------------------------------------------------------------------------
+// Sweep + sink on a fast scenario.
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.title = "tiny";
+  Axis protocol;
+  protocol.name = "protocol";
+  protocol.values = {0, 1};
+  protocol.format = [](double value) {
+    return std::string{value == 0 ? "frugal" : "simple-flooding"};
+  };
+  Axis publisher;
+  publisher.name = "publisher";
+  publisher.values = {0, 1, 2};
+  publisher.aggregate = true;
+  spec.axes = {protocol, publisher};
+  spec.default_seeds = 2;
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    core::ExperimentConfig config;
+    config.node_count = 8;
+    config.interest_fraction = 1.0;
+    config.mobility = core::StaticSetup{400.0, 400.0};
+    config.medium.range_m = 200.0;
+    config.warmup = SimDuration::from_seconds(2);
+    config.event_validity = SimDuration::from_seconds(10);
+    config.protocol = point.get("protocol") == 0
+                          ? core::Protocol::kFrugal
+                          : core::Protocol::kFloodSimple;
+    config.publisher = static_cast<NodeId>(point.get("publisher"));
+    config.seed = seed;
+    return config;
+  };
+  spec.metrics = {{"reliability", 3,
+                   [](const core::RunResult& result, const ParamPoint&) {
+                     return result.reliability();
+                   }},
+                  {"bytes", 0,
+                   [](const core::RunResult& result, const ParamPoint&) {
+                     return result.mean_bytes_sent_per_node();
+                   }}};
+  return spec;
+}
+
+TEST(Sweep, AggregateAxisCollapsesIntoOutputRows) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 2;
+  const SweepResult sweep = run_sweep(spec, options);
+
+  // 2 protocols x 3 publishers x 2 seeds executed...
+  EXPECT_EQ(sweep.job_count, 12u);
+  // ...but only the protocol axis survives into output rows.
+  ASSERT_EQ(sweep.axes.size(), 1u);
+  EXPECT_EQ(sweep.axes[0].name, "protocol");
+  ASSERT_EQ(sweep.points.size(), 2u);
+  for (const PointResult& row : sweep.points) {
+    ASSERT_EQ(row.metrics.size(), 2u);
+    // publishers x seeds samples folded into each summary.
+    EXPECT_EQ(row.metrics[0].count(), 6u);
+  }
+}
+
+TEST(Sweep, MatchesDirectRunExperiment) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 4;
+  options.seeds = 1;
+  const SweepResult sweep = run_sweep(spec, options);
+
+  // Recompute the frugal row by hand: publishers 0..2, seed job_seed(1, 0).
+  stats::Summary expected;
+  for (double publisher : {0.0, 1.0, 2.0}) {
+    ParamPoint point;
+    point.names = {"protocol", "publisher"};
+    point.values = {0.0, publisher};
+    const core::RunResult result =
+        core::run_experiment(spec.make_config(point, job_seed(1, 0)));
+    expected.add(result.reliability());
+  }
+  EXPECT_DOUBLE_EQ(sweep.points[0].metrics[0].mean(), expected.mean());
+}
+
+TEST(Sweep, SeedsControlSampleCountAndSeedBaseShiftsResults) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions two_seeds;
+  two_seeds.jobs = 2;
+  two_seeds.seeds = 2;
+  const SweepResult sweep = run_sweep(spec, two_seeds);
+  EXPECT_EQ(sweep.seeds, 2);
+  EXPECT_EQ(sweep.points[0].metrics[0].count(), 6u);
+
+  SweepOptions shifted = two_seeds;
+  shifted.seed_base = 1000;
+  const SweepResult other = run_sweep(spec, shifted);
+  // Different seeds -> different byte stream (overwhelmingly likely).
+  EXPECT_NE(sweep_csv(sweep), sweep_csv(other));
+}
+
+TEST(Sink, CsvShapeAndHeader) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 2;
+  options.seeds = 1;
+  const SweepResult sweep = run_sweep(spec, options);
+  const std::string csv = sweep_csv(sweep);
+
+  EXPECT_EQ(csv.rfind("scenario,protocol,metric,seeds,mean,ci95,min,max\n",
+                      0),
+            0u);
+  // header + 2 output rows x 2 metrics.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_NE(csv.find("tiny,frugal,reliability,3,"), std::string::npos);
+  EXPECT_NE(csv.find("tiny,simple-flooding,bytes,3,"), std::string::npos);
+}
+
+TEST(Sink, JsonlUsesAxisFormatterAndMetricNames) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 2;
+  options.seeds = 1;
+  const SweepResult sweep = run_sweep(spec, options);
+  const std::string jsonl = sweep_jsonl(sweep);
+
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_NE(jsonl.find("\"scenario\":\"tiny\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"protocol\":\"frugal\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"reliability\":{\"mean\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"n\":3"), std::string::npos);
+}
+
+TEST(Sink, TableHasAxisAndMetricColumns) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 2;
+  options.seeds = 1;
+  const SweepResult sweep = run_sweep(spec, options);
+  const stats::Table table = sweep_table(sweep);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Sink, ParseFormatRoundTrips) {
+  EXPECT_EQ(parse_format("table"), Format::kTable);
+  EXPECT_EQ(parse_format("csv"), Format::kCsv);
+  EXPECT_EQ(parse_format("jsonl"), Format::kJsonl);
+}
+
+// ---------------------------------------------------------------------------
+// Hoisted worlds.
+
+TEST(Worlds, RwpWorldMatchesPaperSetup) {
+  const core::ExperimentConfig config = rwp_world(10.0, 10.0, 0.8, 7);
+  EXPECT_EQ(config.node_count, 150u);
+  EXPECT_DOUBLE_EQ(config.interest_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(config.medium.range_m, 442.0);
+  EXPECT_DOUBLE_EQ(config.warmup.seconds(), 600.0);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_TRUE(
+      std::holds_alternative<core::RandomWaypointSetup>(config.mobility));
+}
+
+TEST(Worlds, ZeroSpeedSelectsStaticPlacement) {
+  const core::ExperimentConfig config = rwp_world(0.0, 0.0, 0.8, 1);
+  EXPECT_TRUE(std::holds_alternative<core::StaticSetup>(config.mobility));
+}
+
+TEST(Worlds, ScaledWorldKeepsDensityKnobs) {
+  const core::ExperimentConfig config =
+      rwp_world_scaled(10.0, 0.6, 75, 3536.0, 3);
+  EXPECT_EQ(config.node_count, 75u);
+  const auto& rwp = std::get<core::RandomWaypointSetup>(config.mobility);
+  EXPECT_DOUBLE_EQ(rwp.config.width_m, 3536.0);
+  EXPECT_DOUBLE_EQ(rwp.config.height_m, 3536.0);
+}
+
+TEST(Worlds, CityWorldMatchesPaperSetup) {
+  const core::ExperimentConfig config = city_world(0.4, 5);
+  EXPECT_EQ(config.node_count, 15u);
+  EXPECT_DOUBLE_EQ(config.medium.range_m, 44.0);
+  EXPECT_DOUBLE_EQ(config.event_validity.seconds(), 150.0);
+  EXPECT_TRUE(std::holds_alternative<core::CitySetup>(config.mobility));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-publisher core extension.
+
+TEST(MultiPublisher, RoundRobinAssignsDistinctPublishers) {
+  core::ExperimentConfig config;
+  config.node_count = 12;
+  config.interest_fraction = 1.0;
+  config.mobility = core::StaticSetup{300.0, 300.0};
+  config.medium.range_m = 500.0;
+  config.warmup = SimDuration::from_seconds(2);
+  config.event_validity = SimDuration::from_seconds(10);
+  config.event_count = 6;
+  config.publisher_count = 3;
+  config.seed = 21;
+
+  const core::RunResult result = core::run_experiment(config);
+  ASSERT_EQ(result.publishers.size(), 3u);
+  EXPECT_EQ(result.publisher, result.publishers[0]);
+  ASSERT_EQ(result.events.size(), 6u);
+  for (std::size_t e = 0; e < result.events.size(); ++e) {
+    EXPECT_EQ(result.events[e].id.publisher, result.publishers[e % 3])
+        << "event " << e;
+    EXPECT_EQ(result.events[e].id.seq, e / 3) << "event " << e;
+  }
+  // Dense static world, everyone subscribed: the workload should deliver.
+  EXPECT_GT(result.reliability(), 0.9);
+}
+
+TEST(MultiPublisher, SinglePublisherBehavesExactlyAsBefore) {
+  core::ExperimentConfig config;
+  config.node_count = 10;
+  config.interest_fraction = 0.8;
+  config.mobility = core::StaticSetup{500.0, 500.0};
+  config.medium.range_m = 300.0;
+  config.warmup = SimDuration::from_seconds(2);
+  config.event_validity = SimDuration::from_seconds(10);
+  config.event_count = 3;
+  config.seed = 33;
+
+  core::ExperimentConfig multi = config;
+  multi.publisher_count = 1;  // explicit, same as default
+  const core::RunResult a = core::run_experiment(config);
+  const core::RunResult b = core::run_experiment(multi);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t e = 0; e < a.events.size(); ++e) {
+    EXPECT_EQ(a.events[e].id.publisher, b.events[e].id.publisher);
+    EXPECT_EQ(a.events[e].published_at.us(), b.events[e].published_at.us());
+  }
+  EXPECT_DOUBLE_EQ(a.reliability(), b.reliability());
+}
+
+}  // namespace
+}  // namespace frugal::runner
