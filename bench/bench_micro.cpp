@@ -85,6 +85,31 @@ void BM_EventTableInsertWithGc(benchmark::State& state) {
 }
 BENCHMARK(BM_EventTableInsertWithGc)->Arg(64)->Arg(1024);
 
+void BM_EventTableIdsMatching(benchmark::State& state) {
+  using namespace frugal::core;
+  // A populated depth-3 hierarchy; the query interest covers one depth-1
+  // subtree (1/8 of the events) — the dissemination loops' typical shape.
+  const auto events = static_cast<std::uint32_t>(state.range(0));
+  EventTable table{events};
+  const auto leaves = topics::complete_tree_level(
+      topics::Topic::parse(".t"), /*branching=*/8, /*depth=*/3);
+  for (std::uint32_t i = 0; i < events; ++i) {
+    Event e;
+    e.id = EventId{1, i};
+    e.topic = leaves[i % leaves.size()];
+    e.validity = SimDuration::from_seconds(180);
+    table.insert(std::move(e), SimTime::zero());
+  }
+  topics::SubscriptionSet interests;
+  interests.add(topics::Topic::parse(".t.b3"));
+  const SimTime now = SimTime::from_seconds(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.ids_matching(interests, now).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventTableIdsMatching)->Arg(1024)->Arg(10240);
+
 void BM_NeighborhoodRecordEvent(benchmark::State& state) {
   using namespace frugal::core;
   NeighborhoodTable table;

@@ -1,0 +1,112 @@
+// Event-table covering-query scaling: ids_matching() on the persistent
+// topic index vs the flat O(events x subscriptions) scan it replaced.
+//
+// Builds a 10k-event table over a depth-4 hierarchy (branching 10: 10k
+// leaves) and times ids_matching() for narrow (one depth-2 subtree), mixed
+// (four depth-2/3 subscriptions) and broad (root) interest sets, against a
+// baseline that replicates the pre-index implementation: scan every stored
+// event, test interests.covers(topic), sort. Plain executable (no
+// google-benchmark dependency) so the comparison always builds; the CI
+// bench smoke runs it.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_table.hpp"
+
+namespace {
+
+using namespace frugal;
+using core::Event;
+using core::EventId;
+using core::EventIdHash;
+using core::EventTable;
+using topics::SubscriptionSet;
+using topics::Topic;
+
+/// The flat scan EventTable::ids_matching used before the topic index:
+/// iterate the whole unordered_map, covers() per event, sort at the end.
+std::vector<EventId> flat_scan(
+    const std::unordered_map<EventId, Event, EventIdHash>& events,
+    const SubscriptionSet& interests, SimTime now) {
+  std::vector<EventId> out;
+  for (const auto& [id, event] : events) {
+    if (event.valid_at(now) && interests.covers(event.topic)) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double time_us(int reps, const auto& fn) {
+  // One warm-up call, then the mean over `reps` timed calls.
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() / reps;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kEvents = 10000;
+  constexpr int kDepth = 4;
+  constexpr int kBranching = 10;  // 10^4 leaves: one event per leaf
+
+  EventTable table{kEvents};
+  std::unordered_map<EventId, Event, EventIdHash> replica;  // baseline store
+  std::uint32_t seq = 0;
+  for (const Topic& leaf : frugal::topics::complete_tree_level(
+           Topic::parse(".t"), kBranching, kDepth)) {
+    Event e;
+    e.id = EventId{1, seq++};
+    e.topic = leaf;
+    e.validity = SimDuration::from_seconds(180);
+    replica.emplace(e.id, e);
+    table.insert(std::move(e), SimTime::zero());
+  }
+  const SimTime now = SimTime::from_seconds(1);
+
+  struct Case {
+    const char* label;
+    SubscriptionSet interests;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"narrow (1 sub, depth-2 subtree: 100 events)",
+                   SubscriptionSet{{Topic::parse(".t.b3.b7")}}});
+  cases.push_back({"mixed (4 subs, depth 2-3: ~220 events)",
+                   SubscriptionSet{{Topic::parse(".t.b0.b0"),
+                                    Topic::parse(".t.b4.b2"),
+                                    Topic::parse(".t.b9.b9.b1"),
+                                    Topic::parse(".t.b5.b5.b5")}}});
+  cases.push_back({"broad (root: all 10000 events)",
+                   SubscriptionSet{{Topic{}}}});
+
+  std::printf("ids_matching on %zu events, depth-%d hierarchy\n",
+              table.size(), kDepth);
+  std::printf("%-45s %12s %12s %9s\n", "interest set", "indexed[us]",
+              "flat[us]", "speedup");
+  for (const Case& c : cases) {
+    const auto indexed = table.ids_matching(c.interests, now);
+    const auto flat = flat_scan(replica, c.interests, now);
+    if (indexed != flat) {
+      std::printf("MISMATCH for %s: indexed %zu ids, flat %zu ids\n",
+                  c.label, indexed.size(), flat.size());
+      return 1;
+    }
+    const int reps = 200;
+    const double indexed_us = time_us(
+        reps, [&] { return table.ids_matching(c.interests, now).size(); });
+    const double flat_us = time_us(
+        reps, [&] { return flat_scan(replica, c.interests, now).size(); });
+    std::printf("%-45s %12.1f %12.1f %8.1fx\n", c.label, indexed_us, flat_us,
+                flat_us / indexed_us);
+  }
+  return 0;
+}

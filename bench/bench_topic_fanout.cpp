@@ -1,0 +1,14 @@
+// Topic-tree fan-out workloads (beyond the paper's figures): reliability
+// and cost swept against hierarchy depth, branching factor, Zipf-skewed
+// leaf popularity and the broad-vs-narrow subscriber mix.
+//
+// Thin wrapper: the whole experiment is the registered "topic_fanout"
+// scenario (src/runner/scenarios.cpp); the sweep runner parallelizes it
+// over FRUGAL_JOBS workers. experiment_cli runs the same scenario with
+// custom grids/formats.
+
+#include "runner/bench_main.hpp"
+
+int main() {
+  return frugal::runner::figure_bench_main("topic_fanout");
+}

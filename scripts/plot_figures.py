@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Regenerate sweep figures from the metrics sink's JSONL output.
+
+Reads the canonical JSONL the runner emits (`experiment_cli --format jsonl`,
+one JSON object per grid point: scenario, axes, seeds, per-metric
+mean/ci95/min/max) and renders one chart per (scenario, metric): the numeric
+axis with the most distinct values becomes the x axis, every combination of
+the remaining axes becomes one series.
+
+Rendering prefers matplotlib (PNG) when it is importable; otherwise a
+dependency-free built-in SVG writer is used, so the script runs anywhere the
+repo builds — CI uploads the result either way.
+
+Usage:
+    plot_figures.py PATH [PATH...] [--out-dir DIR]
+
+PATH is a .jsonl file or a directory scanned for *.jsonl.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    HAVE_MATPLOTLIB = True
+except ImportError:  # dependency-free fallback below
+    HAVE_MATPLOTLIB = False
+
+PALETTE = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+    "#bbbbbb", "#222222",
+]
+
+
+def load_rows(paths):
+    """Parses every JSONL line of the given files/directories."""
+    rows = []
+    for raw in paths:
+        path = Path(raw)
+        files = sorted(path.glob("*.jsonl")) if path.is_dir() else [path]
+        for file in files:
+            for line_no, line in enumerate(
+                    file.read_text().splitlines(), start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as error:
+                    sys.exit(f"{file}:{line_no}: bad JSON: {error}")
+                if "scenario" not in row or "metrics" not in row:
+                    sys.exit(f"{file}:{line_no}: not a sink row")
+                rows.append(row)
+    return rows
+
+
+def pick_x_axis(rows):
+    """The numeric axis with the most distinct values; None when no axis
+    varies (single-point sweeps)."""
+    counts = {}
+    for row in rows:
+        for name, value in row.get("axes", {}).items():
+            if isinstance(value, (int, float)):
+                counts.setdefault(name, set()).add(value)
+    varying = {name: len(vals) for name, vals in counts.items()
+               if len(vals) > 1}
+    if not varying:
+        return None
+    return max(varying, key=lambda name: (varying[name], name))
+
+
+def series_label(axes, x_axis):
+    parts = [f"{name}={value}" for name, value in sorted(axes.items())
+             if name != x_axis]
+    return ", ".join(parts) if parts else "all"
+
+
+def chart_data(rows, x_axis, metric):
+    """-> {series label: [(x, mean, ci95), ...] sorted by x}."""
+    series = {}
+    for index, row in enumerate(rows):
+        if metric not in row["metrics"]:
+            continue
+        x = row["axes"].get(x_axis, index) if x_axis else index
+        if not isinstance(x, (int, float)):
+            continue
+        entry = row["metrics"][metric]
+        series.setdefault(series_label(row["axes"], x_axis), []).append(
+            (x, entry["mean"], entry.get("ci95", 0.0)))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def render_matplotlib(title, x_label, y_label, series, out_path):
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for color, (label, points) in zip(
+            PALETTE * (1 + len(series) // len(PALETTE)), sorted(series.items())):
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        errs = [p[2] for p in points]
+        ax.errorbar(xs, ys, yerr=errs if any(errs) else None, label=label,
+                    color=color, marker="o", markersize=3, capsize=2)
+    ax.set_title(title)
+    ax.set_xlabel(x_label)
+    ax.set_ylabel(y_label)
+    if len(series) > 1:
+        ax.legend(fontsize=7)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path.with_suffix(".png"), dpi=120)
+    plt.close(fig)
+    return out_path.with_suffix(".png")
+
+
+def render_svg(title, x_label, y_label, series, out_path):
+    """Minimal line chart: stdlib only, enough to eyeball a sweep."""
+    width, height = 720, 460
+    left, right, top, bottom = 70, 20, 40, 60
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    points = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    y_lo = min(y_lo, 0.0)
+
+    def sx(x):
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y):
+        return top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    def esc(text):
+        return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="13">{esc(title)}</text>',
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="black"/>',
+        f'<line x1="{left}" y1="{top}" x2="{left}" y2="{top + plot_h}" '
+        f'stroke="black"/>',
+        f'<text x="{width / 2}" y="{height - 8}" text-anchor="middle">'
+        f'{esc(x_label)}</text>',
+        f'<text x="14" y="{height / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height / 2})">{esc(y_label)}</text>',
+    ]
+    for tick in range(5):
+        y_val = y_lo + (y_hi - y_lo) * tick / 4
+        x_val = x_lo + (x_hi - x_lo) * tick / 4
+        parts.append(
+            f'<text x="{left - 6}" y="{sy(y_val) + 4}" text-anchor="end">'
+            f'{y_val:.3g}</text>')
+        parts.append(
+            f'<text x="{sx(x_val)}" y="{top + plot_h + 16}" '
+            f'text-anchor="middle">{x_val:.3g}</text>')
+        parts.append(
+            f'<line x1="{left}" y1="{sy(y_val)}" x2="{left + plot_w}" '
+            f'y2="{sy(y_val)}" stroke="#dddddd"/>')
+
+    for index, (label, pts) in enumerate(sorted(series.items())):
+        color = PALETTE[index % len(PALETTE)]
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y, _ in pts)
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y, _ in pts:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.5" '
+                         f'fill="{color}"/>')
+        if len(series) > 1:
+            ly = top + 14 * index
+            parts.append(f'<rect x="{left + plot_w - 150}" y="{ly - 8}" '
+                         f'width="10" height="10" fill="{color}"/>')
+            parts.append(f'<text x="{left + plot_w - 136}" y="{ly + 1}">'
+                         f'{esc(label)}</text>')
+    parts.append("</svg>")
+    out = out_path.with_suffix(".svg")
+    out.write_text("\n".join(parts))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help=".jsonl file(s) or directories to scan")
+    parser.add_argument("--out-dir", default="figures",
+                        help="where the rendered charts land")
+    args = parser.parse_args()
+
+    rows = load_rows(args.paths)
+    if not rows:
+        sys.exit("no JSONL rows found")
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    by_scenario = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+
+    written = []
+    for scenario, scenario_rows in sorted(by_scenario.items()):
+        x_axis = pick_x_axis(scenario_rows)
+        metrics = sorted({name for row in scenario_rows
+                          for name in row["metrics"]})
+        for metric in metrics:
+            series = chart_data(scenario_rows, x_axis, metric)
+            series = {label: pts for label, pts in series.items() if pts}
+            if not series:
+                continue
+            safe_metric = metric.replace("@", "_at_").replace("/", "_")
+            out_path = out_dir / f"{scenario}__{safe_metric}"
+            render = render_matplotlib if HAVE_MATPLOTLIB else render_svg
+            written.append(render(f"{scenario}: {metric}",
+                                  x_axis or "grid point", metric, series,
+                                  out_path))
+    if not written:
+        sys.exit("no charts rendered (no plottable metrics)")
+    backend = "matplotlib" if HAVE_MATPLOTLIB else "built-in svg"
+    print(f"wrote {len(written)} figure(s) via {backend}:")
+    for path in written:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

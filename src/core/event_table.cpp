@@ -15,12 +15,17 @@ std::optional<EventId> EventTable::insert(Event event, SimTime now) {
   FRUGAL_EXPECT(!contains(event.id));
   std::optional<EventId> victim;
   if (full()) {
-    victim = pick_victim(now);
-    events_.erase(*victim);
+    victim = pick_victim(event, now);
+    if (*victim == event.id) return victim;  // the newcomer lost: not stored
+    const auto it = events_.find(*victim);
+    index_.remove(it->second.event.topic,
+                  IndexedEvent{*victim, it->second.event.expiry()});
+    events_.erase(it);
   }
   StoredEvent stored;
   stored.stored_at = now;
   const EventId id = event.id;
+  index_.insert(event.topic, IndexedEvent{id, event.expiry()});
   stored.event = std::move(event);
   events_.emplace(id, std::move(stored));
   return victim;
@@ -39,13 +44,29 @@ void EventTable::increment_forward_count(EventId id) {
 std::vector<EventId> EventTable::ids_matching(
     const topics::SubscriptionSet& interests, SimTime now) const {
   std::vector<EventId> out;
-  for (const auto& [id, stored] : events_) {
-    if (stored.event.valid_at(now) && interests.covers(stored.event.topic)) {
-      out.push_back(id);
-    }
+  for (const topics::Topic& subscription : interests.topics()) {
+    index_.for_each_under(subscription, [&](const IndexedEvent& entry) {
+      if (entry.expires_at > now) out.push_back(entry.id);
+    });
   }
   std::sort(out.begin(), out.end());
+  // Subscriptions may cover overlapping subtrees; ids are unique per event.
+  if (interests.size() > 1) {
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
   return out;
+}
+
+bool EventTable::has_match(const topics::SubscriptionSet& interests,
+                           SimTime now) const {
+  for (const topics::Topic& subscription : interests.topics()) {
+    if (index_.any_under(subscription, [&](const IndexedEvent& entry) {
+          return entry.expires_at > now;
+        })) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<const StoredEvent*> EventTable::events_by_id() const {
@@ -60,39 +81,43 @@ std::vector<const StoredEvent*> EventTable::events_by_id() const {
 }
 
 std::size_t EventTable::drop_expired(SimTime now) {
-  return std::erase_if(events_, [&](const auto& kv) {
-    return !kv.second.event.valid_at(now);
-  });
-}
-
-topics::TopicTree<EventId> EventTable::topic_tree() const {
-  topics::TopicTree<EventId> tree;
-  for (const StoredEvent* stored : events_by_id()) {
-    tree.insert(stored->event.topic, stored->event.id);
+  std::size_t dropped = 0;
+  for (auto it = events_.begin(); it != events_.end();) {
+    if (!it->second.event.valid_at(now)) {
+      index_.remove(it->second.event.topic,
+                    IndexedEvent{it->first, it->second.event.expiry()});
+      it = events_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
   }
-  return tree;
+  return dropped;
 }
 
-EventId EventTable::pick_victim(SimTime now) const {
+EventId EventTable::pick_victim(const Event& incoming, SimTime now) const {
   FRUGAL_EXPECT(!events_.empty());
   // Lower keys are evicted first; expired events sort below everything.
-  const auto key = [&](const StoredEvent& stored) {
+  const auto key = [&](const Event& event, std::uint32_t forward_count,
+                       SimTime stored_at) {
     switch (policy_) {
       case GcPolicy::kPaperScore:
-        return gc_score(stored.event, stored.forward_count);
+        return gc_score(event, forward_count);
       case GcPolicy::kFifo:
-        return static_cast<double>(stored.stored_at.us());
+        return static_cast<double>(stored_at.us());
       case GcPolicy::kMostForwarded:
-        return -static_cast<double>(stored.forward_count);
+        return -static_cast<double>(forward_count);
     }
     return 0.0;
   };
+
   const StoredEvent* best = nullptr;
   bool best_expired = false;
   double best_key = 0;
   for (const auto& [id, stored] : events_) {
     const bool expired = !stored.event.valid_at(now);
-    const double k = key(stored);
+    const double k = key(stored.event, stored.forward_count,
+                         stored.stored_at);
     const bool better = [&] {
       if (best == nullptr) return true;
       if (expired != best_expired) return expired;  // expired first
@@ -104,6 +129,19 @@ EventId EventTable::pick_victim(SimTime now) const {
       best_expired = expired;
       best_key = k;
     }
+  }
+
+  // The incoming event (fwd = 0, stored now) competes: it is collected
+  // instead of the stored victim only when *strictly* worse — in practice
+  // when it is expired on arrival, since a fresh event's key is maximal
+  // under every policy. On exact ties the incumbent makes way (Equation 1's
+  // spirit: the newcomer is the freshest event in the system), which also
+  // guarantees publish() can never lose the node's own fresh event.
+  const bool incoming_expired = !incoming.valid_at(now);
+  const double incoming_key = key(incoming, 0, now);
+  if ((incoming_expired && !best_expired) ||
+      (incoming_expired == best_expired && incoming_key < best_key)) {
+    return incoming.id;
   }
   return best->event.id;
 }

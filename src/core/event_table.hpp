@@ -9,9 +9,20 @@
 //
 // so long-lived events that have already been propagated many times make way
 // for fresh, rarely-forwarded ones (paper Equation 1; validity is measured in
-// seconds). The paper's Fig. 10 pseudo-code inverts the expiry comparison
+// seconds). The incoming event competes in the selection (Fig. 3's GC
+// collects the globally worst candidate): when the newcomer is *strictly*
+// worst — in practice, expired on arrival, since a fresh event's key is
+// maximal under every policy — it is not stored at all; exact ties evict
+// the incumbent, so a node's own fresh publication is never lost. The
+// paper's Fig. 10 pseudo-code inverts the expiry comparison
 // (`val(e) > currentTime` selects a *valid* event); we implement the stated
 // intent — evict expired events first.
+//
+// Storage is topic-indexed, as in the paper's Fig. 3 ("according to the
+// topic hierarchy"): a persistent TopicTree over the stored ids is
+// maintained incrementally on insert/evict/expire, so the covering queries
+// (ids_matching, has_match) resolve in O(matching subtree) instead of
+// scanning every stored event against every subscription.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,16 @@ struct StoredEvent {
   Event event;
   std::uint32_t forward_count = 0;  ///< fwd(e)
   SimTime stored_at;
+};
+
+/// One topic-index entry: the id plus the event's expiry, denormalized so
+/// covering queries filter validity while walking the tree, without a
+/// per-id hash lookup.
+struct IndexedEvent {
+  EventId id;
+  SimTime expires_at;
+
+  friend bool operator==(const IndexedEvent&, const IndexedEvent&) = default;
 };
 
 /// GC score of Equation 1; lower scores are collected first.
@@ -64,10 +85,12 @@ class EventTable {
     return events_.contains(id);
   }
 
-  /// Inserts an event, garbage collecting one victim when full. Returns the
-  /// id of the collected victim, if any. Inserting an already-present id is
-  /// a programming error (callers check contains() first — receiving a known
-  /// event counts as a duplicate, not a store).
+  /// Inserts an event, garbage collecting one victim when full. The incoming
+  /// event competes in victim selection: the returned id is the collected
+  /// victim, which may be the incoming event's own id — in that case nothing
+  /// was stored. Returns nullopt when the table had room. Inserting an
+  /// already-present id is a programming error (callers check contains()
+  /// first — receiving a known event counts as a duplicate, not a store).
   std::optional<EventId> insert(Event event, SimTime now);
 
   [[nodiscard]] const StoredEvent* find(EventId id) const;
@@ -77,9 +100,17 @@ class EventTable {
 
   /// Ids of stored events that are still valid at `now` and whose topic is
   /// covered by `interests` (GETEVENTSIDS — what we advertise to a neighbor
-  /// with those interests).
+  /// with those interests). Resolved per subscription over the topic index:
+  /// O(matching subtree + log), not O(events x subscriptions). Ascending id
+  /// order.
   [[nodiscard]] std::vector<EventId> ids_matching(
       const topics::SubscriptionSet& interests, SimTime now) const;
+
+  /// True when ids_matching(interests, now) would be non-empty; short-
+  /// circuits on the first valid covered event (the heartbeat admission
+  /// test).
+  [[nodiscard]] bool has_match(const topics::SubscriptionSet& interests,
+                               SimTime now) const;
 
   /// All stored events, ascending id order (reproducible iteration).
   [[nodiscard]] std::vector<const StoredEvent*> events_by_id() const;
@@ -89,17 +120,25 @@ class EventTable {
   std::size_t drop_expired(SimTime now);
 
   /// The stored events arranged by the topic hierarchy, as in the paper's
-  /// Fig. 3 (introspection for applications and tooling).
-  [[nodiscard]] topics::TopicTree<EventId> topic_tree() const;
+  /// Fig. 3 — the persistent incremental index itself, maintained on every
+  /// insert/evict/expire (no rebuild).
+  [[nodiscard]] const topics::TopicTree<IndexedEvent>& topic_tree() const {
+    return index_;
+  }
 
  private:
-  /// Picks the victim per Fig. 10: any expired event first, otherwise by
-  /// the configured policy (ties: smaller id, for determinism).
-  [[nodiscard]] EventId pick_victim(SimTime now) const;
+  /// Picks the victim per Fig. 10 among the stored events *and* `incoming`
+  /// (as if stored at `now` with fwd = 0): any expired event first,
+  /// otherwise by the configured policy (stored ties: smaller id, for
+  /// determinism; the newcomer only loses when strictly worse).
+  [[nodiscard]] EventId pick_victim(const Event& incoming, SimTime now) const;
 
   std::size_t capacity_;
   GcPolicy policy_;
   std::unordered_map<EventId, StoredEvent, EventIdHash> events_;
+  /// Stored ids filed under their event's topic; always consistent with
+  /// events_ (the class invariant the property tests assert).
+  topics::TopicTree<IndexedEvent> index_;
 };
 
 }  // namespace frugal::core

@@ -94,21 +94,29 @@ struct MetricsSnapshot {
 
 double RunResult::reliability_within(SimDuration validity) const {
   if (events.empty()) return 0.0;
-  const std::size_t subscribers = subscriber_count();
-  if (subscribers == 0) return 0.0;
   double total = 0;
+  std::size_t counted_events = 0;
   for (std::size_t e = 0; e < events.size(); ++e) {
     FRUGAL_EXPECT(validity <= events[e].validity);
     const SimTime deadline = events[e].published_at + validity;
+    std::size_t eligible = 0;
     std::size_t reached = 0;
     for (const NodeOutcome& node : nodes) {
       if (!node.subscribed) continue;
+      if (!node.subscriptions.covers(events[e].topic)) continue;
+      ++eligible;
       const auto& at = node.delivered_at[e];
       if (at.has_value() && *at <= deadline) ++reached;
     }
-    total += static_cast<double>(reached) / static_cast<double>(subscribers);
+    // Hierarchical workloads can publish events no drawn subscription
+    // covers; they have no reception probability and are skipped.
+    if (eligible == 0) continue;
+    total += static_cast<double>(reached) / static_cast<double>(eligible);
+    ++counted_events;
   }
-  return total / static_cast<double>(events.size());
+  return counted_events == 0
+             ? 0.0
+             : total / static_cast<double>(counted_events);
 }
 
 double RunResult::reliability() const {
@@ -202,8 +210,57 @@ RunResult run_experiment(const ExperimentConfig& config) {
     subscribed[order[i]] = true;
   }
 
-  const topics::Topic event_topic = topics::Topic::parse(".news.local");
-  const topics::Topic subscription = topics::Topic::parse(".news");
+  // The workload's topics: the paper's flat pair (everyone subscribes
+  // ".news", events publish on ".news.local") or, when topic_workload is
+  // set, per-node draws over a synthetic hierarchy. All extra draws happen
+  // after the subscriber shuffle on the same stream, so flat runs consume
+  // exactly the pre-hierarchy random sequence (golden traces unchanged).
+  std::vector<topics::SubscriptionSet> node_subscriptions(config.node_count);
+  std::vector<topics::Topic> event_topics(
+      config.event_count, topics::Topic::parse(".news.local"));
+  if (!config.topic_workload.has_value()) {
+    const topics::Topic subscription = topics::Topic::parse(".news");
+    for (NodeId id = 0; id < config.node_count; ++id) {
+      if (subscribed[id]) node_subscriptions[id].add(subscription);
+    }
+  } else {
+    const TopicHierarchyWorkload& workload_spec = *config.topic_workload;
+    FRUGAL_EXPECT(workload_spec.depth >= 1);
+    FRUGAL_EXPECT(workload_spec.branching >= 1);
+    FRUGAL_EXPECT(workload_spec.zipf_s >= 0);
+    FRUGAL_EXPECT(workload_spec.broad_fraction >= 0 &&
+                  workload_spec.broad_fraction <= 1);
+    FRUGAL_EXPECT(workload_spec.subscriptions_per_node >= 1);
+
+    // The complete branching-ary tree of `depth` levels under ".t".
+    const topics::Topic root = topics::Topic::parse(".t");
+    const std::vector<topics::Topic> branches =  // depth-1 (broad subs)
+        topics::complete_tree_level(root, workload_spec.branching, 1);
+    const std::vector<topics::Topic> leaves = topics::complete_tree_level(
+        root, workload_spec.branching, workload_spec.depth);
+    FRUGAL_EXPECT(leaves.size() <= 65536);  // b^depth must stay sane
+
+    // Zipf popularity over the depth-first leaf order.
+    std::vector<double> popularity(leaves.size());
+    for (std::size_t rank = 0; rank < leaves.size(); ++rank) {
+      popularity[rank] =
+          std::pow(static_cast<double>(rank + 1), -workload_spec.zipf_s);
+    }
+
+    for (NodeId id = 0; id < config.node_count; ++id) {
+      if (!subscribed[id]) continue;
+      for (std::uint32_t draw = 0;
+           draw < workload_spec.subscriptions_per_node; ++draw) {
+        const bool broad = workload.bernoulli(workload_spec.broad_fraction);
+        const auto& pool = broad ? branches : leaves;
+        node_subscriptions[id].add(
+            pool[workload.uniform_u64(pool.size())]);
+      }
+    }
+    for (std::uint32_t i = 0; i < config.event_count; ++i) {
+      event_topics[i] = leaves[workload.weighted_index(popularity)];
+    }
+  }
 
   // Build protocol nodes.
   std::vector<std::unique_ptr<ProtocolNode>> nodes;
@@ -223,7 +280,9 @@ RunResult run_experiment(const ExperimentConfig& config) {
       nodes.push_back(std::make_unique<FloodingNode>(
           id, simulator.scheduler(), medium, flooding));
     }
-    if (subscribed[id]) nodes.back()->subscribe(subscription);
+    for (const topics::Topic& topic : node_subscriptions[id].topics()) {
+      nodes.back()->subscribe(topic);
+    }
   }
 
   // The publisher set: the configured (or default-drawn) first publisher,
@@ -254,13 +313,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
         SimTime::zero() + config.warmup + config.publish_spacing * static_cast<std::int64_t>(i);
     simulator.scheduler().schedule_at(at, [&, i, publishing_node, seq] {
       Event event;
-      event.topic = event_topic;
+      event.topic = event_topics[i];
       event.validity = config.event_validity;
       event.wire_bytes = config.event_bytes;
       nodes[publishing_node]->publish(event);
       // publish() assigned the id; record it for result extraction.
-      records[i] = PublishedEventRecord{EventId{publishing_node, seq},
-                                        simulator.now(), config.event_validity};
+      records[i] =
+          PublishedEventRecord{EventId{publishing_node, seq}, simulator.now(),
+                               config.event_validity, event_topics[i]};
     });
   }
 
@@ -329,6 +389,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   for (NodeId id = 0; id < config.node_count; ++id) {
     NodeOutcome& outcome = result.nodes[id];
     outcome.subscribed = subscribed[id];
+    outcome.subscriptions = std::move(node_subscriptions[id]);
     const net::TrafficCounters& traffic = medium.counters(id);
     outcome.traffic = traffic;
     outcome.traffic.bytes_sent = traffic.bytes_sent - baseline[id].bytes_sent;

@@ -69,6 +69,26 @@ struct ChurnConfig {
   SimDuration downtime_max = SimDuration::from_seconds(30.0);
 };
 
+/// Hierarchical pub/sub workload over a synthetic topic tree (the
+/// topic_fanout scenario family). The hierarchy is the complete
+/// `branching`-ary tree of `depth` levels under ".t"; publications land on
+/// leaf topics with Zipf-skewed popularity, and each subscriber draws
+/// `subscriptions_per_node` interests that are either broad (a depth-1
+/// branch topic, covering its whole subtree) or narrow (a single leaf).
+/// When unset, runs use the paper's flat workload (everyone subscribes
+/// ".news", events publish on ".news.local") — bit-identical to before.
+struct TopicHierarchyWorkload {
+  std::uint32_t depth = 3;      ///< levels below the root; leaves = b^depth
+  std::uint32_t branching = 3;  ///< children per interior topic
+  /// Zipf exponent of leaf publication popularity: weight(rank r) =
+  /// 1/(r+1)^s over the depth-first leaf order. 0 = uniform.
+  double zipf_s = 1.0;
+  /// Probability that a drawn subscription is broad (depth-1 branch) rather
+  /// than narrow (leaf).
+  double broad_fraction = 0.5;
+  std::uint32_t subscriptions_per_node = 1;
+};
+
 struct ExperimentConfig {
   Protocol protocol = Protocol::kFrugal;
   std::size_t node_count = 150;  ///< paper: 150 (RWP), 15 (city)
@@ -97,6 +117,8 @@ struct ExperimentConfig {
   /// subscriber order. 1 — the paper's single-publisher workloads — is
   /// bit-identical to the pre-multi-publisher behaviour.
   std::uint32_t publisher_count = 1;
+  /// Optional hierarchical topic workload; see TopicHierarchyWorkload.
+  std::optional<TopicHierarchyWorkload> topic_workload;
   ChurnConfig churn;
   std::uint64_t seed = 1;
   /// Optional: receives the run's publish/delivery/churn records, appended
@@ -109,10 +131,16 @@ struct PublishedEventRecord {
   EventId id;
   SimTime published_at;
   SimDuration validity;
+  /// The topic the event was published on (hierarchical workloads publish
+  /// on varying leaves; flat runs always use ".news.local").
+  topics::Topic topic;
 };
 
 struct NodeOutcome {
   bool subscribed = false;
+  /// The node's drawn interests; reliability counts a node against an event
+  /// only when these cover the event's topic.
+  topics::SubscriptionSet subscriptions;
   /// Traffic during the measurement window (from first publish to run end).
   net::TrafficCounters traffic;
   std::uint64_t events_sent = 0;
@@ -130,9 +158,12 @@ struct RunResult {
   /// Every publishing node, in round-robin order (size = publisher_count).
   std::vector<NodeId> publishers;
 
-  /// Fraction of subscribers that received each event within `validity` of
-  /// its publication, averaged over events. `validity` must not exceed the
-  /// validity the run was executed with.
+  /// Fraction of *eligible* subscribers (those whose subscriptions cover
+  /// the event's topic) that received each event within `validity` of its
+  /// publication, averaged over events with at least one eligible
+  /// subscriber. For the flat workload every subscriber is eligible for
+  /// every event, so this is the paper's reception probability unchanged.
+  /// `validity` must not exceed the validity the run was executed with.
   [[nodiscard]] double reliability_within(SimDuration validity) const;
   /// Reliability at the run's own validity period.
   [[nodiscard]] double reliability() const;

@@ -66,7 +66,18 @@ void FrugalNode::subscribe(const topics::Topic& topic) {
 
 void FrugalNode::unsubscribe(const topics::Topic& topic) {
   subscriptions_.remove(topic);
-  if (subscriptions_.empty()) stop_tasks();
+  if (subscriptions_.empty()) {
+    stop_tasks();
+    // Cancel the armed dissemination work too: a back-off or deferred
+    // retrieve left scheduled here would still broadcast bundles after the
+    // last unsubscription. (Held valid events may later re-enter
+    // dissemination if a *new* interested neighbor is admitted — the same
+    // deliberate widening that lets a pure publisher disseminate.)
+    backoff_.cancel();
+    bo_delay_ = std::nullopt;
+    pending_retrieve_.cancel();
+    events_to_send_.clear();
+  }
 }
 
 void FrugalNode::start_tasks() {
@@ -114,16 +125,8 @@ void FrugalNode::on_heartbeat(const Heartbeat& heartbeat) {
   // holds, so a pure publisher (no subscriptions of its own) can still
   // disseminate — the paper's processes are always subscribers too, so this
   // only widens, never narrows, the paper's test.
-  bool admit = subscriptions_.overlaps(heartbeat.subscriptions);
-  if (!admit) {
-    for (const StoredEvent* stored : events_.events_by_id()) {
-      if (stored->event.valid_at(now) &&
-          heartbeat.subscriptions.covers(stored->event.topic)) {
-        admit = true;
-        break;
-      }
-    }
-  }
+  const bool admit = subscriptions_.overlaps(heartbeat.subscriptions) ||
+                     events_.has_match(heartbeat.subscriptions, now);
 
   if (admit) {
     const NeighborEntry* existing = neighborhood_.find(heartbeat.sender);
@@ -199,14 +202,12 @@ void FrugalNode::retrieve_events_to_send() {
   events_to_send_.clear();
   std::unordered_set<EventId, EventIdHash> selected;
   for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
-    for (const StoredEvent* stored : events_.events_by_id()) {
-      const Event& event = stored->event;
-      if (!event.valid_at(now)) continue;
-      if (!neighbor->subscriptions.covers(event.topic)) continue;
-      if (neighbor->known_events.contains(event.id)) continue;
-      if (selected.insert(event.id).second) {
-        events_to_send_.push_back(event.id);
-      }
+    // The topic index resolves each neighbor's interests in O(matching
+    // subtree); the ids come back valid, covered and ascending — the same
+    // order the flat scan produced.
+    for (EventId id : events_.ids_matching(neighbor->subscriptions, now)) {
+      if (neighbor->known_events.contains(id)) continue;
+      if (selected.insert(id).second) events_to_send_.push_back(id);
     }
   }
   if (events_to_send_.empty()) return;
@@ -271,12 +272,11 @@ void FrugalNode::on_backoff_expired() {
   std::vector<Event> bundle;
   std::unordered_set<EventId, EventIdHash> selected;
   for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
-    for (const StoredEvent* stored : events_.events_by_id()) {
-      const Event& event = stored->event;
-      if (!event.valid_at(now)) continue;
-      if (!neighbor->subscriptions.covers(event.topic)) continue;
-      if (neighbor->known_events.contains(event.id)) continue;
-      if (selected.insert(event.id).second) bundle.push_back(event);
+    for (EventId id : events_.ids_matching(neighbor->subscriptions, now)) {
+      if (neighbor->known_events.contains(id)) continue;
+      if (selected.insert(id).second) {
+        bundle.push_back(events_.find(id)->event);
+      }
     }
   }
   events_to_send_.clear();
@@ -356,12 +356,20 @@ void FrugalNode::on_event_bundle(const EventBundle& bundle) {
       metrics_.duplicates += 1;
       continue;
     }
+    const auto victim = events_.insert(event, now);
+    if (victim.has_value() && *victim == event.id) {
+      // The full table rejected the newcomer (it is the worst GC candidate,
+      // e.g. expired on arrival). It cannot be relayed from here, so leave
+      // the pending back-off alone — repeated receipts of such an event
+      // must not keep deferring a pending transmission.
+      deliver(event);
+      continue;
+    }
     interested = true;
     // A relevant event arrived: cancel the pending back-off; the send set is
     // recomputed below via RETRIEVEEVENTSTOSEND (Fig. 9 line 22).
     backoff_.cancel();
     bo_delay_ = std::nullopt;
-    events_.insert(event, now);
     deliver(event);
   }
 

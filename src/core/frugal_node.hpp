@@ -95,6 +95,9 @@ class FrugalNode final : public ProtocolNode {
   [[nodiscard]] SimDuration hb_delay() const { return hb_delay_; }
   [[nodiscard]] SimDuration ngc_delay() const { return ngc_delay_; }
   [[nodiscard]] bool backoff_pending() const { return backoff_.pending(); }
+  [[nodiscard]] bool retrieve_pending() const {
+    return pending_retrieve_.pending();
+  }
   [[nodiscard]] bool heartbeat_running() const {
     return heartbeat_ != nullptr && heartbeat_->running();
   }

@@ -509,6 +509,50 @@ ScenarioSpec high_density_spec() {
   return spec;
 }
 
+ScenarioSpec topic_fanout_spec() {
+  ScenarioSpec spec;
+  spec.name = "topic_fanout";
+  spec.title =
+      "Topic-tree fan-out (RWP 10 mps, 80% subscribers, hierarchical "
+      "workload)";
+  spec.description =
+      "Hierarchical pub/sub over a synthetic topic tree: reliability and "
+      "cost vs hierarchy depth, branching factor, Zipf-skewed leaf "
+      "popularity and the broad-vs-narrow subscriber mix";
+  spec.axes = {axis("depth", {2, 4, 6}, {1, 2, 3, 4, 5, 6}),
+               axis("branching", {3}, {2, 3, 4}),
+               axis("zipf_s", {1.0}, {0, 0.5, 1.0, 1.5}),
+               axis("broad", {0.2, 0.8}, {0, 0.25, 0.5, 0.75, 1.0})};
+  spec.default_seeds = 2;
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    // The frugality figures' density-preserving fast world; --full restores
+    // nothing here (the hierarchy axes are the full grid's extra room).
+    core::ExperimentConfig config =
+        rwp_world_scaled(10.0, 0.8, 75, 3536.0, seed);
+    core::TopicHierarchyWorkload workload;
+    workload.depth = static_cast<std::uint32_t>(point.get("depth"));
+    workload.branching = static_cast<std::uint32_t>(point.get("branching"));
+    workload.zipf_s = point.get("zipf_s");
+    workload.broad_fraction = point.get("broad");
+    workload.subscriptions_per_node = 2;
+    config.topic_workload = workload;
+    config.event_count = 12;
+    config.event_bytes = 400;
+    config.publish_spacing = SimDuration::from_seconds(1.0);
+    return config;
+  };
+  spec.metrics = {reliability_metric(), bytes_metric(), copies_metric(),
+                  duplicates_metric(), parasites_metric(), latency_metric()};
+  spec.expected_shape =
+      "Expected shape: deeper hierarchies and narrower interests shrink "
+      "each event's eligible audience, so per-event reliability holds "
+      "roughly steady while bytes and parasites fall (fewer processes "
+      "relay); a broad-heavy mix (broad -> 1) approaches the flat-workload "
+      "behaviour, and Zipf skew concentrates traffic on the popular "
+      "branches.";
+  return spec;
+}
+
 ScenarioSpec sparse_partition_spec() {
   ScenarioSpec spec;
   spec.name = "sparse_partition";
@@ -584,6 +628,7 @@ void register_builtin_scenarios() {
     registry.add(multi_publisher_spec());
     registry.add(high_density_spec());
     registry.add(sparse_partition_spec());
+    registry.add(topic_fanout_spec());
     return true;
   }();
   static_cast<void>(registered);

@@ -64,6 +64,28 @@ Topic Topic::child(std::string_view segment) const {
   return Topic{path_ + "." + std::string{segment}};
 }
 
+std::vector<Topic> complete_tree_level(const Topic& root,
+                                       std::uint32_t branching,
+                                       std::uint32_t depth) {
+  FRUGAL_EXPECT(branching >= 1);
+  std::vector<Topic> level{root};
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    // Guard b^depth *before* materializing the next level, so an absurd
+    // branching/depth combination aborts instead of attempting a giant
+    // allocation.
+    FRUGAL_EXPECT(level.size() <= (1u << 20) / branching);
+    std::vector<Topic> next;
+    next.reserve(level.size() * branching);
+    for (const Topic& parent : level) {
+      for (std::uint32_t child = 0; child < branching; ++child) {
+        next.push_back(parent.child("b" + std::to_string(child)));
+      }
+    }
+    level = std::move(next);
+  }
+  return level;
+}
+
 std::vector<std::string> Topic::segments() const {
   std::vector<std::string> out;
   if (path_.empty()) return out;

@@ -11,6 +11,7 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,6 +57,11 @@ class Topic {
   /// Topic goes away).
   [[nodiscard]] std::vector<std::string> segments() const;
 
+  /// The normalized path without the leading dot; the root is "". Ancestry
+  /// is a prefix relation at '.' boundaries on this form, which is what the
+  /// sorted-path indexes (SubscriptionSet) build on.
+  [[nodiscard]] std::string_view path() const { return path_; }
+
   /// Canonical dotted form with leading dot; the root renders as ".".
   [[nodiscard]] std::string to_string() const {
     return path_.empty() ? std::string{"."} : "." + path_;
@@ -67,5 +73,14 @@ class Topic {
   explicit Topic(std::string path) : path_{std::move(path)} {}
   std::string path_;  // "a.b.c" without leading dot; "" is the root
 };
+
+/// All topics exactly `depth` levels below `root` in the complete
+/// `branching`-ary tree whose level segments are "b0".."b{branching-1}",
+/// in depth-first (= lexicographic, for branching <= 10) order. The shared
+/// synthetic-hierarchy builder of the topic_fanout workload and the
+/// event-table scaling benches. depth 0 yields {root}.
+[[nodiscard]] std::vector<Topic> complete_tree_level(const Topic& root,
+                                                     std::uint32_t branching,
+                                                     std::uint32_t depth);
 
 }  // namespace frugal::topics

@@ -8,6 +8,7 @@
 // matches T and everything below it).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,6 +49,33 @@ class TopicTree {
   [[nodiscard]] std::size_t topic_count_under(const Topic& topic) const {
     const Node* node = find(topic);
     return node != nullptr ? count_topics(*node) : 0;
+  }
+
+  /// Calls `fn(value)` for every value under `topic` and its subtopics, in
+  /// the same depth-first segment order as collect_subtree — without
+  /// materializing a vector (the covering-query hot path).
+  template <typename Fn>
+  void for_each_under(const Topic& topic, Fn&& fn) const {
+    if (const Node* node = find(topic)) visit(*node, fn);
+  }
+
+  /// True when `predicate(value)` holds for some value under `topic`;
+  /// short-circuits on the first hit.
+  template <typename Predicate>
+  [[nodiscard]] bool any_under(const Topic& topic,
+                               Predicate&& predicate) const {
+    const Node* node = find(topic);
+    return node != nullptr && any(*node, predicate);
+  }
+
+  /// Removes one value equal to `value` filed under exactly `topic`, pruning
+  /// branches emptied along the path. Returns true when it was present —
+  /// the incremental counterpart of the whole-tree remove_if.
+  bool remove(const Topic& topic, const T& value) {
+    const auto segments = topic.segments();
+    if (!remove_exact(root_, segments, 0, value)) return false;
+    --size_;
+    return true;
   }
 
   /// Removes all values for which `predicate(value)` is true, anywhere in
@@ -105,6 +133,42 @@ class TopicTree {
   static void collect(const Node& node, std::vector<T>& out) {
     out.insert(out.end(), node.values.begin(), node.values.end());
     for (const auto& [segment, child] : node.children) collect(child, out);
+  }
+
+  template <typename Fn>
+  static void visit(const Node& node, Fn& fn) {
+    for (const T& value : node.values) fn(value);
+    for (const auto& [segment, child] : node.children) visit(child, fn);
+  }
+
+  template <typename Predicate>
+  static bool any(const Node& node, Predicate& predicate) {
+    for (const T& value : node.values) {
+      if (predicate(value)) return true;
+    }
+    for (const auto& [segment, child] : node.children) {
+      if (any(child, predicate)) return true;
+    }
+    return false;
+  }
+
+  static bool remove_exact(Node& node,
+                           const std::vector<std::string>& segments,
+                           std::size_t index, const T& value) {
+    if (index == segments.size()) {
+      const auto it =
+          std::find(node.values.begin(), node.values.end(), value);
+      if (it == node.values.end()) return false;
+      node.values.erase(it);
+      return true;
+    }
+    const auto it = node.children.find(segments[index]);
+    if (it == node.children.end()) return false;
+    if (!remove_exact(it->second, segments, index + 1, value)) return false;
+    if (it->second.values.empty() && it->second.children.empty()) {
+      node.children.erase(it);
+    }
+    return true;
   }
 
   static std::size_t count_topics(const Node& node) {

@@ -230,6 +230,164 @@ TEST(GcPolicyTest, PaperScoreKeepsFreshShortLivedEvents) {
             (EventId{1, 2}));  // FIFO evicts the older, fresher event
 }
 
+// -- the newcomer competes in GC (paper Fig. 3: collect the globally worst) --
+
+TEST(GcNewcomerTest, ExpiredNewcomerIsRejectedNotStored) {
+  EventTable table{2};
+  table.insert(make_event(1, 1000.0), SimTime::zero());
+  table.insert(make_event(2, 1000.0), SimTime::zero());
+  // The incoming event is already expired at insertion time: it is the GC
+  // candidate, the stored events survive, nothing is stored.
+  const Event late = make_event(3, /*validity_s=*/10.0);
+  const auto victim = table.insert(late, SimTime::from_seconds(50));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 3}));
+  EXPECT_FALSE(table.contains(EventId{1, 3}));
+  EXPECT_TRUE(table.contains(EventId{1, 1}));
+  EXPECT_TRUE(table.contains(EventId{1, 2}));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(GcNewcomerTest, ExactTieEvictsIncumbentNotNewcomer) {
+  // All candidates score 1.0 (fwd = 0): the newcomer is the freshest event
+  // in the system, so on an exact tie the incumbent makes way even when the
+  // newcomer has the smallest id — a publisher can never lose its own fresh
+  // event to the id tie-break.
+  Event incoming = make_event(1, 60.0);
+  incoming.id = EventId{0, 0};
+  EventTable table{2};
+  table.insert(make_event(5, 60.0), SimTime::zero());
+  table.insert(make_event(7, 60.0), SimTime::zero());
+  const auto victim = table.insert(incoming, SimTime::zero());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, (EventId{1, 5}));  // smallest stored id
+  EXPECT_TRUE(table.contains(EventId{0, 0}));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(GcNewcomerTest, FreshNewcomerStillEvictsWorstStored) {
+  for (const GcPolicy policy :
+       {GcPolicy::kPaperScore, GcPolicy::kFifo, GcPolicy::kMostForwarded}) {
+    EventTable table{2, policy};
+    table.insert(make_event(1, 300.0), SimTime::from_seconds(1));
+    table.insert(make_event(2, 300.0), SimTime::from_seconds(2));
+    for (int i = 0; i < 5; ++i) table.increment_forward_count(EventId{1, 1});
+    const auto victim =
+        table.insert(make_event(3, 300.0, ".t",
+                                SimTime::from_seconds(3)),
+                     SimTime::from_seconds(3));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_NE(*victim, (EventId{1, 3})) << "policy "
+                                        << static_cast<int>(policy);
+    EXPECT_TRUE(table.contains(EventId{1, 3}));
+  }
+}
+
+TEST(GcNewcomerTest, RejectedNewcomerLeavesIndexConsistent) {
+  EventTable table{1};
+  table.insert(make_event(1, 1000.0, ".a.b"), SimTime::zero());
+  const Event late = make_event(2, 1.0, ".a.c");
+  ASSERT_EQ(table.insert(late, SimTime::from_seconds(10)), (EventId{1, 2}));
+  EXPECT_EQ(table.topic_tree().size(), 1u);
+  SubscriptionSet interests;
+  interests.add(Topic::parse(".a"));
+  EXPECT_EQ(table.ids_matching(interests, SimTime::from_seconds(10)),
+            (std::vector<EventId>{{1, 1}}));
+}
+
+// -- the incremental topic index ---------------------------------------------
+
+TEST(EventTableIndexTest, IdsMatchingDedupsOverlappingSubscriptions) {
+  EventTable table{8};
+  table.insert(make_event(1, 100.0, ".a.b"), SimTime::zero());
+  table.insert(make_event(2, 100.0, ".a"), SimTime::zero());
+  SubscriptionSet interests;
+  interests.add(Topic::parse(".a"));
+  interests.add(Topic::parse(".a.b"));  // redundant: subtree of .a
+  EXPECT_EQ(table.ids_matching(interests, SimTime::zero()),
+            (std::vector<EventId>{{1, 1}, {1, 2}}));
+}
+
+TEST(EventTableIndexTest, HasMatchShortCircuitsOnValidityAndTopic) {
+  EventTable table{8};
+  table.insert(make_event(1, 10.0, ".a.b"), SimTime::zero());
+  table.insert(make_event(2, 100.0, ".z"), SimTime::zero());
+  SubscriptionSet a;
+  a.add(Topic::parse(".a"));
+  EXPECT_TRUE(table.has_match(a, SimTime::zero()));
+  EXPECT_FALSE(table.has_match(a, SimTime::from_seconds(50)));  // expired
+  SubscriptionSet z;
+  z.add(Topic::parse(".z"));
+  EXPECT_TRUE(table.has_match(z, SimTime::from_seconds(50)));
+  SubscriptionSet none;
+  none.add(Topic::parse(".nope"));
+  EXPECT_FALSE(table.has_match(none, SimTime::zero()));
+}
+
+// Property: after arbitrary interleavings of insert (with GC), expiry drops
+// and forward increments, the persistent incremental index is identical to a
+// tree rebuilt from scratch over the stored events.
+class EventTableIndexProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventTableIndexProperty, IncrementalIndexEqualsRebuild) {
+  Rng rng{GetParam()};
+  EventTable table{16};
+  const char* segments[] = {"a", "b", "c"};
+  std::uint32_t seq = 0;
+  for (int step = 0; step < 400; ++step) {
+    const SimTime now = SimTime::from_seconds(step * 0.7);
+    const double roll = rng.uniform();
+    if (roll < 0.55) {
+      Topic topic;
+      const auto depth = rng.uniform_u64(4);
+      for (std::uint64_t d = 0; d < depth; ++d) {
+        topic = topic.child(segments[rng.uniform_u64(3)]);
+      }
+      Event e;
+      e.id = EventId{1, seq++};
+      e.topic = topic;
+      e.published_at = now;
+      e.validity = SimDuration::from_seconds(rng.uniform(1.0, 120.0));
+      table.insert(std::move(e), now);
+    } else if (roll < 0.7) {
+      table.drop_expired(now);
+    } else if (table.size() > 0) {
+      const auto events = table.events_by_id();
+      table.increment_forward_count(
+          events[rng.uniform_u64(events.size())]->event.id);
+    }
+
+    // Rebuild from scratch and compare topics, per-topic ids and totals.
+    topics::TopicTree<EventId> rebuilt;
+    for (const StoredEvent* stored : table.events_by_id()) {
+      rebuilt.insert(stored->event.topic, stored->event.id);
+    }
+    const auto& incremental = table.topic_tree();
+    ASSERT_EQ(incremental.size(), rebuilt.size());
+    const auto topics = rebuilt.topics();
+    ASSERT_EQ(incremental.topics(), topics);
+    for (const Topic& topic : topics) {
+      const auto* expected_ids = rebuilt.at(topic);
+      const auto* indexed = incremental.at(topic);
+      ASSERT_NE(indexed, nullptr);
+      std::vector<EventId> got;
+      got.reserve(indexed->size());
+      for (const IndexedEvent& entry : *indexed) {
+        got.push_back(entry.id);
+        ASSERT_EQ(entry.expires_at, table.find(entry.id)->event.expiry());
+      }
+      std::sort(got.begin(), got.end());
+      std::vector<EventId> want = *expected_ids;
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "topic " << topic.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventTableIndexProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 // Property: under arbitrary interleavings of inserts and forward-increments,
 // the table never exceeds capacity and insert evicts at most one event.
 class EventTableChurn : public ::testing::TestWithParam<std::uint64_t> {};

@@ -41,6 +41,104 @@ ExperimentConfig small_city(std::uint64_t seed = 1) {
   return config;
 }
 
+TEST(ExperimentTest, FlatWorkloadRecordsTopicsAndSubscriptions) {
+  const RunResult result = run_experiment(small_rwp());
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_EQ(result.events[0].topic, topics::Topic::parse(".news.local"));
+  for (const NodeOutcome& node : result.nodes) {
+    EXPECT_EQ(node.subscriptions.empty(), !node.subscribed);
+    if (node.subscribed) {
+      EXPECT_TRUE(node.subscriptions.covers(result.events[0].topic));
+    }
+  }
+}
+
+TEST(ExperimentTest, TopicWorkloadDrawsHierarchicalInterests) {
+  ExperimentConfig config = small_rwp();
+  TopicHierarchyWorkload workload;
+  workload.depth = 3;
+  workload.branching = 3;
+  workload.broad_fraction = 0.5;
+  workload.subscriptions_per_node = 2;
+  config.topic_workload = workload;
+  config.event_count = 6;
+  const RunResult result = run_experiment(config);
+
+  ASSERT_EQ(result.events.size(), 6u);
+  const topics::Topic root = topics::Topic::parse(".t");
+  for (const PublishedEventRecord& event : result.events) {
+    EXPECT_EQ(event.topic.depth(), 4u);  // ".t" + 3 hierarchy levels
+    EXPECT_TRUE(root.covers(event.topic));
+  }
+  std::size_t broad = 0;
+  std::size_t narrow = 0;
+  for (const NodeOutcome& node : result.nodes) {
+    if (!node.subscribed) {
+      EXPECT_TRUE(node.subscriptions.empty());
+      continue;
+    }
+    ASSERT_FALSE(node.subscriptions.empty());
+    EXPECT_LE(node.subscriptions.size(), 2u);
+    for (const topics::Topic& topic : node.subscriptions.topics()) {
+      EXPECT_TRUE(root.covers(topic));
+      if (topic.depth() == 2) {
+        ++broad;
+      } else {
+        EXPECT_EQ(topic.depth(), 4u);
+        ++narrow;
+      }
+    }
+  }
+  // With broad_fraction 0.5 and 32 subscribers x 2 draws, both kinds occur.
+  EXPECT_GT(broad, 0u);
+  EXPECT_GT(narrow, 0u);
+  const double reliability = result.reliability();
+  EXPECT_GE(reliability, 0.0);
+  EXPECT_LE(reliability, 1.0);
+}
+
+TEST(ExperimentTest, TopicWorkloadIsDeterministicInSeed) {
+  ExperimentConfig config = small_rwp(11);
+  TopicHierarchyWorkload workload;
+  workload.zipf_s = 1.2;
+  config.topic_workload = workload;
+  config.event_count = 4;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t e = 0; e < a.events.size(); ++e) {
+    EXPECT_EQ(a.events[e].topic, b.events[e].topic);
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].subscriptions, b.nodes[i].subscriptions);
+    EXPECT_EQ(a.nodes[i].traffic.bytes_sent, b.nodes[i].traffic.bytes_sent);
+  }
+  EXPECT_DOUBLE_EQ(a.reliability(), b.reliability());
+}
+
+TEST(ExperimentTest, BroadOnlyMixMatchesFlatEligibility) {
+  // broad_fraction 1 with depth 1 means every subscriber holds a depth-1
+  // branch: every event (published on a depth-1 "leaf" of the same level)
+  // is eligible exactly for the subscribers holding its branch.
+  ExperimentConfig config = small_rwp();
+  TopicHierarchyWorkload workload;
+  workload.depth = 1;
+  workload.branching = 2;
+  workload.broad_fraction = 1.0;
+  config.topic_workload = workload;
+  config.event_count = 4;
+  const RunResult result = run_experiment(config);
+  for (const NodeOutcome& node : result.nodes) {
+    if (!node.subscribed) continue;
+    for (const topics::Topic& topic : node.subscriptions.topics()) {
+      EXPECT_EQ(topic.depth(), 2u);  // ".t.bX"
+    }
+  }
+  const double reliability = result.reliability();
+  EXPECT_GE(reliability, 0.0);
+  EXPECT_LE(reliability, 1.0);
+}
+
 TEST(ExperimentTest, FrugalRwpDisseminates) {
   const RunResult result = run_experiment(small_rwp());
   EXPECT_EQ(result.events.size(), 1u);

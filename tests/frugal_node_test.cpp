@@ -75,6 +75,105 @@ TEST(FrugalNodeTest, UnsubscribeLastTopicStopsTasks) {
   EXPECT_FALSE(w.node(0).heartbeat_running());
 }
 
+TEST(FrugalNodeTest, UnsubscribeCancelsPendingRetrieve) {
+  // Regression: with id exchange off, a freshly admitted neighbor arms the
+  // deferred RETRIEVEEVENTSTOSEND. Unsubscribing the last topic must cancel
+  // it — a fully-unsubscribed process may not broadcast bundles later.
+  FrugalConfig config = World::fast();
+  config.exchange_event_ids = false;
+  World w{{{0, 0}, {50, 0}}, config};
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  // Step until node 0 admits node 1 and defers the retrieve.
+  for (int step = 0; step < 300 && !w.node(0).retrieve_pending(); ++step) {
+    w.run_for(10_ms);
+  }
+  ASSERT_TRUE(w.node(0).retrieve_pending());
+  w.node(0).unsubscribe(Topic::parse(".a"));
+  EXPECT_FALSE(w.node(0).retrieve_pending());
+  EXPECT_FALSE(w.node(0).backoff_pending());
+  w.run_for(10_sec);
+  EXPECT_EQ(w.node(0).metrics().events_sent, 0u);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+}
+
+TEST(FrugalNodeTest, UnsubscribeCancelsArmedBackoff) {
+  // Regression: an armed back-off timer survived full unsubscription and
+  // still sent the bundle when it expired.
+  World w{{{0, 0}, {50, 0}}};
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  // The id exchange triggers retrieve; catch the 0.5 s back-off window.
+  for (int step = 0; step < 300 && !w.node(0).backoff_pending(); ++step) {
+    w.run_for(10_ms);
+  }
+  ASSERT_TRUE(w.node(0).backoff_pending());
+  w.node(0).unsubscribe(Topic::parse(".a"));
+  EXPECT_FALSE(w.node(0).backoff_pending());
+  EXPECT_FALSE(w.node(0).retrieve_pending());
+  EXPECT_FALSE(w.node(0).heartbeat_running());
+  w.run_for(10_sec);
+  EXPECT_EQ(w.node(0).metrics().events_sent, 0u);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+}
+
+TEST(FrugalNodeTest, RejectedNewcomerDoesNotDisturbPendingSend) {
+  // Under memory pressure the GC rejects an incoming event that is the
+  // strictly worst candidate (expired on arrival). Such an event is
+  // delivered but not stored — and its receipt must NOT cancel an armed
+  // back-off: repeated receipts of a rejected event would otherwise defer a
+  // pending transmission indefinitely.
+  FrugalConfig config = World::fast();
+  config.event_table_capacity = 1;
+  World w{{{0, 0}, {500, 0}, {60, 0}}, config};
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.node(1).subscribe(Topic::parse(".a"));
+  // Node 2 never subscribes; it only sources crafted bundles.
+  const auto inject = [&](EventId id, const char* topic, SimTime published,
+                          double validity_s) {
+    Event e;
+    e.id = id;
+    e.topic = Topic::parse(topic);
+    e.published_at = published;
+    e.validity = SimDuration::from_seconds(validity_s);
+    EventBundle bundle;
+    bundle.sender = 2;
+    bundle.events = {std::move(e)};
+    const Message message{std::move(bundle)};
+    w.medium.broadcast(2, wire_size(message),
+                       std::make_shared<const Message>(message));
+  };
+
+  // Node 0 (in range of node 2) stores event A; node 1 is still far away.
+  inject(EventId{2, 5}, ".a.x", SimTime::zero(), 300.0);
+  w.run_for(1_sec);
+  ASSERT_TRUE(w.node(0).events().contains(EventId{2, 5}));
+  ASSERT_FALSE(w.node(1).events().contains(EventId{2, 5}));
+
+  // Node 1 arrives lacking A: node 0 arms the back-off to send it.
+  w.mobility.move_node(1, {50, 0});
+  for (int step = 0; step < 500 && !w.node(0).backoff_pending(); ++step) {
+    w.run_for(10_ms);
+  }
+  ASSERT_TRUE(w.node(0).backoff_pending());
+
+  // Event B was published at t=0 with a 1 s validity: expired on arrival,
+  // it loses victim selection against the valid stored A — delivered, not
+  // stored, back-off untouched.
+  inject(EventId{1, 0}, ".a.y", SimTime::zero(), 1.0);
+  w.run_for(50_ms);
+  EXPECT_TRUE(w.node(0).backoff_pending());
+  EXPECT_EQ(w.node(0).metrics().deliveries.count(EventId{1, 0}), 1u);
+  EXPECT_TRUE(w.node(0).events().contains(EventId{2, 5}));
+  EXPECT_FALSE(w.node(0).events().contains(EventId{1, 0}));
+
+  // The pending send still goes through: node 1 receives A.
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.count(EventId{2, 5}), 1u);
+}
+
 TEST(FrugalNodeTest, HeartbeatsAreSentPeriodically) {
   World w{{{0, 0}, {50, 0}}};
   w.node(0).subscribe(Topic::parse(".a"));

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "topics/subscription_set.hpp"
+#include "util/rng.hpp"
 
 namespace frugal::topics {
 namespace {
@@ -197,6 +202,94 @@ TEST(SubscriptionSetTest, Equality) {
   // heartbeat payload); semantic equivalence is not required here.
   EXPECT_FALSE(a == c);
 }
+
+TEST(TopicTest, CompleteTreeLevelEnumeratesLexicographically) {
+  const Topic root = Topic::parse(".t");
+  EXPECT_EQ(complete_tree_level(root, 3, 0), (std::vector<Topic>{root}));
+  EXPECT_EQ(complete_tree_level(root, 2, 1),
+            (std::vector<Topic>{Topic::parse(".t.b0"),
+                                Topic::parse(".t.b1")}));
+  const auto leaves = complete_tree_level(root, 3, 4);
+  EXPECT_EQ(leaves.size(), 81u);  // 3^4
+  EXPECT_EQ(leaves.front(), Topic::parse(".t.b0.b0.b0.b0"));
+  EXPECT_EQ(leaves.back(), Topic::parse(".t.b2.b2.b2.b2"));
+  EXPECT_TRUE(std::is_sorted(leaves.begin(), leaves.end()));
+  for (const Topic& leaf : leaves) {
+    EXPECT_EQ(leaf.depth(), 5u);
+    EXPECT_TRUE(root.covers(leaf));
+  }
+}
+
+TEST(SubscriptionSetTest, SiblingPrefixIsNotAnAncestorInLargeSets) {
+  // ".a.b" vs ".a.bc": the sorted-path index must respect the segment
+  // boundary exactly like Topic::covers does. Grow the set past the linear
+  // fallback so the indexed path is the one under test.
+  SubscriptionSet set;
+  set.add(Topic::parse(".a.b"));
+  for (int i = 0; i < 10; ++i) {
+    set.add(Topic::parse(".filler.t" + std::to_string(i)));
+  }
+  EXPECT_TRUE(set.covers(Topic::parse(".a.b.c")));
+  EXPECT_FALSE(set.covers(Topic::parse(".a.bc")));
+  SubscriptionSet sibling{{Topic::parse(".a.bc.d")}};
+  EXPECT_FALSE(set.overlaps(sibling));
+  SubscriptionSet nested{{Topic::parse(".a.b.deep.leaf")}};
+  EXPECT_TRUE(set.overlaps(nested));
+}
+
+// Property: the sorted-path index used above the small-set threshold gives
+// exactly the flat-scan semantics, for covers() and both overlap
+// directions, across set sizes straddling the threshold.
+class SubscriptionSetProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubscriptionSetProperty, IndexedMatchesBruteForce) {
+  frugal::Rng rng{GetParam()};
+  const char* segments[] = {"a", "b", "ab", "c"};
+  const auto random_topic = [&](std::uint64_t max_depth) {
+    Topic topic;
+    const auto depth = rng.uniform_u64(max_depth + 1);
+    for (std::uint64_t d = 0; d < depth; ++d) {
+      topic = topic.child(segments[rng.uniform_u64(4)]);
+    }
+    return topic;
+  };
+  for (const std::size_t size_a : {2u, 7u, 9u, 24u}) {
+    for (const std::size_t size_b : {1u, 8u, 20u}) {
+      std::vector<Topic> list_a;
+      std::vector<Topic> list_b;
+      for (std::size_t i = 0; i < size_a; ++i) {
+        list_a.push_back(random_topic(4));
+      }
+      for (std::size_t i = 0; i < size_b; ++i) {
+        list_b.push_back(random_topic(4));
+      }
+      const SubscriptionSet a{list_a};
+      const SubscriptionSet b{list_b};
+
+      for (int probe = 0; probe < 20; ++probe) {
+        const Topic topic = random_topic(5);
+        const bool brute = std::any_of(
+            list_a.begin(), list_a.end(),
+            [&](const Topic& s) { return s.covers(topic); });
+        ASSERT_EQ(a.covers(topic), brute)
+            << "covers mismatch for " << topic.to_string();
+      }
+
+      bool brute_overlap = false;
+      for (const Topic& ta : list_a) {
+        for (const Topic& tb : list_b) {
+          if (ta.covers(tb) || tb.covers(ta)) brute_overlap = true;
+        }
+      }
+      ASSERT_EQ(a.overlaps(b), brute_overlap);
+      ASSERT_EQ(b.overlaps(a), brute_overlap);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubscriptionSetProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
 
 }  // namespace
 }  // namespace frugal::topics

@@ -106,6 +106,143 @@ TEST(TopicTreeTest, TopicsListing) {
   EXPECT_EQ(topics[2], t(".b"));
 }
 
+TEST(TopicTreeTest, ForEachUnderMatchesCollect) {
+  TopicTree<int> tree;
+  tree.insert(t(".a"), 1);
+  tree.insert(t(".a.b"), 2);
+  tree.insert(t(".z"), 3);
+  std::vector<int> visited;
+  tree.for_each_under(t(".a"), [&](int v) { visited.push_back(v); });
+  EXPECT_EQ(visited, tree.collect_subtree(t(".a")));
+  visited.clear();
+  tree.for_each_under(t(".missing"), [&](int v) { visited.push_back(v); });
+  EXPECT_TRUE(visited.empty());
+}
+
+TEST(TopicTreeTest, AnyUnderShortCircuits) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b"), 1);
+  tree.insert(t(".a.c"), 2);
+  EXPECT_TRUE(tree.any_under(t(".a"), [](int v) { return v == 2; }));
+  EXPECT_FALSE(tree.any_under(t(".a"), [](int v) { return v == 9; }));
+  EXPECT_FALSE(tree.any_under(t(".z"), [](int) { return true; }));
+  int probes = 0;
+  EXPECT_TRUE(tree.any_under(Topic{}, [&](int) {
+    ++probes;
+    return true;
+  }));
+  EXPECT_EQ(probes, 1);  // stopped at the first value
+}
+
+TEST(TopicTreeTest, RemoveExactValuePrunesEmptiedPath) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b.c"), 1);
+  tree.insert(t(".a.x"), 2);
+  EXPECT_TRUE(tree.remove(t(".a.b.c"), 1));
+  EXPECT_EQ(tree.size(), 1u);
+  // The intermediate .a.b node is gone with the leaf...
+  EXPECT_EQ(tree.at(t(".a.b")), nullptr);
+  EXPECT_EQ(tree.at(t(".a.b.c")), nullptr);
+  // ...but the shared ancestor survives for the sibling branch.
+  ASSERT_NE(tree.at(t(".a.x")), nullptr);
+  EXPECT_EQ(tree.at(t(".a.x"))->front(), 2);
+}
+
+TEST(TopicTreeTest, RemoveExactValueMisses) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b"), 1);
+  EXPECT_FALSE(tree.remove(t(".a.b"), 2));      // wrong value
+  EXPECT_FALSE(tree.remove(t(".a"), 1));        // value lives deeper
+  EXPECT_FALSE(tree.remove(t(".missing"), 1));  // no such branch
+  EXPECT_EQ(tree.size(), 1u);
+  // Removing one of two equal-topic values keeps the other.
+  tree.insert(t(".a.b"), 9);
+  EXPECT_TRUE(tree.remove(t(".a.b"), 1));
+  ASSERT_NE(tree.at(t(".a.b")), nullptr);
+  EXPECT_EQ(*tree.at(t(".a.b")), (std::vector<int>{9}));
+}
+
+TEST(TopicTreeTest, RemoveIfPrunesOnlyEmptiedBranches) {
+  TopicTree<int> tree;
+  tree.insert(t(".a.b"), 1);
+  tree.insert(t(".a.b.c"), 2);
+  tree.insert(t(".a.b.c.d"), 3);
+  // Remove the middle value: the .a.b.c node empties but must survive as an
+  // interior node because .a.b.c.d below it still holds a value.
+  EXPECT_EQ(tree.remove_if([](int v) { return v == 2; }), 1u);
+  EXPECT_EQ(tree.collect_subtree(t(".a.b")), (std::vector<int>{1, 3}));
+  ASSERT_NE(tree.at(t(".a.b.c")), nullptr);
+  EXPECT_TRUE(tree.at(t(".a.b.c"))->empty());
+  // Now drop the deep value: the whole emptied chain below .a.b goes away.
+  EXPECT_EQ(tree.remove_if([](int v) { return v == 3; }), 1u);
+  EXPECT_EQ(tree.at(t(".a.b.c")), nullptr);
+  EXPECT_EQ(tree.topics(), (std::vector<Topic>{t(".a.b")}));
+}
+
+// Property: after interleaved inserts and removals, topics() and
+// collect_subtree agree with a model map, and no empty branch lingers
+// (every listed topic holds at least one value).
+class TopicTreeInterleaved : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TopicTreeInterleaved, TopicsAndSubtreesMatchModelAfterRandomOps) {
+  Rng rng{GetParam()};
+  TopicTree<int> tree;
+  std::vector<std::pair<Topic, int>> model;
+  const char* segments[] = {"a", "b", "c"};
+  int next = 0;
+  for (int step = 0; step < 300; ++step) {
+    const bool removing = !model.empty() && rng.bernoulli(0.45);
+    if (removing) {
+      const auto pick = rng.uniform_u64(model.size());
+      if (rng.bernoulli(0.5)) {
+        ASSERT_TRUE(tree.remove(model[pick].first, model[pick].second));
+      } else {
+        const int value = model[pick].second;
+        ASSERT_EQ(tree.remove_if([&](int v) { return v == value; }), 1u);
+      }
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      Topic topic;
+      const auto depth = rng.uniform_u64(5);
+      for (std::uint64_t d = 0; d < depth; ++d) {
+        topic = topic.child(segments[rng.uniform_u64(3)]);
+      }
+      tree.insert(topic, next);
+      model.emplace_back(topic, next);
+      ++next;
+    }
+
+    ASSERT_EQ(tree.size(), model.size());
+    // topics(): exactly the distinct topics holding values, sorted
+    // depth-first (== lexicographic segment order).
+    std::vector<Topic> expected_topics;
+    for (const auto& [topic, value] : model) {
+      expected_topics.push_back(topic);
+    }
+    std::sort(expected_topics.begin(), expected_topics.end());
+    expected_topics.erase(
+        std::unique(expected_topics.begin(), expected_topics.end()),
+        expected_topics.end());
+    ASSERT_EQ(tree.topics(), expected_topics);
+    // Spot-check covering queries against the model.
+    for (const char* probe : {".", ".a", ".b.c", ".a.a.a"}) {
+      const Topic query = Topic::parse(probe);
+      auto got = tree.collect_subtree(query);
+      std::sort(got.begin(), got.end());
+      std::vector<int> expected;
+      for (const auto& [topic, value] : model) {
+        if (query.covers(topic)) expected.push_back(value);
+      }
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << "query " << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopicTreeInterleaved,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 TEST(TopicTreeTest, Clear) {
   TopicTree<int> tree;
   tree.insert(t(".a"), 1);
