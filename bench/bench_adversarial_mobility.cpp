@@ -1,0 +1,14 @@
+// Adversarial flash-crowd mobility (beyond the paper's figures): every
+// process converges on one rally point, dwells, then disperses; events are
+// published before, during and after the density spike.
+//
+// Thin wrapper: the whole experiment is the registered
+// "adversarial_mobility" scenario (src/runner/scenarios.cpp).
+// FRUGAL_SHARD=i/N turns this binary into one shard of a multi-machine
+// sweep (see EXPERIMENTS.md).
+
+#include "runner/bench_main.hpp"
+
+int main() {
+  return frugal::runner::figure_bench_main("adversarial_mobility");
+}

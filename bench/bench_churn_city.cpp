@@ -1,0 +1,13 @@
+// Churn x subscribers on the city-section world (beyond the paper's
+// figures): crash/recovery blackouts crossed with the subscriber fraction,
+// publishing from a sample of processes (all 15 under FRUGAL_FULL).
+//
+// Thin wrapper: the whole experiment is the registered "churn_city"
+// scenario (src/runner/scenarios.cpp). FRUGAL_SHARD=i/N turns this binary
+// into one shard of a multi-machine sweep (see EXPERIMENTS.md).
+
+#include "runner/bench_main.hpp"
+
+int main() {
+  return frugal::runner::figure_bench_main("churn_city");
+}

@@ -1,0 +1,14 @@
+// Event-table memory pressure (beyond the paper's figures): capacity x
+// publish-rate grids that keep far more valid events in flight than a
+// process can store, driving Fig. 3's GC victim selection (Equation 1)
+// under real load.
+//
+// Thin wrapper: the whole experiment is the registered "memory_pressure"
+// scenario (src/runner/scenarios.cpp). FRUGAL_SHARD=i/N turns this binary
+// into one shard of a multi-machine sweep (see EXPERIMENTS.md).
+
+#include "runner/bench_main.hpp"
+
+int main() {
+  return frugal::runner::figure_bench_main("memory_pressure");
+}

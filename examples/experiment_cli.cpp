@@ -7,25 +7,36 @@
 //   experiment_cli --scenario NAME [--jobs N] [--seeds N] [--seed-base N]
 //                  [--full] [--grid axis=v1,v2,...]...
 //                  [--format table|csv|jsonl] [--csv-dir DIR]
+//                  [--shard i/N]
+//   experiment_cli --merge FILE [--merge FILE]...
+//                  [--format table|csv|jsonl] [--csv-dir DIR]
 //
 // Examples:
 //   experiment_cli --list
 //   experiment_cli --scenario fig11_rwp_reliability --jobs 8 --format csv
 //   experiment_cli --scenario fig13_heartbeat --grid hb_upper_s=1,5 --seeds 2
 //   experiment_cli --scenario high_density --grid nodes=600 --format jsonl
+//   experiment_cli --scenario fig17_bandwidth --full --shard 0/4 > s0.jsonl
+//   experiment_cli --merge s0.jsonl --merge s1.jsonl ... --format csv
 //
 // The aggregated output is byte-identical whatever --jobs says: jobs are
 // pure functions of their (grid point, seed) coordinates and aggregation
-// runs serially in canonical grid order.
+// runs serially in canonical grid order. --shard runs one deterministic
+// slice of that job order and prints a self-describing partial artifact;
+// --merge recombines a complete shard set (any order, any machines) into
+// output byte-identical to the single-box run.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "runner/pool.hpp"
 #include "runner/registry.hpp"
+#include "runner/shard.hpp"
 #include "runner/sink.hpp"
 #include "runner/sweep.hpp"
 #include "util/env.hpp"
@@ -42,10 +53,18 @@ namespace {
       "       %s --scenario NAME [--jobs N] [--seeds N] [--seed-base N]\n"
       "          [--full] [--grid axis=v1,v2,...]...\n"
       "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
+      "       %s --scenario NAME [sweep flags as above] --shard i/N\n"
+      "       %s --merge FILE [--merge FILE]...\n"
+      "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
       "\n"
+      "--shard runs slice i of N of the job grid and prints the partial\n"
+      "artifact (JSONL) to stdout — it takes no --format/--csv-dir;\n"
+      "--merge recombines a complete shard set into output byte-identical\n"
+      "to the unsharded run and takes no sweep-shaping flags (the\n"
+      "artifacts fix the grid, seeds and seed base).\n"
       "Defaults honour FRUGAL_JOBS, FRUGAL_SEEDS, FRUGAL_FULL and\n"
       "FRUGAL_CSV_DIR; flags win over the environment.\n",
-      argv0, argv0);
+      argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -115,6 +134,17 @@ Axis parse_grid_override(const char* text, const char* argv0) {
   return axis;
 }
 
+std::string read_file_or_die(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "cannot read shard artifact \"%s\"\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +154,10 @@ int main(int argc, char** argv) {
   Format format = Format::kTable;
   std::string csv_dir = env_string("FRUGAL_CSV_DIR").value_or("");
   bool list_requested = false;
+  bool shard_requested = false;
+  bool sweep_flags_used = false;   // --merge takes no sweep-shaping flags
+  bool output_flags_used = false;  // --shard takes no output-shaping flags
+  std::vector<std::string> merge_paths;
 
   for (int i = 1; i < argc; ++i) {
     const auto is = [&](const char* flag) {
@@ -139,21 +173,40 @@ int main(int argc, char** argv) {
       scenario_name = value();
     } else if (is("--jobs")) {
       options.jobs = parse_positive_int(value(), "--jobs", argv[0]);
+      sweep_flags_used = true;
     } else if (is("--seeds")) {
       options.seeds = parse_positive_int(value(), "--seeds", argv[0]);
+      sweep_flags_used = true;
     } else if (is("--seed-base")) {
       options.seed_base = static_cast<std::uint64_t>(
           parse_positive_int(value(), "--seed-base", argv[0]));
+      sweep_flags_used = true;
     } else if (is("--full")) {
       options.full = true;
+      sweep_flags_used = true;
     } else if (is("--grid")) {
       options.overrides.push_back(parse_grid_override(value(), argv[0]));
+      sweep_flags_used = true;
+    } else if (is("--shard")) {
+      const char* text = value();
+      const std::optional<ShardSpec> shard = try_parse_shard_spec(text);
+      if (!shard.has_value()) {
+        std::fprintf(stderr, "bad --shard \"%s\" (want i/N with 0 <= i < N)\n",
+                     text);
+        usage(argv[0]);
+      }
+      options.shard = *shard;
+      shard_requested = true;
+    } else if (is("--merge")) {
+      merge_paths.emplace_back(value());
     } else if (is("--format")) {
       const std::string text = value();
       if (text != "table" && text != "csv" && text != "jsonl") usage(argv[0]);
       format = parse_format(text);
+      output_flags_used = true;
     } else if (is("--csv-dir")) {
       csv_dir = value();
+      output_flags_used = true;
     } else if (is("--help") || is("-h")) {
       usage(argv[0]);
     } else {
@@ -166,6 +219,30 @@ int main(int argc, char** argv) {
     list_scenarios();
     return 0;
   }
+
+  if (!merge_paths.empty()) {
+    // The artifacts fix the sweep (grid, seeds, seed base); flags that try
+    // to reshape it would be silently ignored, so reject them.
+    if (!scenario_name.empty() || shard_requested || sweep_flags_used) {
+      std::fprintf(stderr,
+                   "--merge takes no --scenario/--shard/sweep flags\n");
+      usage(argv[0]);
+    }
+    std::vector<ShardArtifact> artifacts;
+    artifacts.reserve(merge_paths.size());
+    for (const std::string& path : merge_paths) {
+      artifacts.push_back(parse_shard(read_file_or_die(path)));
+    }
+    const ScenarioSpec* spec = find_scenario(artifacts.front().scenario);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "shard artifacts name unknown scenario \"%s\"\n",
+                   artifacts.front().scenario.c_str());
+      return 2;
+    }
+    emit(merge_shards(*spec, std::move(artifacts)), format, csv_dir);
+    return 0;
+  }
+
   if (scenario_name.empty()) usage(argv[0]);
 
   const ScenarioSpec* spec = find_scenario(scenario_name);
@@ -183,6 +260,25 @@ int main(int argc, char** argv) {
                    spec->name.c_str(), override_axis.name.c_str());
       return 2;
     }
+  }
+
+  if (shard_requested) {
+    // The partial artifact is the whole output — machine-to-machine
+    // interchange, so no table chrome on stdout, and flags that shape
+    // normal output would be silently ignored: reject them.
+    if (output_flags_used) {
+      std::fprintf(stderr,
+                   "--shard prints the partial artifact; --format/--csv-dir "
+                   "apply to full runs and --merge\n");
+      usage(argv[0]);
+    }
+    if (!csv_dir.empty()) {  // ambient FRUGAL_CSV_DIR: warn, don't reject
+      std::fprintf(stderr,
+                   "# note: FRUGAL_CSV_DIR is ignored in --shard mode\n");
+    }
+    std::fputs(serialize_shard(run_sweep_shard(*spec, options)).c_str(),
+               stdout);
+    return 0;
   }
 
   if (format == Format::kTable) {

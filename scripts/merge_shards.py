@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Merge sweep shard artifacts collected from several machines.
+
+Each shard artifact is the JSONL file an `experiment_cli --shard i/N` run
+(or a bench wrapper under `FRUGAL_SHARD=i/N`) printed: a self-describing
+header line followed by one line of raw metric values per job. This script
+validates that a set of such files forms one complete, consistent shard set
+(same scenario/grid/seeds/seed base, indices 0..N-1 exactly once, job
+ranges tiling the whole sweep) and then delegates the actual merge to
+`experiment_cli --merge`, whose serial aggregation makes the output
+byte-identical to a single-box run. The canonical floating-point math
+stays in one implementation; this wrapper only does the file wrangling a
+multi-machine workflow needs.
+
+Usage:
+    scripts/merge_shards.py shards/*.jsonl --format csv > merged.csv
+    scripts/merge_shards.py shards/*.jsonl --check-only
+    scripts/merge_shards.py shards/*.jsonl --cli ./build/examples/experiment_cli
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_CLI = os.path.join("build", "examples", "experiment_cli")
+
+
+def read_header(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not a shard artifact ({error})")
+    if header.get("frugal_shard_artifact") != 1:
+        raise SystemExit(f"{path}: missing frugal_shard_artifact header")
+    return header
+
+
+def sweep_identity(header: dict) -> tuple:
+    """Everything that must agree across shards of one sweep."""
+    return (
+        header["scenario"],
+        header["shard"]["count"],
+        header["jobs"]["total"],
+        header["seeds"],
+        header["seed_base"],
+        json.dumps(header["axes"], sort_keys=True),
+        tuple(header["metrics"]),
+    )
+
+
+def validate(paths: list[str]) -> dict:
+    if len(paths) != len(set(paths)):
+        raise SystemExit(f"duplicate shard artifact paths: {sorted(paths)}")
+    headers = {path: read_header(path) for path in paths}
+    identities = {sweep_identity(h) for h in headers.values()}
+    if len(identities) != 1:
+        detail = "\n".join(
+            f"  {path}: scenario={h['scenario']} shard="
+            f"{h['shard']['index']}/{h['shard']['count']} "
+            f"seeds={h['seeds']} seed_base={h['seed_base']}"
+            for path, h in sorted(headers.items())
+        )
+        raise SystemExit(
+            "shard artifacts describe different sweeps "
+            f"(grids, seeds or seed bases differ):\n{detail}"
+        )
+
+    sample = next(iter(headers.values()))
+    count = sample["shard"]["count"]
+    indices = sorted(h["shard"]["index"] for h in headers.values())
+    if len(paths) != count or indices != list(range(count)):
+        raise SystemExit(
+            f"incomplete shard set for {sample['scenario']}: "
+            f"want indices 0..{count - 1} exactly once, got {indices} "
+            f"from {len(paths)} file(s)"
+        )
+
+    total = sample["jobs"]["total"]
+    ranges = sorted(
+        (h["jobs"]["begin"], h["jobs"]["end"]) for h in headers.values()
+    )
+    cursor = 0
+    for begin, end in ranges:
+        if begin != cursor or end < begin:
+            raise SystemExit(
+                f"shard job ranges do not tile [0, {total}): {ranges}"
+            )
+        cursor = end
+    if cursor != total:
+        raise SystemExit(
+            f"shard job ranges do not tile [0, {total}): {ranges}"
+        )
+    return sample
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate and merge sweep shard artifacts."
+    )
+    parser.add_argument("shards", nargs="+", help="shard artifact files")
+    parser.add_argument(
+        "--cli",
+        default=DEFAULT_CLI,
+        help=f"experiment_cli binary (default: {DEFAULT_CLI})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["table", "csv", "jsonl"],
+        default="csv",
+        help="output format passed to --merge (default: csv)",
+    )
+    parser.add_argument(
+        "--csv-dir", default="", help="also write the long CSV there"
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="validate the shard set without invoking the binary",
+    )
+    args = parser.parse_args()
+
+    sample = validate(args.shards)
+    print(
+        f"# shard set ok: {sample['scenario']}, "
+        f"{sample['shard']['count']} shard(s), "
+        f"{sample['jobs']['total']} job(s), seeds={sample['seeds']}",
+        file=sys.stderr,
+    )
+    if args.check_only:
+        return 0
+
+    if not os.path.exists(args.cli):
+        raise SystemExit(
+            f"experiment_cli not found at {args.cli} (build it, or pass --cli)"
+        )
+    command = [args.cli]
+    for path in args.shards:
+        command += ["--merge", path]
+    command += ["--format", args.format]
+    if args.csv_dir:
+        command += ["--csv-dir", args.csv_dir]
+    return subprocess.call(command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

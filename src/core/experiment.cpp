@@ -43,6 +43,10 @@ std::unique_ptr<mobility::MobilityModel> build_mobility(
     return std::make_unique<mobility::RandomWaypoint>(rwp->config, node_count,
                                                       rng);
   }
+  if (const auto* converge = std::get_if<ConvergeSetup>(&setup)) {
+    return std::make_unique<mobility::ConvergeDisperse>(converge->config,
+                                                        node_count, rng);
+  }
   const auto& city = std::get<CitySetup>(setup);
   Rng grid_rng = rng.split(0xC17Fu);
   // The graph must outlive the model; wrap both in one owner.
@@ -88,6 +92,7 @@ struct MetricsSnapshot {
   std::uint64_t events_sent = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t parasites = 0;
+  std::uint64_t gc_evictions = 0;
 };
 
 }  // namespace
@@ -157,6 +162,11 @@ double RunResult::mean_duplicates_per_node() const {
 double RunResult::mean_parasites_per_node() const {
   return mean_over_nodes(nodes, [](const NodeOutcome& n) {
     return static_cast<double>(n.parasites);
+  });
+}
+double RunResult::mean_gc_evictions_per_node() const {
+  return mean_over_nodes(nodes, [](const NodeOutcome& n) {
+    return static_cast<double>(n.gc_evictions);
   });
 }
 
@@ -332,7 +342,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
       const DeliveryMetrics& m = nodes[id]->metrics();
       baseline[id] = MetricsSnapshot{medium.counters(id).bytes_sent,
                                      m.events_sent, m.duplicates,
-                                     m.parasites};
+                                     m.parasites, m.gc_evictions};
     }
   });
 
@@ -397,6 +407,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     outcome.events_sent = m.events_sent - baseline[id].events_sent;
     outcome.duplicates = m.duplicates - baseline[id].duplicates;
     outcome.parasites = m.parasites - baseline[id].parasites;
+    outcome.gc_evictions = m.gc_evictions - baseline[id].gc_evictions;
     outcome.delivered_at.resize(result.events.size());
     for (std::size_t e = 0; e < result.events.size(); ++e) {
       const auto it = m.deliveries.find(result.events[e].id);

@@ -22,6 +22,7 @@
 #include "core/frugal_node.hpp"
 #include "core/node.hpp"
 #include "mobility/city_section.hpp"
+#include "mobility/converge.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "net/medium.hpp"
 
@@ -55,8 +56,14 @@ struct CitySetup {
   mobility::CitySectionConfig movement;
 };
 
+/// Flash-crowd mobility (the adversarial_mobility scenario family): every
+/// process converges on one rally point, dwells, then disperses.
+struct ConvergeSetup {
+  mobility::ConvergeConfig config;
+};
+
 using MobilitySetup =
-    std::variant<StaticSetup, RandomWaypointSetup, CitySetup>;
+    std::variant<StaticSetup, RandomWaypointSetup, CitySetup, ConvergeSetup>;
 
 /// Crash/recovery injection (paper §2: processes "can move in and out of the
 /// range of other processes, or crash (or recover), at any time"). Crashes
@@ -146,6 +153,11 @@ struct NodeOutcome {
   std::uint64_t events_sent = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t parasites = 0;
+  /// Event-table GC collections (Fig. 3 / Equation 1) this node performed
+  /// during the measurement window — 0 unless memory pressure forced
+  /// victim selection. Flooding baselines keep no event table, so always 0
+  /// there.
+  std::uint64_t gc_evictions = 0;
   /// Delivery times of the workload events, by event index.
   std::vector<std::optional<SimTime>> delivered_at;
 };
@@ -172,6 +184,9 @@ struct RunResult {
   [[nodiscard]] double mean_events_sent_per_node() const;
   [[nodiscard]] double mean_duplicates_per_node() const;
   [[nodiscard]] double mean_parasites_per_node() const;
+  /// Mean event-table GC collections per process (the memory_pressure
+  /// family's observable for "Equation 1 actually ran").
+  [[nodiscard]] double mean_gc_evictions_per_node() const;
   [[nodiscard]] std::size_t subscriber_count() const;
 
   /// Delivery latencies (seconds from publication) of every successful

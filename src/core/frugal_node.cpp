@@ -321,7 +321,7 @@ void FrugalNode::publish(Event event) {
     // yet; re-apply after insertion below.
   }
 
-  events_.insert(event, now);
+  if (events_.insert(event, now).has_value()) ++metrics_.gc_evictions;
   if (interested) events_.increment_forward_count(event.id);
   deliver(event);
 
@@ -357,6 +357,7 @@ void FrugalNode::on_event_bundle(const EventBundle& bundle) {
       continue;
     }
     const auto victim = events_.insert(event, now);
+    if (victim.has_value()) ++metrics_.gc_evictions;
     if (victim.has_value() && *victim == event.id) {
       // The full table rejected the newcomer (it is the worst GC candidate,
       // e.g. expired on arrival). It cannot be relayed from here, so leave

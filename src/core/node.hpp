@@ -27,6 +27,11 @@ struct DeliveryMetrics {
   /// Event copies broadcast by this process (each event in a bundle counts
   /// once; a flooding retransmission counts once per event per send).
   std::uint64_t events_sent = 0;
+  /// Event-table GC collections (Fig. 3 / Equation 1): victim selections a
+  /// full table forced on insert, whether a stored event was evicted or the
+  /// newcomer was rejected. Always 0 for the flooding baselines (no event
+  /// table).
+  std::uint64_t gc_evictions = 0;
 
   [[nodiscard]] bool delivered(EventId id) const {
     return deliveries.contains(id);

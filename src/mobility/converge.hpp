@@ -1,0 +1,139 @@
+// Converge/disperse mobility: every node heads for one rally point, dwells
+// there, then scatters back out — the adversarial flash-crowd pattern the
+// `adversarial_mobility` scenario family stresses the protocol with. While
+// converged the whole population sits inside everyone's radio range (maximum
+// contention, every broadcast overheard by all); after dispersal the network
+// is as sparse as the area allows and only residual event validity can still
+// deliver.
+//
+// Trajectories are deterministic functions of (seed, node): a seeded start
+// position, a seeded slot on a small disc around the rally point (so the
+// crowd is dense but not degenerate), and a seeded dispersal target. Every
+// node arrives exactly at `converge_by` — nodes too far away to make it at
+// `speed_mps` simply move faster, which is what an adversary would do.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace frugal::mobility {
+
+struct ConvergeConfig {
+  double width_m = 2000.0;
+  double height_m = 2000.0;
+  /// Dispersal-leg speed; also the convergence-leg speed when the node can
+  /// reach its slot in time at it.
+  double speed_mps = 10.0;
+  Vec2 rally{1000.0, 1000.0};
+  /// Nodes park on a uniform disc of this radius around the rally point.
+  double rally_radius_m = 15.0;
+  /// Every node is at its rally slot from `converge_by` until `disperse_at`.
+  SimTime converge_by = SimTime::from_seconds(180.0);
+  SimTime disperse_at = SimTime::from_seconds(240.0);
+};
+
+class ConvergeDisperse final : public MobilityModel {
+ public:
+  ConvergeDisperse(ConvergeConfig config, std::size_t node_count,
+                   Rng rng_root)
+      : config_{config}, rng_root_{rng_root}, nodes_(node_count) {
+    FRUGAL_EXPECT(config.width_m > 0 && config.height_m > 0);
+    FRUGAL_EXPECT(config.speed_mps > 0);
+    FRUGAL_EXPECT(config.rally_radius_m >= 0);
+    FRUGAL_EXPECT(config.converge_by > SimTime::zero());
+    FRUGAL_EXPECT(config.disperse_at >= config.converge_by);
+  }
+
+  [[nodiscard]] Vec2 position(NodeId node, SimTime t) override {
+    const Plan& plan = plan_of(node);
+    if (t <= plan.depart_in) return plan.start;
+    if (t < config_.converge_by) {
+      return lerp(plan.start, plan.slot, plan.depart_in, config_.converge_by,
+                  t);
+    }
+    if (t <= config_.disperse_at) return plan.slot;
+    if (t < plan.arrive_out) {
+      return lerp(plan.slot, plan.away, config_.disperse_at, plan.arrive_out,
+                  t);
+    }
+    return plan.away;
+  }
+
+  [[nodiscard]] double speed(NodeId node, SimTime t) override {
+    const Plan& plan = plan_of(node);
+    if (t > plan.depart_in && t < config_.converge_by) return plan.speed_in;
+    if (t > config_.disperse_at && t < plan.arrive_out) {
+      return config_.speed_mps;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::size_t node_count() const override {
+    return nodes_.size();
+  }
+
+ private:
+  /// The whole deterministic trajectory: start -> slot (arriving exactly at
+  /// converge_by) -> dwell -> away (at speed_mps), then parked.
+  struct Plan {
+    bool initialized = false;
+    Vec2 start;
+    Vec2 slot;
+    Vec2 away;
+    SimTime depart_in;
+    double speed_in = 0;
+    SimTime arrive_out;
+  };
+
+  static Vec2 lerp(Vec2 from, Vec2 to, SimTime begin, SimTime end,
+                   SimTime t) {
+    const double f = (t - begin).seconds() / (end - begin).seconds();
+    return from + (to - from) * f;
+  }
+
+  const Plan& plan_of(NodeId node) {
+    FRUGAL_EXPECT(node < nodes_.size());
+    Plan& plan = nodes_[node];
+    if (plan.initialized) return plan;
+    Rng rng = rng_root_.split(node);
+    plan.start = {rng.uniform(0, config_.width_m),
+                  rng.uniform(0, config_.height_m)};
+    const double angle = rng.uniform(0, 2 * std::numbers::pi);
+    const double radius =
+        config_.rally_radius_m * std::sqrt(rng.uniform());
+    plan.slot = config_.rally +
+                Vec2{radius * std::cos(angle), radius * std::sin(angle)};
+    plan.away = {rng.uniform(0, config_.width_m),
+                 rng.uniform(0, config_.height_m)};
+
+    const double travel_s =
+        distance(plan.start, plan.slot) / config_.speed_mps;
+    const SimDuration window = config_.converge_by - SimTime::zero();
+    if (travel_s < window.seconds()) {
+      plan.depart_in =
+          config_.converge_by - SimDuration::from_seconds(travel_s);
+      plan.speed_in = config_.speed_mps;
+    } else {
+      plan.depart_in = SimTime::zero();
+      plan.speed_in = distance(plan.start, plan.slot) / window.seconds();
+    }
+    plan.arrive_out =
+        config_.disperse_at +
+        SimDuration::from_seconds(distance(plan.slot, plan.away) /
+                                  config_.speed_mps);
+    plan.initialized = true;
+    return plan;
+  }
+
+  ConvergeConfig config_;
+  Rng rng_root_;
+  std::vector<Plan> nodes_;
+};
+
+}  // namespace frugal::mobility

@@ -4,6 +4,7 @@
 
 #include "runner/pool.hpp"
 #include "runner/registry.hpp"
+#include "runner/shard.hpp"
 #include "runner/sink.hpp"
 #include "runner/sweep.hpp"
 #include "util/env.hpp"
@@ -21,6 +22,22 @@ int figure_bench_main(std::string_view scenario_name) {
 
   SweepOptions options;
   options.full = env_bool("FRUGAL_FULL", false);
+
+  // FRUGAL_SHARD=i/N: this box runs one slice of the job grid and prints
+  // the partial artifact (stdout is the interchange file — no table).
+  if (const auto shard_text = env_string("FRUGAL_SHARD")) {
+    const std::optional<ShardSpec> shard = try_parse_shard_spec(*shard_text);
+    if (!shard.has_value()) {
+      std::fprintf(stderr,
+                   "bad FRUGAL_SHARD \"%s\" (want i/N with 0 <= i < N)\n",
+                   shard_text->c_str());
+      return 2;
+    }
+    options.shard = *shard;
+    std::fputs(serialize_shard(run_sweep_shard(*spec, options)).c_str(),
+               stdout);
+    return 0;
+  }
 
   std::printf("# %s — %s\n",
               spec->figure.empty() ? spec->name.c_str()

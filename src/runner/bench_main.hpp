@@ -6,6 +6,9 @@
 //   FRUGAL_FULL     1 -> paper-strength parameter grids
 //   FRUGAL_JOBS     worker threads (default: hardware concurrency)
 //   FRUGAL_CSV_DIR  also write the canonical long CSV there
+//   FRUGAL_SHARD    "i/N" -> run only that slice of the job grid and print
+//                   the partial shard artifact instead of the table (merge
+//                   with experiment_cli --merge / scripts/merge_shards.py)
 #pragma once
 
 #include <string_view>

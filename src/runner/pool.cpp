@@ -61,4 +61,12 @@ void parallel_for(std::size_t count, int jobs,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for(std::size_t begin, std::size_t end, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  FRUGAL_EXPECT(begin <= end);
+  FRUGAL_EXPECT(fn != nullptr);
+  parallel_for(end - begin, jobs,
+               [&](std::size_t i) { fn(begin + i); });
+}
+
 }  // namespace frugal::runner

@@ -24,4 +24,10 @@ namespace frugal::runner {
 void parallel_for(std::size_t count, int jobs,
                   const std::function<void(std::size_t)>& fn);
 
+/// Range overload: runs fn(i) for every i in [begin, end) — how a sweep
+/// shard executes its slice of the global job order without renumbering the
+/// indices its outputs are keyed by.
+void parallel_for(std::size_t begin, std::size_t end, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
 }  // namespace frugal::runner

@@ -1,0 +1,312 @@
+#include "runner/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runner/pool.hpp"
+#include "util/expect.hpp"
+
+namespace frugal::runner {
+
+namespace {
+
+/// Exact round-trip formatting: 17 significant digits reproduce any IEEE
+/// double bit-for-bit through strtod, so a merged aggregation consumes the
+/// very values the shard computed (%.10g — the sink's display format —
+/// would not).
+std::string number17(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Serialized names land between bare quotes (no escape support on either
+/// side); project-controlled identifiers never need more.
+const std::string& checked_name(const std::string& name) {
+  FRUGAL_EXPECT(name.find_first_of("\"\\\n") == std::string::npos);
+  return name;
+}
+
+// --- strict cursor-based reader -------------------------------------------
+// Both ends of the artifact are this project, so the parser accepts exactly
+// the serialized layout and aborts on anything else (shard_test's death
+// tests pin that contract).
+
+struct Cursor {
+  const char* at;
+};
+
+void expect_literal(Cursor& cursor, const char* literal) {
+  const std::size_t length = std::strlen(literal);
+  FRUGAL_EXPECT(std::strncmp(cursor.at, literal, length) == 0 &&
+                "malformed shard artifact");
+  cursor.at += length;
+}
+
+std::string parse_name(Cursor& cursor) {
+  const char* end = cursor.at;
+  while (*end != '\0' && *end != '"' && *end != '\\' && *end != '\n') ++end;
+  FRUGAL_EXPECT(*end == '"' && "malformed shard artifact");
+  std::string name{cursor.at, end};
+  cursor.at = end;
+  return name;
+}
+
+double parse_double(Cursor& cursor) {
+  char* end = nullptr;
+  const double value = std::strtod(cursor.at, &end);
+  FRUGAL_EXPECT(end != cursor.at && "malformed shard artifact");
+  cursor.at = end;
+  return value;
+}
+
+std::uint64_t parse_u64(Cursor& cursor) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(cursor.at, &end, 10);
+  FRUGAL_EXPECT(end != cursor.at && *cursor.at != '-' &&
+                "malformed shard artifact");
+  cursor.at = end;
+  return value;
+}
+
+int parse_int(Cursor& cursor) {
+  const std::uint64_t value = parse_u64(cursor);
+  FRUGAL_EXPECT(value <= 1000000);
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
+                              const SweepOptions& options) {
+  const SweepPlan plan = plan_sweep(spec, options);
+  const JobRange range = shard_range(plan.job_count, options.shard);
+
+  ShardArtifact artifact;
+  artifact.scenario = spec.name;
+  artifact.shard = options.shard;
+  artifact.range = range;
+  artifact.job_count = plan.job_count;
+  artifact.seeds = plan.seeds;
+  artifact.seed_base = plan.seed_base;
+  artifact.axes = plan.axes;
+  for (const MetricSpec& metric : spec.metrics) {
+    artifact.metrics.push_back(metric.name);
+  }
+
+  artifact.values.resize(range.size());
+  parallel_for(range.begin, range.end, resolve_jobs(options.jobs),
+               [&](std::size_t job) {
+                 artifact.values[job - range.begin] =
+                     run_sweep_job(spec, plan, job);
+               });
+  return artifact;
+}
+
+std::string serialize_shard(const ShardArtifact& artifact) {
+  FRUGAL_EXPECT(artifact.values.size() == artifact.range.size());
+  std::string out = "{\"frugal_shard_artifact\":1,\"scenario\":\"";
+  out += checked_name(artifact.scenario);
+  out += "\",\"shard\":{\"index\":";
+  out += std::to_string(artifact.shard.index);
+  out += ",\"count\":";
+  out += std::to_string(artifact.shard.count);
+  out += "},\"jobs\":{\"begin\":";
+  out += std::to_string(artifact.range.begin);
+  out += ",\"end\":";
+  out += std::to_string(artifact.range.end);
+  out += ",\"total\":";
+  out += std::to_string(artifact.job_count);
+  out += "},\"seeds\":";
+  out += std::to_string(artifact.seeds);
+  out += ",\"seed_base\":";
+  out += std::to_string(artifact.seed_base);
+  out += ",\"axes\":[";
+  for (std::size_t a = 0; a < artifact.axes.size(); ++a) {
+    if (a > 0) out += ',';
+    out += "{\"name\":\"";
+    out += checked_name(artifact.axes[a].name);
+    out += "\",\"values\":[";
+    for (std::size_t v = 0; v < artifact.axes[a].values.size(); ++v) {
+      if (v > 0) out += ',';
+      out += number17(artifact.axes[a].values[v]);
+    }
+    out += "]}";
+  }
+  out += "],\"metrics\":[";
+  for (std::size_t m = 0; m < artifact.metrics.size(); ++m) {
+    if (m > 0) out += ',';
+    out += '"';
+    out += checked_name(artifact.metrics[m]);
+    out += '"';
+  }
+  out += "]}\n";
+
+  for (std::size_t i = 0; i < artifact.values.size(); ++i) {
+    FRUGAL_EXPECT(artifact.values[i].size() == artifact.metrics.size());
+    out += "{\"job\":";
+    out += std::to_string(artifact.range.begin + i);
+    out += ",\"values\":[";
+    for (std::size_t m = 0; m < artifact.values[i].size(); ++m) {
+      if (m > 0) out += ',';
+      out += number17(artifact.values[i][m]);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+ShardArtifact parse_shard(const std::string& text) {
+  Cursor cursor{text.c_str()};
+  ShardArtifact artifact;
+
+  expect_literal(cursor, "{\"frugal_shard_artifact\":1,\"scenario\":\"");
+  artifact.scenario = parse_name(cursor);
+  expect_literal(cursor, "\",\"shard\":{\"index\":");
+  artifact.shard.index = parse_int(cursor);
+  expect_literal(cursor, ",\"count\":");
+  artifact.shard.count = parse_int(cursor);
+  expect_literal(cursor, "},\"jobs\":{\"begin\":");
+  artifact.range.begin = parse_u64(cursor);
+  expect_literal(cursor, ",\"end\":");
+  artifact.range.end = parse_u64(cursor);
+  expect_literal(cursor, ",\"total\":");
+  artifact.job_count = parse_u64(cursor);
+  expect_literal(cursor, "},\"seeds\":");
+  artifact.seeds = parse_int(cursor);
+  expect_literal(cursor, ",\"seed_base\":");
+  artifact.seed_base = parse_u64(cursor);
+  expect_literal(cursor, ",\"axes\":[");
+  while (*cursor.at == '{') {
+    Axis axis;
+    expect_literal(cursor, "{\"name\":\"");
+    axis.name = parse_name(cursor);
+    expect_literal(cursor, "\",\"values\":[");
+    for (;;) {
+      axis.values.push_back(parse_double(cursor));
+      if (*cursor.at != ',') break;
+      ++cursor.at;
+    }
+    expect_literal(cursor, "]}");
+    artifact.axes.push_back(std::move(axis));
+    if (*cursor.at == ',') ++cursor.at;
+  }
+  expect_literal(cursor, "],\"metrics\":[");
+  while (*cursor.at == '"') {
+    ++cursor.at;
+    artifact.metrics.push_back(parse_name(cursor));
+    expect_literal(cursor, "\"");
+    if (*cursor.at == ',') ++cursor.at;
+  }
+  expect_literal(cursor, "]}\n");
+
+  FRUGAL_EXPECT(artifact.range.begin <= artifact.range.end);
+  FRUGAL_EXPECT(artifact.range.end <= artifact.job_count);
+  FRUGAL_EXPECT(!artifact.metrics.empty());
+  artifact.values.reserve(artifact.range.size());
+  for (std::size_t i = 0; i < artifact.range.size(); ++i) {
+    expect_literal(cursor, "{\"job\":");
+    const std::uint64_t job = parse_u64(cursor);
+    FRUGAL_EXPECT(job == artifact.range.begin + i &&
+                  "shard artifact job lines out of order");
+    expect_literal(cursor, ",\"values\":[");
+    std::vector<double> values;
+    values.reserve(artifact.metrics.size());
+    for (;;) {
+      values.push_back(parse_double(cursor));
+      if (*cursor.at != ',') break;
+      ++cursor.at;
+    }
+    FRUGAL_EXPECT(values.size() == artifact.metrics.size());
+    expect_literal(cursor, "]}\n");
+    artifact.values.push_back(std::move(values));
+  }
+  FRUGAL_EXPECT(*cursor.at == '\0' && "trailing data in shard artifact");
+  return artifact;
+}
+
+SweepResult merge_shards(const ScenarioSpec& spec,
+                         std::vector<ShardArtifact> artifacts) {
+  FRUGAL_EXPECT(!artifacts.empty());
+  std::sort(artifacts.begin(), artifacts.end(),
+            [](const ShardArtifact& a, const ShardArtifact& b) {
+              return a.shard.index < b.shard.index;
+            });
+  const ShardArtifact& first = artifacts.front();
+  FRUGAL_EXPECT(first.scenario == spec.name);
+  FRUGAL_EXPECT(first.shard.count >= 1);
+  FRUGAL_EXPECT(artifacts.size() == static_cast<std::size_t>(first.shard.count) &&
+                "incomplete or oversized shard set");
+  FRUGAL_EXPECT(first.metrics.size() == spec.metrics.size());
+  for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+    FRUGAL_EXPECT(first.metrics[m] == spec.metrics[m].name);
+  }
+
+  // Every artifact must describe the same sweep, and the sorted indices
+  // must be exactly 0..N-1 (duplicates/misses surface here) with each
+  // shard's range matching the canonical partition of the job order.
+  for (std::size_t k = 0; k < artifacts.size(); ++k) {
+    const ShardArtifact& shard = artifacts[k];
+    FRUGAL_EXPECT(shard.shard.index == static_cast<int>(k) &&
+                  "duplicate or missing shard in merge set");
+    FRUGAL_EXPECT(shard.shard.count == first.shard.count);
+    FRUGAL_EXPECT(shard.scenario == first.scenario);
+    FRUGAL_EXPECT(shard.job_count == first.job_count);
+    FRUGAL_EXPECT(shard.seeds == first.seeds);
+    FRUGAL_EXPECT(shard.seed_base == first.seed_base &&
+                  "shards ran with different seed bases");
+    FRUGAL_EXPECT(shard.axes.size() == first.axes.size() &&
+                  "shards ran different grids");
+    for (std::size_t a = 0; a < shard.axes.size(); ++a) {
+      FRUGAL_EXPECT(shard.axes[a].name == first.axes[a].name &&
+                    "shards ran different grids");
+      FRUGAL_EXPECT(shard.axes[a].values == first.axes[a].values &&
+                    "shards ran different grids");
+    }
+    FRUGAL_EXPECT(shard.metrics == first.metrics);
+    FRUGAL_EXPECT(shard.range ==
+                  shard_range(first.job_count, shard.shard));
+    FRUGAL_EXPECT(shard.values.size() == shard.range.size());
+  }
+
+  // Rebuild the plan the shards executed: grid values come from the header
+  // (so the merge needs no --grid/--full flags); rendering metadata
+  // (formatter, aggregate flag) comes from the spec by axis name.
+  std::vector<Axis> resolved;
+  resolved.reserve(first.axes.size());
+  FRUGAL_EXPECT(first.axes.size() == spec.axes.size() &&
+                "artifact axes do not match the scenario spec");
+  for (std::size_t a = 0; a < first.axes.size(); ++a) {
+    FRUGAL_EXPECT(first.axes[a].name == spec.axes[a].name &&
+                  "artifact axes do not match the scenario spec");
+    Axis axis = spec.axes[a];
+    axis.values = first.axes[a].values;
+    axis.full_values.clear();
+    resolved.push_back(std::move(axis));
+  }
+  const SweepPlan plan =
+      make_plan(std::move(resolved), first.seeds, first.seed_base);
+  FRUGAL_EXPECT(plan.job_count == first.job_count &&
+                "artifact job count does not match its grid");
+
+  // Reassemble the canonical job order (the ranges tile [0, job_count) by
+  // the checks above) and replay the single-box aggregation.
+  std::vector<std::vector<double>> job_metrics;
+  job_metrics.reserve(plan.job_count);
+  for (ShardArtifact& shard : artifacts) {
+    FRUGAL_EXPECT(shard.range.begin == job_metrics.size());
+    for (std::vector<double>& values : shard.values) {
+      job_metrics.push_back(std::move(values));
+    }
+  }
+  FRUGAL_EXPECT(job_metrics.size() == plan.job_count);
+
+  SweepResult sweep = aggregate_jobs(spec, plan, job_metrics);
+  sweep.jobs = 0;  // no local workers produced this result
+  sweep.merged_from = first.shard.count;
+  return sweep;
+}
+
+}  // namespace frugal::runner

@@ -1,0 +1,68 @@
+// Sharded sweep execution: split one sweep's flattened (grid point x seed)
+// job range across machines and merge the partial results back into the
+// exact SweepResult a single box would have produced.
+//
+// A shard executes jobs [J*i/N, J*(i+1)/N) of the canonical job order with
+// unchanged per-job seeds and emits a self-describing partial artifact:
+// one JSONL header (scenario, effective axes, seeds, seed base, shard i/N,
+// job index range) followed by one line of raw metric values per job.
+// Values are printed with enough digits to round-trip doubles exactly, and
+// merge_shards replays the identical serial aggregation over the
+// reassembled job order — so the merged CSV/JSONL/table renderings are
+// byte-identical to a single-box run at any jobs count (shard_test proves
+// it with cmp-level equality).
+//
+// The artifact is an interchange format between builds of this project:
+// both ends are generated, so the parser is strict — any deviation from the
+// serialized layout, an incomplete/overlapping shard set, or artifacts from
+// mismatched grids or seed bases abort with a contract violation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace frugal::runner {
+
+/// A self-describing partial sweep: the header identifying the exact sweep
+/// this shard belongs to, plus the raw per-job metric values of its slice.
+struct ShardArtifact {
+  std::string scenario;
+  ShardSpec shard;
+  JobRange range;              ///< this shard's slice of the job order
+  std::size_t job_count = 0;   ///< total jobs of the whole sweep
+  int seeds = 0;
+  std::uint64_t seed_base = 1;
+  /// Resolved effective axes (name + values only; rendering metadata comes
+  /// from the spec at merge time).
+  std::vector<Axis> axes;
+  std::vector<std::string> metrics;  ///< spec metric names, for validation
+  /// values[i] holds the metric values of job range.begin + i.
+  std::vector<std::vector<double>> values;
+};
+
+/// Executes options.shard's slice of the sweep on the worker pool. Per-job
+/// seeds are a function of the global job index, so the slice computes
+/// exactly what a single-box run computes for those jobs.
+[[nodiscard]] ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
+                                            const SweepOptions& options);
+
+/// JSONL rendering: header object first, then {"job":i,"values":[...]} per
+/// job. Doubles use %.17g (exact round-trip).
+[[nodiscard]] std::string serialize_shard(const ShardArtifact& artifact);
+
+/// Strict inverse of serialize_shard; aborts on malformed input.
+[[nodiscard]] ShardArtifact parse_shard(const std::string& text);
+
+/// Recombines a complete shard set into the SweepResult a single-box run of
+/// the same sweep produces (artifact order does not matter). Aborts when the
+/// set is incomplete, has duplicate shards, or mixes artifacts from
+/// different sweeps (scenario, axes, seeds, seed base, or job count
+/// mismatch) or a spec whose metrics changed. The result carries jobs = 0
+/// and merged_from = shard count; its csv/jsonl/table renderings are
+/// byte-identical to the single-box run's.
+[[nodiscard]] SweepResult merge_shards(const ScenarioSpec& spec,
+                                       std::vector<ShardArtifact> artifacts);
+
+}  // namespace frugal::runner

@@ -148,9 +148,18 @@ void emit(const SweepResult& sweep, Format format,
       if (!sweep.spec->expected_shape.empty()) {
         std::printf("\n%s\n", sweep.spec->expected_shape.c_str());
       }
-      std::printf("# %zu runs x %d seed(s) on %d worker(s) in %.1fs\n",
-                  sweep.job_count / static_cast<std::size_t>(sweep.seeds),
-                  sweep.seeds, sweep.jobs, sweep.wall_seconds);
+      // Execution provenance only — wall-clock, worker and shard counts
+      // never reach the canonical csv/jsonl renderings (the sink stability
+      // test pins that), so merged results stay byte-comparable.
+      if (sweep.merged_from > 0) {
+        std::printf("# %zu runs x %d seed(s), merged from %d shard(s)\n",
+                    sweep.job_count / static_cast<std::size_t>(sweep.seeds),
+                    sweep.seeds, sweep.merged_from);
+      } else {
+        std::printf("# %zu runs x %d seed(s) on %d worker(s) in %.1fs\n",
+                    sweep.job_count / static_cast<std::size_t>(sweep.seeds),
+                    sweep.seeds, sweep.jobs, sweep.wall_seconds);
+      }
       break;
     }
     case Format::kCsv:

@@ -11,7 +11,9 @@
 //
 // Every format is rendered from the canonically-ordered SweepResult with
 // fixed printf formatting, so output is byte-identical across worker
-// counts. Wall-clock/job-count info never appears in csv/jsonl.
+// counts. Wall-clock, worker-count and shard-count info never appears in
+// csv/jsonl — merged shard-set results render byte-identically to
+// single-box runs.
 #pragma once
 
 #include <string>

@@ -1,6 +1,7 @@
 #include "runner/sweep.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "runner/pool.hpp"
 #include "util/env.hpp"
@@ -8,109 +9,172 @@
 
 namespace frugal::runner {
 
-namespace {
-
-/// Per-axis sizes of the expanded grid.
-std::vector<std::size_t> grid_dims(const std::vector<Axis>& axes, bool full) {
-  std::vector<std::size_t> dims;
-  dims.reserve(axes.size());
-  for (const Axis& axis : axes) dims.push_back(axis.values_for(full).size());
-  return dims;
+std::optional<ShardSpec> try_parse_shard_spec(const std::string& text) {
+  const char* cursor = text.c_str();
+  char* end = nullptr;
+  const long index = std::strtol(cursor, &end, 10);
+  if (end == cursor || *end != '/') return std::nullopt;
+  cursor = end + 1;
+  const long count = std::strtol(cursor, &end, 10);
+  if (end == cursor || *end != '\0') return std::nullopt;
+  if (count < 1 || count > 100000) return std::nullopt;
+  if (index < 0 || index >= count) return std::nullopt;
+  return ShardSpec{static_cast<int>(index), static_cast<int>(count)};
 }
 
-}  // namespace
+ShardSpec parse_shard_spec(const std::string& text) {
+  const std::optional<ShardSpec> shard = try_parse_shard_spec(text);
+  FRUGAL_EXPECT(shard.has_value() && "shard spec must be i/N with 0 <= i < N");
+  return *shard;
+}
 
-SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
-  FRUGAL_EXPECT(spec.make_config != nullptr);
-  FRUGAL_EXPECT(!spec.metrics.empty());
+JobRange shard_range(std::size_t job_count, const ShardSpec& shard) {
+  FRUGAL_EXPECT(shard.count >= 1);
+  FRUGAL_EXPECT(shard.index >= 0 && shard.index < shard.count);
+  const auto count = static_cast<std::size_t>(shard.count);
+  const auto index = static_cast<std::size_t>(shard.index);
+  return JobRange{job_count * index / count,
+                  job_count * (index + 1) / count};
+}
 
-  const std::vector<Axis> axes = apply_overrides(spec.axes, options.overrides);
-  const bool full = options.full;
-  const int default_seeds = full && spec.full_seeds > 0 ? spec.full_seeds
-                                                        : spec.default_seeds;
-  const int seeds =
-      options.seeds > 0
-          ? options.seeds
-          : static_cast<int>(env_int("FRUGAL_SEEDS", default_seeds));
+SweepPlan make_plan(std::vector<Axis> resolved_axes, int seeds,
+                    std::uint64_t seed_base) {
   FRUGAL_EXPECT(seeds > 0);
+  SweepPlan plan;
+  plan.seeds = seeds;
+  plan.seed_base = seed_base;
+  plan.axes = std::move(resolved_axes);
 
-  const std::vector<ParamPoint> grid = expand_grid(axes, full);
-  const std::vector<std::size_t> dims = grid_dims(axes, full);
+  std::vector<std::size_t> dims;
+  dims.reserve(plan.axes.size());
+  for (const Axis& axis : plan.axes) {
+    FRUGAL_EXPECT(!axis.values.empty());
+    dims.push_back(axis.values.size());
+  }
+
+  plan.grid = expand_grid(plan.axes, /*full=*/false);
 
   // Map every full-grid point to its output row: the mixed-radix index over
   // the non-aggregate axes only (aggregate axes fold into the same row).
-  std::vector<Axis> output_axes;
-  for (const Axis& axis : axes) {
-    if (!axis.aggregate) output_axes.push_back(axis);
+  for (const Axis& axis : plan.axes) {
+    if (!axis.aggregate) plan.output_axes.push_back(axis);
   }
-  std::size_t output_count = 1;
-  for (const Axis& axis : output_axes) {
-    output_count *= axis.values_for(full).size();
+  plan.output_count = 1;
+  for (const Axis& axis : plan.output_axes) {
+    plan.output_count *= axis.values.size();
   }
-  std::vector<std::size_t> output_index(grid.size());
-  for (std::size_t flat = 0; flat < grid.size(); ++flat) {
+  plan.output_index.resize(plan.grid.size());
+  for (std::size_t flat = 0; flat < plan.grid.size(); ++flat) {
     std::size_t rest = flat;
-    std::vector<std::size_t> coords(axes.size());
-    for (std::size_t a = axes.size(); a-- > 0;) {
+    std::vector<std::size_t> coords(plan.axes.size());
+    for (std::size_t a = plan.axes.size(); a-- > 0;) {
       coords[a] = rest % dims[a];
       rest /= dims[a];
     }
     std::size_t out = 0;
-    for (std::size_t a = 0; a < axes.size(); ++a) {
-      if (axes[a].aggregate) continue;
+    for (std::size_t a = 0; a < plan.axes.size(); ++a) {
+      if (plan.axes[a].aggregate) continue;
       out = out * dims[a] + coords[a];
     }
-    output_index[flat] = out;
+    plan.output_index[flat] = out;
   }
 
-  // Execute the job grid: job = point-major, seed-minor. Every job writes
-  // only its own metric slot, keyed by job index — the one invariant the
-  // whole byte-identical-output guarantee rests on.
-  const std::size_t job_count = grid.size() * static_cast<std::size_t>(seeds);
-  const int jobs = resolve_jobs(options.jobs);
-  std::vector<std::vector<double>> job_metrics(job_count);
+  plan.job_count = plan.grid.size() * static_cast<std::size_t>(seeds);
+  return plan;
+}
 
-  const auto started = std::chrono::steady_clock::now();
-  parallel_for(job_count, jobs, [&](std::size_t job) {
-    const std::size_t point_index = job / static_cast<std::size_t>(seeds);
-    const int seed_index = static_cast<int>(job % static_cast<std::size_t>(seeds));
-    const ParamPoint& point = grid[point_index];
-    const core::ExperimentConfig config =
-        spec.make_config(point, job_seed(options.seed_base, seed_index));
-    const core::RunResult result = core::run_experiment(config);
-    std::vector<double>& values = job_metrics[job];
-    values.reserve(spec.metrics.size());
-    for (const MetricSpec& metric : spec.metrics) {
-      values.push_back(metric.extract(result, point));
-    }
-  });
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - started;
+SweepPlan plan_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
+  FRUGAL_EXPECT(spec.make_config != nullptr);
+  FRUGAL_EXPECT(!spec.metrics.empty());
 
-  // Serial aggregation in canonical job order: identical summation order —
-  // hence bit-identical floating-point results — at every thread count.
+  std::vector<Axis> axes = apply_overrides(spec.axes, options.overrides);
+  // Resolve the quick/full selection into `values` so the plan (and every
+  // shard header serialized from it) is unambiguous about the grid it ran.
+  for (Axis& axis : axes) {
+    axis.values = axis.values_for(options.full);
+    axis.full_values.clear();
+  }
+
+  const int default_seeds = options.full && spec.full_seeds > 0
+                                ? spec.full_seeds
+                                : spec.default_seeds;
+  const int seeds =
+      options.seeds > 0
+          ? options.seeds
+          : static_cast<int>(env_int("FRUGAL_SEEDS", default_seeds));
+  return make_plan(std::move(axes), seeds, options.seed_base);
+}
+
+std::vector<double> run_sweep_job(const ScenarioSpec& spec,
+                                  const SweepPlan& plan, std::size_t job) {
+  FRUGAL_EXPECT(job < plan.job_count);
+  const auto seeds = static_cast<std::size_t>(plan.seeds);
+  const ParamPoint& point = plan.grid[job / seeds];
+  const int seed_index = static_cast<int>(job % seeds);
+  const core::ExperimentConfig config =
+      spec.make_config(point, job_seed(plan.seed_base, seed_index));
+  const core::RunResult result = core::run_experiment(config);
+  std::vector<double> values;
+  values.reserve(spec.metrics.size());
+  for (const MetricSpec& metric : spec.metrics) {
+    values.push_back(metric.extract(result, point));
+  }
+  return values;
+}
+
+SweepResult aggregate_jobs(
+    const ScenarioSpec& spec, const SweepPlan& plan,
+    const std::vector<std::vector<double>>& job_metrics) {
+  FRUGAL_EXPECT(job_metrics.size() == plan.job_count);
+
   SweepResult sweep;
   sweep.spec = &spec;
-  sweep.axes = output_axes;
-  sweep.seeds = seeds;
-  sweep.jobs = jobs;
-  sweep.job_count = job_count;
-  sweep.wall_seconds = elapsed.count();
-  sweep.points.resize(output_count);
+  sweep.axes = plan.output_axes;
+  sweep.seeds = plan.seeds;
+  sweep.job_count = plan.job_count;
+  sweep.points.resize(plan.output_count);
 
-  const std::vector<ParamPoint> output_grid = expand_grid(output_axes, full);
-  FRUGAL_ASSERT(output_grid.size() == output_count);
-  for (std::size_t out = 0; out < output_count; ++out) {
+  const std::vector<ParamPoint> output_grid =
+      expand_grid(plan.output_axes, /*full=*/false);
+  FRUGAL_ASSERT(output_grid.size() == plan.output_count);
+  for (std::size_t out = 0; out < plan.output_count; ++out) {
     sweep.points[out].point = output_grid[out];
     sweep.points[out].metrics.resize(spec.metrics.size());
   }
-  for (std::size_t job = 0; job < job_count; ++job) {
-    const std::size_t point_index = job / static_cast<std::size_t>(seeds);
-    PointResult& row = sweep.points[output_index[point_index]];
+  const auto seeds = static_cast<std::size_t>(plan.seeds);
+  for (std::size_t job = 0; job < plan.job_count; ++job) {
+    FRUGAL_EXPECT(job_metrics[job].size() == spec.metrics.size());
+    PointResult& row = sweep.points[plan.output_index[job / seeds]];
     for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
       row.metrics[m].add(job_metrics[job][m]);
     }
   }
+  return sweep;
+}
+
+SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
+  // A sharded slice cannot aggregate to a complete result; run it through
+  // run_sweep_shard (shard.hpp) and merge the artifact set instead.
+  FRUGAL_EXPECT(!options.shard.active());
+
+  const SweepPlan plan = plan_sweep(spec, options);
+
+  // Execute the job grid: job = point-major, seed-minor. Every job writes
+  // only its own metric slot, keyed by job index — the one invariant the
+  // whole byte-identical-output guarantee rests on.
+  const int jobs = resolve_jobs(options.jobs);
+  std::vector<std::vector<double>> job_metrics(plan.job_count);
+
+  const auto started = std::chrono::steady_clock::now();
+  parallel_for(plan.job_count, jobs, [&](std::size_t job) {
+    job_metrics[job] = run_sweep_job(spec, plan, job);
+  });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+
+  SweepResult sweep = aggregate_jobs(spec, plan, job_metrics);
+  sweep.jobs = jobs;
+  sweep.wall_seconds = elapsed.count();
   return sweep;
 }
 

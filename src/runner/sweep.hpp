@@ -7,9 +7,16 @@
 // config.seed and jobs share nothing — and aggregation happens serially
 // after the pool drains, so the result (and every sink rendering of it) is
 // byte-identical whatever FRUGAL_JOBS says.
+//
+// The same plan/job/aggregate decomposition powers sharded execution
+// (shard.hpp): a shard runs a contiguous slice of the flattened job index
+// range with unchanged per-job seeds, and merging a complete shard set
+// replays the identical serial aggregation — hence byte-identical output.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "runner/scenario.hpp"
@@ -17,12 +24,49 @@
 
 namespace frugal::runner {
 
+/// One shard of a sweep's flattened job range: `index` of `count`. The
+/// default (0 of 1) is the whole sweep.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  [[nodiscard]] bool active() const { return count > 1; }
+};
+
+/// Parses "i/N" (e.g. "0/3", the CLI's --shard / FRUGAL_SHARD syntax);
+/// nullopt on malformed text, N < 1 or i outside [0, N) — the user-facing
+/// front-ends turn that into a usage error.
+[[nodiscard]] std::optional<ShardSpec> try_parse_shard_spec(
+    const std::string& text);
+
+/// try_parse_shard_spec for trusted (programmatic) input: aborts instead of
+/// returning nullopt.
+[[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
+
+/// A contiguous half-open job index range.
+struct JobRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  friend bool operator==(const JobRange&, const JobRange&) = default;
+};
+
+/// The balanced contiguous partition: shard i of N over J jobs is
+/// [J*i/N, J*(i+1)/N). Shards are disjoint, cover [0, J) and differ in size
+/// by at most one job — the properties runner_determinism_test asserts.
+[[nodiscard]] JobRange shard_range(std::size_t job_count,
+                                   const ShardSpec& shard);
+
 struct SweepOptions {
   int jobs = 0;   ///< worker threads; <= 0: FRUGAL_JOBS, else hardware
   int seeds = 0;  ///< seeded runs per grid point; <= 0: spec.default_seeds
   bool full = false;           ///< use the paper-strength grids
   std::uint64_t seed_base = 1;  ///< job s runs with seed job_seed(base, s)
   std::vector<Axis> overrides;  ///< --grid axis replacements, by name
+  /// Restrict execution to this shard of the job range (run_sweep_shard
+  /// only; run_sweep rejects an active shard — a single box runs it all).
+  ShardSpec shard;
 };
 
 /// One output row: a point of the *output* grid (aggregate axes collapsed)
@@ -38,9 +82,12 @@ struct SweepResult {
   std::vector<Axis> axes;  ///< effective output axes (non-aggregate)
   std::vector<PointResult> points;  ///< canonical grid order
   int seeds = 0;
-  int jobs = 1;             ///< workers actually used
+  int jobs = 1;             ///< workers actually used; 0 for merged results
   std::size_t job_count = 0;  ///< simulations executed
   double wall_seconds = 0;  ///< never part of canonical CSV/JSONL output
+  /// Shard count this result was merged from (merge_shards); 0 for a
+  /// single-box run. Like jobs/wall_seconds, never in canonical output.
+  int merged_from = 0;
 };
 
 /// The per-job seed derivation: deterministic in (base, index) and
@@ -51,6 +98,45 @@ struct SweepResult {
                                                int seed_index) {
   return base + static_cast<std::uint64_t>(seed_index);
 }
+
+/// The resolved execution plan every run mode (single-box, shard, merge)
+/// shares. Axes are *resolved*: values hold the effective grid (overrides
+/// applied, quick/full selection done, full_values cleared), so the plan is
+/// self-contained and two boxes resolving the same sweep agree exactly.
+struct SweepPlan {
+  std::vector<Axis> axes;         ///< resolved effective axes
+  std::vector<Axis> output_axes;  ///< the non-aggregate subset
+  std::vector<ParamPoint> grid;   ///< canonical full-grid order
+  std::vector<std::size_t> output_index;  ///< grid point -> output row
+  std::size_t output_count = 0;
+  int seeds = 0;
+  std::uint64_t seed_base = 1;
+  std::size_t job_count = 0;  ///< grid.size() * seeds; job = point-major
+};
+
+/// Resolves spec + options (grid overrides, full mode, FRUGAL_SEEDS) into
+/// the canonical plan.
+[[nodiscard]] SweepPlan plan_sweep(const ScenarioSpec& spec,
+                                   const SweepOptions& options);
+
+/// Builds a plan from already-resolved axes (merge_shards reconstructs the
+/// plan from a shard header this way). Aborts on empty axis values.
+[[nodiscard]] SweepPlan make_plan(std::vector<Axis> resolved_axes, int seeds,
+                                  std::uint64_t seed_base);
+
+/// Executes one job of the plan — point index job / seeds, seed index
+/// job % seeds — and returns the spec's metric values for that simulation.
+[[nodiscard]] std::vector<double> run_sweep_job(const ScenarioSpec& spec,
+                                                const SweepPlan& plan,
+                                                std::size_t job);
+
+/// Serial aggregation of per-job metric vectors in canonical job order:
+/// identical summation order — hence bit-identical floating-point results —
+/// whether the values came from one box's pool or a merged shard set.
+/// `job_metrics` must hold plan.job_count rows of spec.metrics.size() each.
+[[nodiscard]] SweepResult aggregate_jobs(
+    const ScenarioSpec& spec, const SweepPlan& plan,
+    const std::vector<std::vector<double>>& job_metrics);
 
 [[nodiscard]] SweepResult run_sweep(const ScenarioSpec& spec,
                                     const SweepOptions& options = {});

@@ -32,7 +32,7 @@ void Table::add_numeric_row(const std::vector<double>& values, int precision) {
   add_row(std::move(cells));
 }
 
-void Table::print() const {
+std::string Table::to_string() const {
   std::vector<std::size_t> widths(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     widths[c] = columns_[c].size();
@@ -43,16 +43,20 @@ void Table::print() const {
     }
   }
 
-  std::printf("\n== %s ==\n", title_.c_str());
-  const auto print_row = [&](const std::vector<std::string>& cells) {
+  std::string out = "\n== " + title_ + " ==\n";
+  const auto append_row = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
     }
-    std::printf("\n");
+    out += '\n';
   };
-  print_row(columns_);
-  for (const auto& row : rows_) print_row(row);
+  append_row(columns_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
 }
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
 
 std::optional<std::string> Table::write_csv(const std::string& dir) const {
   std::string slug;

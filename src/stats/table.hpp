@@ -19,6 +19,10 @@ class Table {
   void add_row(std::vector<std::string> cells);
   void add_numeric_row(const std::vector<double>& values, int precision = 3);
 
+  /// The aligned-columns rendering print() writes to stdout, as a string —
+  /// what the byte-identity tests (worker counts, shard merges) compare.
+  [[nodiscard]] std::string to_string() const;
+
   /// Prints the table with aligned columns to stdout.
   void print() const;
 

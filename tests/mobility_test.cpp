@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "mobility/city_section.hpp"
+#include "mobility/converge.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_mobility.hpp"
 #include "mobility/street_graph.hpp"
@@ -151,6 +153,85 @@ TEST(RandomWaypointTest, PausesAtWaypoints) {
   // Speed is zero at time 0 (initial pause leg).
   for (NodeId node = 0; node < 3; ++node) {
     EXPECT_EQ(rwp.speed(node, SimTime::zero()), 0.0);
+  }
+}
+
+// -- ConvergeDisperse --------------------------------------------------------
+
+ConvergeConfig converge_config() {
+  ConvergeConfig config;
+  config.width_m = 3000.0;
+  config.height_m = 3000.0;
+  config.rally = {1500.0, 1500.0};
+  config.rally_radius_m = 20.0;
+  config.speed_mps = 10.0;
+  config.converge_by = SimTime::from_seconds(100.0);
+  config.disperse_at = SimTime::from_seconds(160.0);
+  return config;
+}
+
+TEST(ConvergeDisperseTest, EveryNodeArrivesByConvergeTimeAndDwells) {
+  ConvergeDisperse model{converge_config(), 20, Rng{3}};
+  // Even nodes whose start is farther than speed * converge_by away must
+  // be on the rally disc for the whole [converge_by, disperse_at] dwell.
+  for (double t : {100.0, 130.0, 160.0}) {
+    for (NodeId id = 0; id < 20; ++id) {
+      EXPECT_LE(distance(model.position(id, SimTime::from_seconds(t)),
+                         Vec2{1500.0, 1500.0}),
+                20.0 + 1e-9)
+          << "node " << id << " at t=" << t;
+      EXPECT_EQ(model.speed(id, SimTime::from_seconds(130.0)), 0.0);
+    }
+  }
+}
+
+TEST(ConvergeDisperseTest, StartsSpreadAndDispersesToNewTargets) {
+  ConvergeDisperse model{converge_config(), 20, Rng{3}};
+  double spread_start = 0;
+  double spread_late = 0;
+  const SimTime late = SimTime::from_seconds(1000.0);  // parked by then
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      spread_start = std::max(
+          spread_start, distance(model.position(a, SimTime::zero()),
+                                 model.position(b, SimTime::zero())));
+      spread_late = std::max(spread_late,
+                             distance(model.position(a, late),
+                                      model.position(b, late)));
+    }
+  }
+  EXPECT_GT(spread_start, 500.0);
+  EXPECT_GT(spread_late, 500.0);
+}
+
+TEST(ConvergeDisperseTest, DeterministicAcrossInstancesAndQueryOrder) {
+  ConvergeDisperse a{converge_config(), 8, Rng{11}};
+  ConvergeDisperse b{converge_config(), 8, Rng{11}};
+  // Query b backwards in time first; positions must still agree exactly.
+  for (int t = 300; t >= 0; t -= 30) {
+    static_cast<void>(b.position(3, SimTime::from_seconds(t)));
+  }
+  for (int t = 0; t <= 300; t += 30) {
+    for (NodeId id = 0; id < 8; ++id) {
+      EXPECT_EQ(a.position(id, SimTime::from_seconds(t)),
+                b.position(id, SimTime::from_seconds(t)));
+    }
+  }
+}
+
+TEST(ConvergeDisperseTest, TravelSpeedMatchesConfigOrBoost) {
+  const ConvergeConfig config = converge_config();
+  ConvergeDisperse model{config, 20, Rng{5}};
+  for (NodeId id = 0; id < 20; ++id) {
+    // Mid-convergence speed: the configured speed, or the boost a too-far
+    // node needs to make the deadline; never slower than configured.
+    const double in = model.speed(id, SimTime::from_seconds(99.0));
+    if (in > 0) {
+      EXPECT_GE(in, config.speed_mps - 1e-9);
+    }
+    // Dispersal always travels at the configured speed (or is parked).
+    const double out = model.speed(id, SimTime::from_seconds(161.0));
+    EXPECT_TRUE(out == 0.0 || out == config.speed_mps) << out;
   }
 }
 

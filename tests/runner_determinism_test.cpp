@@ -5,13 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "golden_trace.hpp"
 #include "runner/registry.hpp"
+#include "runner/shard.hpp"
 #include "runner/sink.hpp"
 #include "runner/sweep.hpp"
 #include "trace/trace.hpp"
@@ -112,6 +117,108 @@ TEST(SweepDeterminism, RegisteredScenarioStableUnderWorkers) {
   options.jobs = 8;
   const std::string parallel = sweep_csv(run_sweep(*spec, options));
   EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// The job-index partition behind sharded sweeps: shards are disjoint,
+// cover the whole range, stay balanced, and per-job seeds do not depend on
+// how the range is cut.
+
+TEST(ShardPartition, RangesAreDisjointCoveringAndBalanced) {
+  for (std::size_t job_count : {std::size_t{0}, std::size_t{1},
+                                std::size_t{5}, std::size_t{12},
+                                std::size_t{97}, std::size_t{1000}}) {
+    for (int count : {1, 2, 3, 7, 16, 97}) {
+      std::size_t cursor = 0;
+      std::size_t smallest = job_count;
+      std::size_t largest = 0;
+      for (int index = 0; index < count; ++index) {
+        const JobRange range =
+            shard_range(job_count, ShardSpec{index, count});
+        // Contiguous from the previous shard's end: disjoint + covering.
+        EXPECT_EQ(range.begin, cursor)
+            << job_count << " jobs, shard " << index << "/" << count;
+        EXPECT_LE(range.begin, range.end);
+        smallest = std::min(smallest, range.size());
+        largest = std::max(largest, range.size());
+        cursor = range.end;
+      }
+      EXPECT_EQ(cursor, job_count) << job_count << " jobs / " << count;
+      EXPECT_LE(largest - smallest, 1u)
+          << "unbalanced partition: " << job_count << " jobs / " << count;
+    }
+  }
+}
+
+TEST(ShardPartition, PerJobSeedsInvariantUnderShardCount) {
+  // A spy scenario records every (point, seed) pair the runner asks a
+  // config for; whatever the shard count, the multiset over a complete
+  // shard set must be exactly the unsharded one — the paper's
+  // paired-comparison seeding survives any partition.
+  using Call = std::tuple<double, double, std::uint64_t>;
+  static std::mutex mutex;
+  static std::vector<Call> calls;
+
+  ScenarioSpec spec;
+  spec.name = "seed_spy";
+  spec.title = "seed spy";
+  Axis a;
+  a.name = "a";
+  a.values = {1, 2, 3};
+  Axis b;
+  b.name = "b";
+  b.values = {10, 20};
+  spec.axes = {a, b};
+  spec.default_seeds = 2;
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      calls.emplace_back(point.get("a"), point.get("b"), seed);
+    }
+    core::ExperimentConfig config;
+    config.node_count = 3;
+    config.interest_fraction = 1.0;
+    config.mobility = core::StaticSetup{100.0, 100.0};
+    config.medium.range_m = 200.0;
+    config.warmup = SimDuration::from_seconds(1);
+    config.event_validity = SimDuration::from_seconds(2);
+    config.seed = seed;
+    return config;
+  };
+  spec.metrics = {{"reliability", 3,
+                   [](const core::RunResult& result, const ParamPoint&) {
+                     return result.reliability();
+                   }}};
+
+  const auto collect = [&](int shard_count) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      calls.clear();
+    }
+    SweepOptions options;
+    options.seed_base = 77;
+    for (int index = 0; index < shard_count; ++index) {
+      options.shard = ShardSpec{index, shard_count};
+      const ShardArtifact artifact = run_sweep_shard(spec, options);
+      EXPECT_EQ(artifact.range, shard_range(12, options.shard));
+    }
+    const std::lock_guard<std::mutex> lock{mutex};
+    std::vector<Call> sorted = calls;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  };
+
+  const std::vector<Call> unsharded = collect(1);
+  EXPECT_EQ(unsharded.size(), 12u);  // 3 x 2 points x 2 seeds
+  // Seeds are job_seed(base, seed_index) at every grid point.
+  for (const Call& call : unsharded) {
+    const std::uint64_t seed = std::get<2>(call);
+    EXPECT_TRUE(seed == job_seed(77, 0) || seed == job_seed(77, 1))
+        << seed;
+  }
+  EXPECT_EQ(collect(2), unsharded);
+  EXPECT_EQ(collect(3), unsharded);
+  EXPECT_EQ(collect(7), unsharded);
 }
 
 // ---------------------------------------------------------------------------

@@ -111,7 +111,8 @@ TEST(RegistryTest, AllBuiltinFiguresRegistered) {
       "fig16_city_validity",   "fig17_bandwidth",       "fig18_events_sent",
       "fig19_duplicates",      "fig20_parasites",       "headline",
       "ablations",             "multi_publisher",       "high_density",
-      "sparse_partition",
+      "sparse_partition",      "topic_fanout",          "churn_city",
+      "adversarial_mobility",  "memory_pressure",
   };
   for (const char* name : expected) {
     EXPECT_NE(find_scenario(name), nullptr) << name;
@@ -309,6 +310,26 @@ TEST(Sink, ParseFormatRoundTrips) {
   EXPECT_EQ(parse_format("table"), Format::kTable);
   EXPECT_EQ(parse_format("csv"), Format::kCsv);
   EXPECT_EQ(parse_format("jsonl"), Format::kJsonl);
+}
+
+TEST(Sink, CanonicalOutputIgnoresExecutionProvenance) {
+  // wall_seconds, jobs and merged_from describe how a sweep was executed,
+  // not what it computed: csv/jsonl/table must be bytewise invariant under
+  // all of them, or sharded/merged artifacts could never cmp-match a
+  // single-box run.
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 2;
+  options.seeds = 1;
+  const SweepResult sweep = run_sweep(spec, options);
+
+  SweepResult tweaked = sweep;
+  tweaked.jobs = 1999;
+  tweaked.wall_seconds = 123456.75;
+  tweaked.merged_from = 42;
+  EXPECT_EQ(sweep_csv(sweep), sweep_csv(tweaked));
+  EXPECT_EQ(sweep_jsonl(sweep), sweep_jsonl(tweaked));
+  EXPECT_EQ(sweep_table(sweep).to_string(), sweep_table(tweaked).to_string());
 }
 
 // ---------------------------------------------------------------------------

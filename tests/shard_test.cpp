@@ -1,0 +1,306 @@
+// The sharded-sweep contract: every partition of the job range — even,
+// uneven, single-job and empty shards alike — merges back to CSV/JSONL
+// byte-equal to the unsharded run at any worker count, the artifact
+// serialization round-trips exactly, and malformed shard specs, incomplete
+// or overlapping shard sets and artifacts from mismatched sweeps die with a
+// contract violation instead of merging garbage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runner/registry.hpp"
+#include "runner/shard.hpp"
+#include "runner/sink.hpp"
+#include "runner/sweep.hpp"
+
+namespace frugal::runner {
+namespace {
+
+/// A fast scenario with an uneven job grid: 2 protocols x 3 publishers x
+/// 2 seeds = 12 jobs of a small static world.
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "shard_probe";
+  spec.title = "shard probe";
+  Axis protocol;
+  protocol.name = "protocol";
+  protocol.values = {0, 1};
+  Axis publisher;
+  publisher.name = "publisher";
+  publisher.values = {0, 1, 2};
+  publisher.aggregate = true;
+  spec.axes = {protocol, publisher};
+  spec.default_seeds = 2;
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    core::ExperimentConfig config;
+    config.node_count = 8;
+    config.interest_fraction = 1.0;
+    config.mobility = core::StaticSetup{400.0, 400.0};
+    config.medium.range_m = 200.0;
+    config.warmup = SimDuration::from_seconds(2);
+    config.event_validity = SimDuration::from_seconds(10);
+    config.protocol = point.get("protocol") == 0
+                          ? core::Protocol::kFrugal
+                          : core::Protocol::kFloodSimple;
+    config.publisher = static_cast<NodeId>(point.get("publisher"));
+    config.seed = seed;
+    return config;
+  };
+  spec.metrics = {{"reliability", 3,
+                   [](const core::RunResult& result, const ParamPoint&) {
+                     return result.reliability();
+                   }},
+                  {"bytes", 0,
+                   [](const core::RunResult& result, const ParamPoint&) {
+                     return result.mean_bytes_sent_per_node();
+                   }}};
+  return spec;
+}
+
+std::vector<ShardArtifact> run_all_shards(const ScenarioSpec& spec,
+                                          SweepOptions options, int count) {
+  std::vector<ShardArtifact> artifacts;
+  artifacts.reserve(static_cast<std::size_t>(count));
+  for (int index = 0; index < count; ++index) {
+    options.shard = ShardSpec{index, count};
+    artifacts.push_back(run_sweep_shard(spec, options));
+  }
+  return artifacts;
+}
+
+/// The tentpole guarantee, end to end: for every partition the merged
+/// result renders byte-equal to the unsharded run — serially and on 8
+/// workers — in both machine formats and the table.
+void expect_partitions_merge_byte_equal(const ScenarioSpec& spec,
+                                        SweepOptions options) {
+  options.jobs = 1;
+  const SweepResult serial = run_sweep(spec, options);
+  const std::string csv = sweep_csv(serial);
+  const std::string jsonl = sweep_jsonl(serial);
+  options.jobs = 8;
+  const SweepResult parallel = run_sweep(spec, options);
+  EXPECT_EQ(csv, sweep_csv(parallel));
+  EXPECT_EQ(jsonl, sweep_jsonl(parallel));
+
+  for (int count : {1, 2, 3, 7}) {
+    // Round-trip every artifact through its serialized form — the exact
+    // bytes a remote shard ships home.
+    std::vector<ShardArtifact> artifacts;
+    for (const ShardArtifact& artifact :
+         run_all_shards(spec, options, count)) {
+      artifacts.push_back(parse_shard(serialize_shard(artifact)));
+    }
+    const SweepResult merged = merge_shards(spec, std::move(artifacts));
+    EXPECT_EQ(csv, sweep_csv(merged)) << count << " shards";
+    EXPECT_EQ(jsonl, sweep_jsonl(merged)) << count << " shards";
+    EXPECT_EQ(sweep_table(serial).to_string(),
+              sweep_table(merged).to_string())
+        << count << " shards";
+    EXPECT_EQ(merged.merged_from, count);
+    EXPECT_EQ(merged.jobs, 0);
+  }
+}
+
+TEST(ShardEquivalence, TinySpecEveryPartitionMergesByteEqual) {
+  // 12 jobs over {1, 2, 3, 7} shards covers even, uneven and single-job
+  // slices (12/7 gives sizes 1 and 2).
+  SweepOptions options;
+  expect_partitions_merge_byte_equal(tiny_spec(), options);
+}
+
+TEST(ShardEquivalence, RegisteredCityScenarioMergesByteEqual) {
+  const ScenarioSpec* spec = find_scenario("fig13_heartbeat");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions options;
+  options.seeds = 1;
+  Axis hb;
+  hb.name = "hb_upper_s";
+  hb.values = {1, 5};
+  Axis publisher;
+  publisher.name = "publisher";
+  publisher.values = {0, 7};
+  options.overrides = {hb, publisher};
+  // 4 jobs over 7 shards exercises empty shards.
+  expect_partitions_merge_byte_equal(*spec, options);
+}
+
+TEST(ShardEquivalence, RegisteredMemoryPressureScenarioMergesByteEqual) {
+  const ScenarioSpec* spec = find_scenario("memory_pressure");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions options;
+  options.seeds = 1;
+  Axis capacity;
+  capacity.name = "capacity";
+  capacity.values = {2, 64};
+  Axis rate;
+  rate.name = "rate_eps";
+  rate.values = {4};
+  options.overrides = {capacity, rate};
+  expect_partitions_merge_byte_equal(*spec, options);
+}
+
+TEST(ShardEquivalence, SeedBaseTravelsThroughTheArtifact) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  options.seed_base = 4242;
+  options.jobs = 1;
+  const std::string expected = sweep_csv(run_sweep(spec, options));
+  const SweepResult merged =
+      merge_shards(spec, run_all_shards(spec, options, 2));
+  EXPECT_EQ(expected, sweep_csv(merged));
+  // ...and a different base produces a different byte stream.
+  options.seed_base = 1;
+  EXPECT_NE(expected, sweep_csv(run_sweep(spec, options)));
+}
+
+TEST(ShardArtifactFormat, SerializeParseRoundTripsExactly) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.jobs = 2;
+  options.shard = ShardSpec{1, 3};
+  const ShardArtifact artifact = run_sweep_shard(spec, options);
+  const std::string text = serialize_shard(artifact);
+  const ShardArtifact parsed = parse_shard(text);
+  EXPECT_EQ(serialize_shard(parsed), text);
+  EXPECT_EQ(parsed.scenario, "shard_probe");
+  EXPECT_EQ(parsed.shard.index, 1);
+  EXPECT_EQ(parsed.shard.count, 3);
+  EXPECT_EQ(parsed.job_count, 12u);
+  EXPECT_EQ(parsed.range, shard_range(12, options.shard));
+  ASSERT_EQ(parsed.values.size(), artifact.values.size());
+  for (std::size_t i = 0; i < parsed.values.size(); ++i) {
+    ASSERT_EQ(parsed.values[i].size(), artifact.values[i].size());
+    for (std::size_t m = 0; m < parsed.values[i].size(); ++m) {
+      // %.17g round-trips doubles bit-for-bit; merge depends on it.
+      EXPECT_EQ(parsed.values[i][m], artifact.values[i][m]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invalid inputs die loudly.
+
+TEST(ShardSpecParsing, TryParseAcceptsOnlyWellFormedSpecs) {
+  // The non-aborting variant the CLI front-ends build usage errors from.
+  ASSERT_TRUE(try_parse_shard_spec("0/1").has_value());
+  EXPECT_EQ(try_parse_shard_spec("0/1")->count, 1);
+  EXPECT_EQ(try_parse_shard_spec("2/7")->index, 2);
+  for (const char* bad :
+       {"3/3", "-1/2", "1/0", "abc", "1/2/3", "1", "", "1/2x", "0/999999"}) {
+    EXPECT_FALSE(try_parse_shard_spec(bad).has_value()) << bad;
+  }
+}
+
+TEST(ShardDeathTest, ParseShardSpecRejectsMalformedSpecs) {
+  EXPECT_EQ(parse_shard_spec("0/1").count, 1);
+  EXPECT_EQ(parse_shard_spec("2/7").index, 2);
+  const auto parse = [](const char* text) {
+    static_cast<void>(parse_shard_spec(text));
+  };
+  EXPECT_DEATH(parse("3/3"), "shard spec must be i/N");
+  EXPECT_DEATH(parse("-1/2"), "shard spec must be i/N");
+  EXPECT_DEATH(parse("1/0"), "shard spec must be i/N");
+  EXPECT_DEATH(parse("abc"), "shard spec must be i/N");
+  EXPECT_DEATH(parse("1/2/3"), "shard spec must be i/N");
+  EXPECT_DEATH(parse("1"), "shard spec must be i/N");
+  EXPECT_DEATH(parse(""), "shard spec must be i/N");
+}
+
+TEST(ShardDeathTest, ShardRangeRejectsOutOfRangeShards) {
+  const auto range = [](std::size_t jobs, int index, int count) {
+    static_cast<void>(shard_range(jobs, ShardSpec{index, count}));
+  };
+  EXPECT_DEATH(range(10, 2, 2), "index < ");
+  EXPECT_DEATH(range(10, 0, 0), "count >= 1");
+}
+
+TEST(ShardDeathTest, MergeRejectsIncompleteAndOverlappingSets) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  const std::vector<ShardArtifact> artifacts =
+      run_all_shards(spec, options, 3);
+  const auto merge = [&spec](std::vector<ShardArtifact> set) {
+    static_cast<void>(merge_shards(spec, std::move(set)));
+  };
+
+  EXPECT_DEATH(merge({artifacts[0], artifacts[2]}),
+               "incomplete or oversized shard set");
+  EXPECT_DEATH(merge({artifacts[0], artifacts[1], artifacts[1]}),
+               "duplicate or missing shard");
+  EXPECT_DEATH(
+      merge({artifacts[0], artifacts[1], artifacts[2], artifacts[2]}),
+      "incomplete or oversized shard set");
+}
+
+TEST(ShardDeathTest, MergeRejectsMismatchedSweeps) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  const std::vector<ShardArtifact> base = run_all_shards(spec, options, 2);
+  const auto merge = [](const ScenarioSpec& with,
+                        std::vector<ShardArtifact> set) {
+    static_cast<void>(merge_shards(with, std::move(set)));
+  };
+
+  // Different seed base.
+  SweepOptions other_base = options;
+  other_base.seed_base = 999;
+  other_base.shard = ShardSpec{1, 2};
+  EXPECT_DEATH(
+      merge(spec, {base[0], run_sweep_shard(spec, other_base)}),
+      "different seed bases");
+
+  // Different grid with the same job count.
+  SweepOptions other_grid = options;
+  Axis publisher;
+  publisher.name = "publisher";
+  publisher.values = {0, 2, 4};
+  other_grid.overrides = {publisher};
+  other_grid.shard = ShardSpec{1, 2};
+  EXPECT_DEATH(
+      merge(spec, {base[0], run_sweep_shard(spec, other_grid)}),
+      "different grids");
+
+  // Different seed count (hence job count).
+  SweepOptions other_seeds = options;
+  other_seeds.seeds = 2;
+  other_seeds.shard = ShardSpec{1, 2};
+  EXPECT_DEATH(
+      merge(spec, {base[0], run_sweep_shard(spec, other_seeds)}),
+      "job_count");
+
+  // Artifacts for a different scenario than the spec being merged.
+  const ScenarioSpec* city = find_scenario("fig13_heartbeat");
+  ASSERT_NE(city, nullptr);
+  EXPECT_DEATH(merge(*city, {base[0], base[1]}), "scenario == spec.name");
+}
+
+TEST(ShardDeathTest, ParseRejectsMalformedArtifacts) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  options.shard = ShardSpec{0, 3};
+  const std::string good = serialize_shard(run_sweep_shard(spec, options));
+  const auto parse = [](const std::string& text) {
+    static_cast<void>(parse_shard(text));
+  };
+
+  EXPECT_DEATH(parse("not an artifact"), "malformed shard artifact");
+  EXPECT_DEATH(parse(good.substr(0, good.size() / 2)),
+               "malformed shard artifact");
+  EXPECT_DEATH(parse(good + "trailing\n"),
+               "trailing data in shard artifact");
+  // A tampered job index breaks the contiguous job-line order.
+  std::string tampered = good;
+  const std::size_t at = tampered.find("{\"job\":0");
+  ASSERT_NE(at, std::string::npos);
+  tampered.replace(at, 8, "{\"job\":9");
+  EXPECT_DEATH(parse(tampered), "job lines out of order");
+}
+
+}  // namespace
+}  // namespace frugal::runner

@@ -1,0 +1,193 @@
+// Expected-shape tests for the stress scenario families registered in PR 4:
+// churn_city (reliability monotone under churn), memory_pressure (Fig. 3 GC
+// actually triggers and recovers with capacity) and adversarial_mobility
+// (the converge/disperse density spike and its phase contrast). Each test
+// runs the registered spec's own make_config so the asserted shape is the
+// one the bench reports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "mobility/converge.hpp"
+#include "runner/registry.hpp"
+#include "runner/sweep.hpp"
+
+namespace frugal::runner {
+namespace {
+
+/// Builds the spec's ParamPoint from values in axis order.
+ParamPoint point_for(const ScenarioSpec& spec, std::vector<double> values) {
+  EXPECT_EQ(values.size(), spec.axes.size());
+  ParamPoint point;
+  for (const Axis& axis : spec.axes) point.names.push_back(axis.name);
+  point.values = std::move(values);
+  return point;
+}
+
+/// Seed-averaged run of one grid point (paired seeds across points).
+core::RunResult run_point(const ScenarioSpec& spec, const ParamPoint& point,
+                          int seed_index = 0) {
+  return core::run_experiment(
+      spec.make_config(point, job_seed(1, seed_index)));
+}
+
+double mean_reliability(const ScenarioSpec& spec, const ParamPoint& point,
+                        int seeds) {
+  double total = 0;
+  for (int s = 0; s < seeds; ++s) {
+    total += run_point(spec, point, s).reliability();
+  }
+  return total / seeds;
+}
+
+// ---------------------------------------------------------------------------
+// churn_city: reliability decreases monotonically with the churn rate.
+
+TEST(ChurnCityShapes, ReliabilityMonotoneUnderChurn) {
+  const ScenarioSpec* spec = find_scenario("churn_city");
+  ASSERT_NE(spec, nullptr);
+  // axes: churn_per_min, interest, publisher. Full subscribers, one
+  // mid-route publisher, the default grid's churn endpoints plus the full
+  // grid's 10/min extreme; 2 paired seeds.
+  const double none = mean_reliability(
+      *spec, point_for(*spec, {0.0, 1.0, 7.0}), 2);
+  const double moderate = mean_reliability(
+      *spec, point_for(*spec, {6.0, 1.0, 7.0}), 2);
+  const double severe = mean_reliability(
+      *spec, point_for(*spec, {10.0, 1.0, 7.0}), 2);
+  EXPECT_GT(none, 0.5);  // the churn-free city delivers (cf. Fig. 14)
+  EXPECT_GE(none, moderate);
+  EXPECT_GE(moderate, severe);
+  // ...and even severe churn does not zero the protocol out.
+  EXPECT_GT(severe, 0.0);
+}
+
+TEST(ChurnCityShapes, ChurnSilencesRadiosAndSavesBytes) {
+  const ScenarioSpec* spec = find_scenario("churn_city");
+  ASSERT_NE(spec, nullptr);
+  const core::RunResult calm =
+      run_point(*spec, point_for(*spec, {0.0, 1.0, 7.0}));
+  const core::RunResult churned =
+      run_point(*spec, point_for(*spec, {10.0, 1.0, 7.0}));
+  EXPECT_LT(churned.mean_bytes_sent_per_node(),
+            calm.mean_bytes_sent_per_node());
+}
+
+// ---------------------------------------------------------------------------
+// memory_pressure: Equation 1 GC really runs, and pressure really hurts.
+
+TEST(MemoryPressureShapes, GcEvictionsTriggerAtTinyCapacityOnly) {
+  const ScenarioSpec* spec = find_scenario("memory_pressure");
+  ASSERT_NE(spec, nullptr);
+  // axes: capacity, rate_eps. 24 events at 4/s against capacity 2 forces
+  // constant victim selection...
+  const core::RunResult starved =
+      run_point(*spec, point_for(*spec, {2.0, 4.0}));
+  EXPECT_GT(starved.mean_gc_evictions_per_node(), 1.0);
+  // ...while capacity 64 holds the whole workload: provably no GC.
+  const core::RunResult roomy =
+      run_point(*spec, point_for(*spec, {64.0, 4.0}));
+  EXPECT_EQ(roomy.mean_gc_evictions_per_node(), 0.0);
+}
+
+TEST(MemoryPressureShapes, ReliabilityRecoversWithCapacity) {
+  const ScenarioSpec* spec = find_scenario("memory_pressure");
+  ASSERT_NE(spec, nullptr);
+  const double starved = mean_reliability(
+      *spec, point_for(*spec, {2.0, 4.0}), 2);
+  const double roomy = mean_reliability(
+      *spec, point_for(*spec, {64.0, 4.0}), 2);
+  EXPECT_GE(roomy, starved);
+  // Equation 1 keeps dissemination alive even at capacity 2 (the paper's
+  // §4.4 design goal): well above zero, well below the roomy table.
+  EXPECT_GT(starved, 0.05);
+  EXPECT_GT(roomy, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// adversarial_mobility: the density spike and its phase contrast.
+
+TEST(AdversarialMobilityShapes, ConvergeDisperseProducesDensitySpike) {
+  // The mobility model itself: scattered at t=0, everyone inside the rally
+  // disc while converged, scattered again after dispersal.
+  mobility::ConvergeConfig config;
+  config.width_m = 5000.0;
+  config.height_m = 5000.0;
+  config.rally = {2500.0, 2500.0};
+  config.rally_radius_m = 15.0;
+  config.speed_mps = 10.0;
+  config.converge_by = SimTime::from_seconds(240.0);
+  config.disperse_at = SimTime::from_seconds(300.0);
+  mobility::ConvergeDisperse model{config, 35, Rng{7}};
+
+  const auto max_rally_distance = [&](SimTime t) {
+    double worst = 0;
+    for (NodeId id = 0; id < 35; ++id) {
+      worst = std::max(worst, distance(model.position(id, t), config.rally));
+    }
+    return worst;
+  };
+  const auto spread = [&](SimTime t) {
+    double worst = 0;
+    for (NodeId a = 0; a < 35; ++a) {
+      for (NodeId b = a + 1; b < 35; ++b) {
+        worst = std::max(worst, distance(model.position(a, t),
+                                         model.position(b, t)));
+      }
+    }
+    return worst;
+  };
+
+  // Scattered at the start: far beyond one radio range (442 m).
+  EXPECT_GT(spread(SimTime::zero()), 1000.0);
+  // The spike: every node within the rally disc for the whole dwell.
+  for (double t : {240.0, 270.0, 300.0}) {
+    EXPECT_LE(max_rally_distance(SimTime::from_seconds(t)),
+              config.rally_radius_m + 1e-9)
+        << "t=" << t;
+  }
+  // Long after dispersal (5000 m at 10 mps: parked by t=800), scattered
+  // again and static.
+  const SimTime late = SimTime::from_seconds(900.0);
+  EXPECT_GT(spread(late), 1000.0);
+  for (NodeId id = 0; id < 35; ++id) {
+    EXPECT_EQ(model.speed(id, late), 0.0);
+    EXPECT_EQ(model.position(id, late),
+              model.position(id, SimTime::from_seconds(1000.0)));
+  }
+}
+
+TEST(AdversarialMobilityShapes, ConvergedPhaseBeatsDispersedPhase) {
+  const ScenarioSpec* spec = find_scenario("adversarial_mobility");
+  ASSERT_NE(spec, nullptr);
+  // axes: phase (0 pre, 1 converged, 2 dispersed), speed_mps.
+  const core::RunResult converged =
+      run_point(*spec, point_for(*spec, {1.0, 5.0}));
+  const core::RunResult dispersed =
+      run_point(*spec, point_for(*spec, {2.0, 5.0}));
+  // Publishing into the crowd reaches everyone nearly instantly...
+  EXPECT_GT(converged.reliability(), 0.95);
+  EXPECT_LT(converged.mean_delivery_latency_s(), 1.0);
+  // ...while the dispersed network maroons events on their carriers.
+  EXPECT_LT(dispersed.reliability(), converged.reliability() - 0.3);
+}
+
+TEST(AdversarialMobilityShapes, FunnelingCarriersSpikeDuplicates) {
+  const ScenarioSpec* spec = find_scenario("adversarial_mobility");
+  ASSERT_NE(spec, nullptr);
+  const core::RunResult pre =
+      run_point(*spec, point_for(*spec, {0.0, 5.0}));
+  const core::RunResult converged =
+      run_point(*spec, point_for(*spec, {1.0, 5.0}));
+  // En-route carriers re-encounter and re-bundle; the converged crowd's
+  // perfect overhearing suppresses redundant sends almost entirely.
+  EXPECT_GT(pre.mean_duplicates_per_node(),
+            converged.mean_duplicates_per_node());
+}
+
+}  // namespace
+}  // namespace frugal::runner
