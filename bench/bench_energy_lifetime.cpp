@@ -1,0 +1,15 @@
+// Energy lifetime (beyond the paper's figures): radio power-state energy
+// accounting with finite batteries — joules per delivered event, first
+// battery death and survivors across battery capacity x beat period x
+// protocol (frugal vs interests-aware flooding), with optional duty-cycle
+// sleep on the --full grid.
+//
+// Thin wrapper: the whole experiment is the registered "energy_lifetime"
+// scenario (src/runner/scenarios.cpp). FRUGAL_SHARD=i/N turns this binary
+// into one shard of a multi-machine sweep (see EXPERIMENTS.md).
+
+#include "runner/bench_main.hpp"
+
+int main() {
+  return frugal::runner::figure_bench_main("energy_lifetime");
+}

@@ -71,24 +71,7 @@ namespace {
 void list_scenarios() {
   std::printf("%-24s %-10s %s\n", "name", "figure", "description");
   for (const ScenarioSpec* spec : all_scenarios()) {
-    std::printf("%-24s %-10s %s\n", spec->name.c_str(),
-                spec->figure.empty() ? "-" : spec->figure.c_str(),
-                spec->description.c_str());
-    std::string axes = "  axes: ";
-    for (std::size_t a = 0; a < spec->axes.size(); ++a) {
-      if (a > 0) axes += ", ";
-      axes += spec->axes[a].name;
-      axes += '[';
-      axes += std::to_string(spec->axes[a].values.size());
-      if (!spec->axes[a].full_values.empty()) {
-        axes += '/';
-        axes += std::to_string(spec->axes[a].full_values.size());
-      }
-      axes += ']';
-      if (spec->axes[a].aggregate) axes += "(agg)";
-    }
-    std::printf("%s; metrics: %zu; default seeds: %d\n", axes.c_str(),
-                spec->metrics.size(), spec->default_seeds);
+    std::fputs(describe(*spec).c_str(), stdout);
   }
 }
 

@@ -32,12 +32,36 @@ DEFAULT_CLI = os.path.join("build", "examples", "experiment_cli")
 def read_header(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         first = handle.readline()
+        body = [line.strip() for line in handle if line.strip()]
     try:
         header = json.loads(first)
     except json.JSONDecodeError as error:
         raise SystemExit(f"{path}: not a shard artifact ({error})")
     if header.get("frugal_shard_artifact") != 1:
         raise SystemExit(f"{path}: missing frugal_shard_artifact header")
+    try:
+        begin = header["jobs"]["begin"]
+        expected = header["jobs"]["end"] - begin
+        metric_count = len(header["metrics"])
+    except (KeyError, TypeError):
+        raise SystemExit(f"{path}: malformed shard header")
+    if len(body) != expected:
+        raise SystemExit(
+            f"{path}: truncated shard artifact — header promises "
+            f"{expected} job line(s), found {len(body)}"
+        )
+    # Each job line must be intact too: a kill-mid-write leaves the last
+    # line cut in half, which a pure line count would miss.
+    for offset, line in enumerate(body):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            raise SystemExit(
+                f"{path}:{offset + 2}: truncated or corrupt job line"
+            )
+        if (row.get("job") != begin + offset
+                or len(row.get("values", [])) != metric_count):
+            raise SystemExit(f"{path}:{offset + 2}: malformed job line")
     return header
 
 

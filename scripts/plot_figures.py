@@ -12,9 +12,11 @@ dependency-free built-in SVG writer is used, so the script runs anywhere the
 repo builds — CI uploads the result either way.
 
 Usage:
-    plot_figures.py PATH [PATH...] [--out-dir DIR]
+    plot_figures.py PATH [PATH...] [--out-dir DIR] [--metrics a,b,...]
 
-PATH is a .jsonl file or a directory scanned for *.jsonl.
+PATH is a .jsonl file or a directory scanned for *.jsonl. --metrics
+restricts rendering to the named metrics (comma-separated, exact names),
+so multi-metric scenarios don't explode the figures artifact.
 """
 
 from __future__ import annotations
@@ -202,11 +204,21 @@ def main():
                         help=".jsonl file(s) or directories to scan")
     parser.add_argument("--out-dir", default="figures",
                         help="where the rendered charts land")
+    parser.add_argument("--metrics", default="",
+                        help="only render these metrics "
+                             "(comma-separated exact names)")
     args = parser.parse_args()
+    wanted = {name for name in args.metrics.split(",") if name}
 
     rows = load_rows(args.paths)
     if not rows:
         sys.exit("no JSONL rows found")
+    if wanted:
+        known = {name for row in rows for name in row["metrics"]}
+        unknown = sorted(wanted - known)
+        if unknown:
+            sys.exit(f"--metrics names no metric in the input: {unknown} "
+                     f"(known: {sorted(known)})")
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -218,7 +230,8 @@ def main():
     for scenario, scenario_rows in sorted(by_scenario.items()):
         x_axis = pick_x_axis(scenario_rows)
         metrics = sorted({name for row in scenario_rows
-                          for name in row["metrics"]})
+                          for name in row["metrics"]
+                          if not wanted or name in wanted})
         for metric in metrics:
             series = chart_data(scenario_rows, x_axis, metric)
             series = {label: pts for label, pts in series.items() if pts}

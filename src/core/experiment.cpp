@@ -93,6 +93,8 @@ struct MetricsSnapshot {
   std::uint64_t duplicates = 0;
   std::uint64_t parasites = 0;
   std::uint64_t gc_evictions = 0;
+  double energy_j = 0.0;
+  double asleep_s = 0.0;
 };
 
 }  // namespace
@@ -170,6 +172,46 @@ double RunResult::mean_gc_evictions_per_node() const {
   });
 }
 
+double RunResult::mean_joules_per_node() const {
+  return mean_over_nodes(nodes,
+                         [](const NodeOutcome& n) { return n.energy_spent_j; });
+}
+
+std::size_t RunResult::delivered_count() const {
+  std::size_t count = 0;
+  for (const NodeOutcome& node : nodes) {
+    for (const auto& at : node.delivered_at) {
+      if (at.has_value()) ++count;
+    }
+  }
+  return count;
+}
+
+double RunResult::joules_per_delivered_event() const {
+  double total = 0;
+  for (const NodeOutcome& node : nodes) total += node.energy_spent_total_j;
+  return total / static_cast<double>(std::max<std::size_t>(
+                     delivered_count(), 1));
+}
+
+double RunResult::depleted_fraction() const {
+  return mean_over_nodes(nodes, [](const NodeOutcome& n) {
+    return n.died_of_depletion ? 1.0 : 0.0;
+  });
+}
+
+double RunResult::survivor_fraction() const {
+  return 1.0 - depleted_fraction();
+}
+
+double RunResult::first_depletion_s() const {
+  SimTime first = run_end;
+  for (const NodeOutcome& node : nodes) {
+    if (node.depleted_at.has_value()) first = std::min(first, *node.depleted_at);
+  }
+  return first.seconds();
+}
+
 std::vector<double> RunResult::delivery_latencies_s() const {
   std::vector<double> latencies;
   for (const NodeOutcome& node : nodes) {
@@ -204,6 +246,71 @@ RunResult run_experiment(const ExperimentConfig& config) {
                                  simulator.stream("mobility"));
   net::Medium medium{simulator.scheduler(), *mobility, config.medium,
                      simulator.stream("mac-jitter")};
+
+  // Optional radio energy accounting (energy/energy.hpp): meter the radio's
+  // power states off the medium's airtime reports and, with a finite
+  // battery, kill depleted nodes through the crash machinery. Unset runs
+  // the exact pre-energy code path — no listener, no extra events.
+  std::vector<trace::TraceRecord> lifecycle_records;
+  std::unique_ptr<energy::EnergyModel> energy_model;
+  std::unique_ptr<sim::PeriodicTask> battery_sampler;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> duty_tasks;
+  if (config.energy.has_value()) {
+    energy_model = std::make_unique<energy::EnergyModel>(config.node_count,
+                                                         *config.energy);
+    medium.set_listener(energy_model.get());
+    energy_model->set_depletion_callback([&](NodeId id, SimTime) {
+      // The churn machinery is the kill switch: a dead radio neither sends
+      // nor overhears. The node keeps its tables — they just stop
+      // mattering. A radio that is already dark (churn blackout, or the
+      // very crash whose accounting discovered this crossing) needs no
+      // flip and no second kNodeDown record; the recovery guard below
+      // keeps it dark forever. The exact crossing instant lives in
+      // NodeOutcome::depleted_at.
+      if (!medium.is_up(id)) return;
+      medium.set_up(id, false);
+      if (config.trace != nullptr) {
+        lifecycle_records.push_back(
+            {simulator.now(), trace::TraceKind::kNodeDown, id, {}, {}});
+      }
+    });
+    if (config.energy->battery_capacity_j > 0) {
+      // Sample batteries so a depleted radio goes dark within a bounded
+      // delay even while completely silent.
+      battery_sampler = std::make_unique<sim::PeriodicTask>(
+          simulator.scheduler(), config.energy->sample_period,
+          [&] { energy_model->advance_all(simulator.now()); });
+      battery_sampler->start(config.energy->sample_period);
+    }
+    if (config.energy->sleep_fraction > 0) {
+      // Duty cycling: each round's tail is spent in power-save sleep, with
+      // rounds staggered per node so the network never dozes in lockstep.
+      const SimDuration period = config.energy->duty_period;
+      const SimDuration awake =
+          period * (1.0 - config.energy->sleep_fraction);
+      const SimDuration asleep = period - awake;
+      duty_tasks.reserve(config.node_count);
+      for (NodeId id = 0; id < config.node_count; ++id) {
+        auto task = std::make_unique<sim::PeriodicTask>(
+            simulator.scheduler(), period,
+            [&medium, &simulator, &duty_tasks,
+             model = energy_model.get(), id, asleep] {
+              if (model->depleted(id)) {
+                // A dead radio needs no duty cycle; stop generating
+                // sleep/wake events for the rest of the run.
+                duty_tasks[id]->stop();
+                return;
+              }
+              medium.set_sleeping(id, true);
+              simulator.scheduler().schedule_after(
+                  asleep, [&medium, id] { medium.set_sleeping(id, false); });
+            });
+        task->start(awake + period * static_cast<std::int64_t>(id) /
+                                static_cast<std::int64_t>(config.node_count));
+        duty_tasks.push_back(std::move(task));
+      }
+    }
+  }
 
   // Draw subscribers: a seeded shuffle, first k nodes subscribe.
   Rng workload = simulator.stream("workload");
@@ -338,11 +445,15 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // paper's numbers cover the dissemination window, not the warm-up).
   std::vector<MetricsSnapshot> baseline(config.node_count);
   simulator.scheduler().schedule_at(SimTime::zero() + config.warmup, [&] {
+    if (energy_model != nullptr) energy_model->advance_all(simulator.now());
     for (NodeId id = 0; id < config.node_count; ++id) {
       const DeliveryMetrics& m = nodes[id]->metrics();
-      baseline[id] = MetricsSnapshot{medium.counters(id).bytes_sent,
-                                     m.events_sent, m.duplicates,
-                                     m.parasites, m.gc_evictions};
+      baseline[id] = MetricsSnapshot{
+          medium.counters(id).bytes_sent, m.events_sent, m.duplicates,
+          m.parasites, m.gc_evictions,
+          energy_model != nullptr ? energy_model->spent_j(id) : 0.0,
+          energy_model != nullptr ? energy_model->time_asleep(id).seconds()
+                                  : 0.0};
     }
   });
 
@@ -353,7 +464,6 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   // Churn: pre-generate each node's crash/recovery timeline (Poisson crash
   // arrivals, uniform downtime) and schedule radio-down/up flips.
-  std::vector<trace::TraceRecord> churn_flips;
   if (config.churn.crashes_per_node_per_minute > 0) {
     FRUGAL_EXPECT(config.churn.downtime_min <= config.churn.downtime_max);
     const double lambda_per_s =
@@ -370,18 +480,30 @@ RunResult run_experiment(const ExperimentConfig& config) {
         const SimDuration down = SimDuration::from_seconds(
             rng.uniform(config.churn.downtime_min.seconds(),
                         config.churn.downtime_max.seconds()));
-        simulator.scheduler().schedule_at(
-            t, [&medium, id] { medium.set_up(id, false); });
-        if (config.trace != nullptr) {
-          churn_flips.push_back({t, trace::TraceKind::kNodeDown, id, {}, {}});
-        }
+        // Record the crash only if the flip happens: a node that has
+        // meanwhile died of depletion is already (and permanently) down.
+        // Without an energy model the radio is always up here — the
+        // per-node timeline never overlaps its own downtimes.
+        simulator.scheduler().schedule_at(t, [&, id, down_at = t] {
+          if (!medium.is_up(id)) return;
+          medium.set_up(id, false);
+          if (config.trace != nullptr) {
+            lifecycle_records.push_back(
+                {down_at, trace::TraceKind::kNodeDown, id, {}, {}});
+          }
+        });
         if (t + down < run_end) {
           simulator.scheduler().schedule_at(
-              t + down, [&medium, id] { medium.set_up(id, true); });
-          if (config.trace != nullptr) {
-            churn_flips.push_back({t + down, trace::TraceKind::kNodeUp, id,
-                                   {}, {}});
-          }
+              t + down, [&, model = energy_model.get(), id, up_at = t + down] {
+                // A battery death is forever: churn recovery must not
+                // resurrect a depleted radio (and leaves no trace record).
+                if (model != nullptr && model->depleted(id)) return;
+                medium.set_up(id, true);
+                if (config.trace != nullptr) {
+                  lifecycle_records.push_back(
+                      {up_at, trace::TraceKind::kNodeUp, id, {}, {}});
+                }
+              });
         }
         t += down;
       }
@@ -389,12 +511,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
   }
 
   simulator.run_until(run_end);
+  if (energy_model != nullptr) energy_model->advance_all(run_end);
 
   // Collect results.
   RunResult result;
   result.events = std::move(records);
   result.publisher = publisher;
   result.publishers = std::move(publishers);
+  result.run_end = run_end;
   result.nodes.resize(config.node_count);
   for (NodeId id = 0; id < config.node_count; ++id) {
     NodeOutcome& outcome = result.nodes[id];
@@ -408,6 +532,15 @@ RunResult run_experiment(const ExperimentConfig& config) {
     outcome.duplicates = m.duplicates - baseline[id].duplicates;
     outcome.parasites = m.parasites - baseline[id].parasites;
     outcome.gc_evictions = m.gc_evictions - baseline[id].gc_evictions;
+    if (energy_model != nullptr) {
+      outcome.energy_spent_total_j = energy_model->spent_j(id);
+      outcome.energy_spent_j =
+          outcome.energy_spent_total_j - baseline[id].energy_j;
+      outcome.time_asleep_s =
+          energy_model->time_asleep(id).seconds() - baseline[id].asleep_s;
+      outcome.died_of_depletion = energy_model->depleted(id);
+      outcome.depleted_at = energy_model->depleted_at(id);
+    }
     outcome.delivered_at.resize(result.events.size());
     for (std::size_t e = 0; e < result.events.size(); ++e) {
       const auto it = m.deliveries.find(result.events[e].id);
@@ -419,7 +552,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     // Assemble the run's records in (time, kind, node) order. Deliveries are
     // only observable post-run from the metrics maps, so everything is
     // gathered here and sorted rather than recorded live.
-    std::vector<trace::TraceRecord> all = std::move(churn_flips);
+    std::vector<trace::TraceRecord> all = std::move(lifecycle_records);
     for (const PublishedEventRecord& event : result.events) {
       all.push_back({event.published_at, trace::TraceKind::kPublish,
                      event.id.publisher, event.id, {}});

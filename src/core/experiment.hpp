@@ -21,6 +21,7 @@
 #include "core/flooding.hpp"
 #include "core/frugal_node.hpp"
 #include "core/node.hpp"
+#include "energy/energy.hpp"
 #include "mobility/city_section.hpp"
 #include "mobility/converge.hpp"
 #include "mobility/random_waypoint.hpp"
@@ -127,6 +128,11 @@ struct ExperimentConfig {
   /// Optional hierarchical topic workload; see TopicHierarchyWorkload.
   std::optional<TopicHierarchyWorkload> topic_workload;
   ChurnConfig churn;
+  /// Optional radio energy accounting (see energy/energy.hpp): power-state
+  /// metering, finite batteries with depletion-driven death, and duty-cycle
+  /// sleep. Unset (the default) runs the exact pre-energy code path — no
+  /// extra scheduler events, byte-identical golden traces.
+  std::optional<energy::EnergyConfig> energy;
   std::uint64_t seed = 1;
   /// Optional: receives the run's publish/delivery/churn records, appended
   /// in time order after the run completes. Not owned; must outlive the
@@ -158,6 +164,22 @@ struct NodeOutcome {
   /// victim selection. Flooding baselines keep no event table, so always 0
   /// there.
   std::uint64_t gc_evictions = 0;
+  /// Radio energy drawn during the measurement window, in joules. 0 unless
+  /// the run carried an EnergyConfig.
+  double energy_spent_j = 0.0;
+  /// Whole-run radio energy including the warm-up — what the battery
+  /// actually lost, and what the joules-per-delivered-event headline
+  /// charges (a network that spent its batteries warming up must not rank
+  /// as frugal). 0 unless the run carried an EnergyConfig.
+  double energy_spent_total_j = 0.0;
+  /// Time spent in power-save sleep during the measurement window, seconds.
+  double time_asleep_s = 0.0;
+  /// The node's battery emptied and its radio was switched off for good.
+  bool died_of_depletion = false;
+  /// Exact battery-depletion instant (absolute simulated time), if any.
+  /// May precede the warm-up: a battery too small for the warm-up kills
+  /// the node before the first publication.
+  std::optional<SimTime> depleted_at;
   /// Delivery times of the workload events, by event index.
   std::vector<std::optional<SimTime>> delivered_at;
 };
@@ -169,6 +191,9 @@ struct RunResult {
   NodeId publisher = kInvalidNode;
   /// Every publishing node, in round-robin order (size = publisher_count).
   std::vector<NodeId> publishers;
+  /// End of simulated time (last publish + validity); the horizon the
+  /// energy lifetime metrics are capped at.
+  SimTime run_end;
 
   /// Fraction of *eligible* subscribers (those whose subscriptions cover
   /// the event's topic) that received each event within `validity` of its
@@ -188,6 +213,27 @@ struct RunResult {
   /// family's observable for "Equation 1 actually ran").
   [[nodiscard]] double mean_gc_evictions_per_node() const;
   [[nodiscard]] std::size_t subscriber_count() const;
+
+  // -- Energy / frugality-in-joules metrics (all 0-ish without an
+  //    EnergyConfig; see energy/energy.hpp) --------------------------------
+  /// Mean measurement-window radio energy per process, joules.
+  [[nodiscard]] double mean_joules_per_node() const;
+  /// Number of recorded (subscriber, event) deliveries.
+  [[nodiscard]] std::size_t delivered_count() const;
+  /// The frugality headline: whole-run joules across every process per
+  /// recorded delivery. Whole-run — not measurement-window — so a
+  /// configuration whose batteries died during the warm-up is charged for
+  /// everything it burned rather than scoring a free 0. When nothing was
+  /// delivered the total is returned unscaled (as if one delivery),
+  /// keeping the metric finite.
+  [[nodiscard]] double joules_per_delivered_event() const;
+  /// Fraction of processes whose battery emptied before the run ended.
+  [[nodiscard]] double depleted_fraction() const;
+  /// Fraction of processes still alive at the end of the run.
+  [[nodiscard]] double survivor_fraction() const;
+  /// Seconds from simulation start to the first battery death — the
+  /// network-lifetime number; `run_end` when every process survived.
+  [[nodiscard]] double first_depletion_s() const;
 
   /// Delivery latencies (seconds from publication) of every successful
   /// delivery across subscribers and events, ascending.

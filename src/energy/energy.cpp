@@ -1,0 +1,178 @@
+#include "energy/energy.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace frugal::energy {
+
+namespace {
+[[nodiscard]] constexpr std::size_t index_of(RadioState state) {
+  return static_cast<std::size_t>(state);
+}
+}  // namespace
+
+const char* to_string(RadioState state) {
+  switch (state) {
+    case RadioState::kOff:
+      return "off";
+    case RadioState::kSleep:
+      return "sleep";
+    case RadioState::kIdle:
+      return "idle";
+    case RadioState::kRx:
+      return "rx";
+    case RadioState::kTx:
+      return "tx";
+  }
+  return "?";
+}
+
+EnergyModel::EnergyModel(std::size_t node_count, EnergyConfig config)
+    : config_{config}, nodes_(node_count) {
+  FRUGAL_EXPECT(node_count > 0);
+  FRUGAL_EXPECT(config.radio.tx_mw >= 0);
+  FRUGAL_EXPECT(config.radio.rx_mw >= 0);
+  FRUGAL_EXPECT(config.radio.idle_mw >= 0);
+  FRUGAL_EXPECT(config.radio.sleep_mw >= 0);
+  FRUGAL_EXPECT(config.sleep_fraction >= 0 && config.sleep_fraction < 1);
+  FRUGAL_EXPECT(config.duty_period.us() > 0);
+  FRUGAL_EXPECT(config.sample_period.us() > 0);
+  draw_mw_by_state_[index_of(RadioState::kOff)] = 0.0;
+  draw_mw_by_state_[index_of(RadioState::kSleep)] = config.radio.sleep_mw;
+  draw_mw_by_state_[index_of(RadioState::kIdle)] = config.radio.idle_mw;
+  draw_mw_by_state_[index_of(RadioState::kRx)] = config.radio.rx_mw;
+  draw_mw_by_state_[index_of(RadioState::kTx)] = config.radio.tx_mw;
+}
+
+double EnergyModel::total_j(const NodeAccount& account) {
+  double total = 0;
+  for (const double spent : account.spent_by_state_j) total += spent;
+  return total;
+}
+
+RadioState EnergyModel::state_at(const NodeAccount& account, SimTime t) {
+  if (!account.up) return RadioState::kOff;
+  if (t < account.tx_until) return RadioState::kTx;
+  if (t < account.rx_until) return RadioState::kRx;
+  if (account.sleeping) return RadioState::kSleep;
+  return RadioState::kIdle;
+}
+
+void EnergyModel::advance(NodeId node, SimTime now) {
+  FRUGAL_EXPECT(node < nodes_.size());
+  NodeAccount& account = nodes_[node];
+  if (now <= account.accounted_until) return;
+  if (account.depleted) {  // an empty battery draws nothing further
+    account.accounted_until = now;
+    return;
+  }
+
+  SimTime cursor = account.accounted_until;
+  const double capacity = config_.battery_capacity_j;
+  bool just_depleted = false;
+  while (cursor < now) {
+    // The account's flags (up, sleeping) are constant over the unaccounted
+    // span — flips advance first — so only the tx/rx deadlines can split it.
+    const RadioState state = state_at(account, cursor);
+    SimTime segment_end = now;
+    if (state == RadioState::kTx) {
+      segment_end = std::min(now, account.tx_until);
+    } else if (state == RadioState::kRx) {
+      segment_end = std::min(now, account.rx_until);
+    }
+    const std::size_t idx = index_of(state);
+    const double draw_w = draw_mw_by_state_[idx] / 1000.0;
+    const SimDuration span = segment_end - cursor;
+    const double joules = draw_w * span.seconds();
+
+    if (capacity > 0 && draw_w > 0 &&
+        total_j(account) + joules >= capacity) {
+      // The battery empties inside this span: solve the exact crossing
+      // (monotone in capacity — a smaller battery crosses the same
+      // trajectory strictly earlier).
+      const double remaining = capacity - total_j(account);
+      const SimDuration to_empty =
+          SimDuration::from_seconds(remaining / draw_w);
+      account.spent_by_state_j[idx] += remaining;
+      if (state == RadioState::kSleep) account.asleep += to_empty;
+      account.depleted = true;
+      account.depleted_time = cursor + to_empty;
+      just_depleted = true;
+      break;
+    }
+
+    account.spent_by_state_j[idx] += joules;
+    if (state == RadioState::kSleep) account.asleep += span;
+    cursor = segment_end;
+  }
+  account.accounted_until = now;
+  if (just_depleted && on_depleted_) {
+    on_depleted_(node, account.depleted_time);
+  }
+}
+
+void EnergyModel::advance_all(SimTime now) {
+  for (NodeId node = 0; node < nodes_.size(); ++node) advance(node, now);
+}
+
+void EnergyModel::before_tx(NodeId sender, SimTime now) {
+  // Settling up to `now` discovers any battery crossing since the last
+  // report; the depletion callback then powers the radio down before the
+  // medium commits the frame.
+  advance(sender, now);
+}
+
+void EnergyModel::on_tx(NodeId sender, SimTime start, SimTime end) {
+  FRUGAL_EXPECT(start <= end);
+  advance(sender, start);
+  nodes_[sender].tx_until = std::max(nodes_[sender].tx_until, end);
+}
+
+void EnergyModel::on_rx(NodeId receiver, SimTime start, SimTime end) {
+  FRUGAL_EXPECT(start <= end);
+  advance(receiver, start);
+  nodes_[receiver].rx_until = std::max(nodes_[receiver].rx_until, end);
+}
+
+void EnergyModel::on_up_changed(NodeId node, bool up, SimTime at) {
+  advance(node, at);
+  nodes_[node].up = up;
+}
+
+void EnergyModel::on_sleep_changed(NodeId node, bool sleeping, SimTime at) {
+  advance(node, at);
+  nodes_[node].sleeping = sleeping;
+}
+
+double EnergyModel::spent_j(NodeId node) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  return total_j(nodes_[node]);
+}
+
+double EnergyModel::spent_in_state_j(NodeId node, RadioState state) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  return nodes_[node].spent_by_state_j[index_of(state)];
+}
+
+SimDuration EnergyModel::time_asleep(NodeId node) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  return nodes_[node].asleep;
+}
+
+bool EnergyModel::depleted(NodeId node) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  return nodes_[node].depleted;
+}
+
+std::optional<SimTime> EnergyModel::depleted_at(NodeId node) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  if (!nodes_[node].depleted) return std::nullopt;
+  return nodes_[node].depleted_time;
+}
+
+double EnergyModel::draw_mw(RadioState state) const {
+  return draw_mw_by_state_[index_of(state)];
+}
+
+}  // namespace frugal::energy

@@ -17,6 +17,7 @@ Medium::Medium(sim::Scheduler& scheduler, mobility::MobilityModel& mobility,
       rng_{jitter_rng},
       clients_(mobility.node_count(), nullptr),
       up_(mobility.node_count(), true),
+      sleeping_(mobility.node_count(), false),
       counters_(mobility.node_count()),
       tx_busy_until_(mobility.node_count(), SimTime::zero()),
       receptions_(mobility.node_count()) {
@@ -33,12 +34,30 @@ void Medium::attach(NodeId node, MediumClient* client) {
 
 void Medium::set_up(NodeId node, bool up) {
   FRUGAL_EXPECT(node < up_.size());
+  if (up_[node] == up) return;
   up_[node] = up;
+  if (listener_ != nullptr) {
+    listener_->on_up_changed(node, up, scheduler_.now());
+  }
 }
 
 bool Medium::is_up(NodeId node) const {
   FRUGAL_EXPECT(node < up_.size());
   return up_[node];
+}
+
+void Medium::set_sleeping(NodeId node, bool sleeping) {
+  FRUGAL_EXPECT(node < sleeping_.size());
+  if (sleeping_[node] == sleeping) return;
+  sleeping_[node] = sleeping;
+  if (listener_ != nullptr) {
+    listener_->on_sleep_changed(node, sleeping, scheduler_.now());
+  }
+}
+
+bool Medium::is_sleeping(NodeId node) const {
+  FRUGAL_EXPECT(node < sleeping_.size());
+  return sleeping_[node];
 }
 
 const TrafficCounters& Medium::counters(NodeId node) const {
@@ -94,7 +113,10 @@ SimTime Medium::sensed_busy_until(NodeId sender, SimTime at) const {
 void Medium::start_transmission(NodeId sender,
                                 const std::shared_ptr<Frame>& frame,
                                 int attempt) {
-  if (!up_[sender]) return;  // crashed while the frame was queued
+  if (!up_[sender]) {  // crashed while the frame was queued
+    counters_[sender].frames_dropped += 1;
+    return;
+  }
   const SimTime now = scheduler_.now();
   prune(now);
 
@@ -118,6 +140,17 @@ void Medium::start_transmission(NodeId sender,
     return;
   }
 
+  // Settle the sender's energy account before committing the frame: a
+  // battery that emptied since the last report kills the radio here (the
+  // listener flips set_up), and a dead radio must not transmit.
+  if (listener_ != nullptr) {
+    listener_->before_tx(sender, now);
+    if (!up_[sender]) {  // battery died while the frame was queued
+      counters_[sender].frames_dropped += 1;
+      return;
+    }
+  }
+
   const auto duration = SimDuration::from_seconds(
       static_cast<double>(frame->size_bytes) * 8.0 / config_.rate_bps);
   const SimTime end = now + duration;
@@ -125,6 +158,7 @@ void Medium::start_transmission(NodeId sender,
   on_air_.push_back(Transmission{sender, now, end});
   counters_[sender].frames_sent += 1;
   counters_[sender].bytes_sent += frame->size_bytes;
+  if (listener_ != nullptr) listener_->on_tx(sender, now, end);
 
   const Vec2 origin = mobility_.position(sender, now);
   const double range_sq = config_.range_m * config_.range_m;
@@ -140,6 +174,12 @@ void Medium::start_transmission(NodeId sender,
       continue;
     }
 
+    // Power-save sleep: the radio is dozing and never locks on the frame.
+    if (sleeping_[receiver]) {
+      counters_[receiver].frames_missed_asleep += 1;
+      continue;
+    }
+
     auto corrupted = std::make_shared<bool>(false);
     if (config_.enable_collisions) {
       for (Reception& ongoing : receptions_[receiver]) {
@@ -150,13 +190,20 @@ void Medium::start_transmission(NodeId sender,
       }
     }
     receptions_[receiver].push_back(Reception{now, end, corrupted});
+    if (listener_ != nullptr) listener_->on_rx(receiver, now, end);
 
     scheduler_.schedule_at(end, [this, receiver, frame, corrupted] {
       if (*corrupted) {
         counters_[receiver].frames_collided += 1;
         return;
       }
-      if (!up_[receiver] || clients_[receiver] == nullptr) return;
+      if (!up_[receiver] || clients_[receiver] == nullptr) {
+        // Powered down mid-reception: the locked-on frame is voided, and
+        // counted so (delivered + collided + missed_down covers every
+        // reception the radio started).
+        counters_[receiver].frames_missed_down += 1;
+        return;
+      }
       counters_[receiver].frames_delivered += 1;
       counters_[receiver].bytes_delivered += frame->size_bytes;
       clients_[receiver]->on_frame(*frame);

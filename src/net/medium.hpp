@@ -41,6 +41,37 @@ class MediumClient {
   virtual void on_frame(const Frame& frame) = 0;
 };
 
+/// Observer of raw radio activity, implemented by the energy model
+/// (src/energy): per-frame airtime at the sender and at every receiver whose
+/// radio locks onto the frame, plus power and sleep state flips. The medium
+/// reports physics only; what a state transition costs is the listener's
+/// business.
+class RadioActivityListener {
+ public:
+  virtual ~RadioActivityListener() = default;
+  /// Called immediately before `sender` would put a frame on air: the last
+  /// chance to settle accounts and power a depleted radio down (via
+  /// Medium::set_up) before the frame commits — the medium re-checks the
+  /// sender's up state afterwards, so a battery that emptied since the
+  /// last report never transmits.
+  virtual void before_tx(NodeId sender, SimTime now) {
+    static_cast<void>(sender);
+    static_cast<void>(now);
+  }
+  /// `sender`'s radio transmits over [start, end).
+  virtual void on_tx(NodeId sender, SimTime start, SimTime end) = 0;
+  /// `receiver`'s radio is locked on an incoming frame over [start, end).
+  /// Reported whether or not the frame later collides — a corrupted
+  /// reception costs the same airtime as an intact one.
+  virtual void on_rx(NodeId receiver, SimTime start, SimTime end) = 0;
+  /// Radio powered up or down (churn crash/recovery, battery depletion).
+  /// Only actual flips are reported, never redundant sets.
+  virtual void on_up_changed(NodeId node, bool up, SimTime at) = 0;
+  /// Radio entered or left power-save sleep (duty cycling). Only actual
+  /// flips are reported.
+  virtual void on_sleep_changed(NodeId node, bool sleeping, SimTime at) = 0;
+};
+
 struct MediumConfig {
   double range_m = 442.0;   ///< paper: 442 m at 1 Mbps, 44 m in the city model
   double rate_bps = 1e6;    ///< broadcast basic rate (802.11b: 1 Mbps)
@@ -62,7 +93,14 @@ struct TrafficCounters {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t frames_collided = 0;    ///< lost at this receiver to overlap
   std::uint64_t frames_missed_busy = 0; ///< lost because radio was transmitting
-  std::uint64_t frames_dropped = 0;     ///< sender gave up after max_defers
+  std::uint64_t frames_missed_asleep = 0; ///< lost to power-save sleep
+  /// Receptions voided because the radio powered down (crash or battery
+  /// death) between locking onto the frame and its end.
+  std::uint64_t frames_missed_down = 0;
+  /// Sender gave up after max_defers, or its radio went down (crash or
+  /// battery death) while the frame was queued — every issued frame ends
+  /// up in exactly one of frames_sent / frames_dropped.
+  std::uint64_t frames_dropped = 0;
 };
 
 class Medium {
@@ -80,6 +118,16 @@ class Medium {
   /// Marks a node up/down (crash/recover). Down nodes neither send nor hear.
   void set_up(NodeId node, bool up);
   [[nodiscard]] bool is_up(NodeId node) const;
+
+  /// Puts a node's radio into power-save sleep / wakes it (802.11 PSM
+  /// style): a sleeping radio overhears nothing (frames it would have
+  /// received count as `frames_missed_asleep`) but still wakes to transmit.
+  void set_sleeping(NodeId node, bool sleeping);
+  [[nodiscard]] bool is_sleeping(NodeId node) const;
+
+  /// Registers the (single, optional) radio-activity observer. Not owned;
+  /// must outlive the medium's use. nullptr detaches.
+  void set_listener(RadioActivityListener* listener) { listener_ = listener; }
 
   /// Queues a broadcast from `sender`. The frame goes on air after jitter and
   /// carrier-sense deferral, and reaches every up node within range.
@@ -115,7 +163,9 @@ class Medium {
   MediumConfig config_;
   Rng rng_;
   std::vector<MediumClient*> clients_;
+  RadioActivityListener* listener_ = nullptr;
   std::vector<bool> up_;
+  std::vector<bool> sleeping_;
   std::vector<TrafficCounters> counters_;
   std::vector<SimTime> tx_busy_until_;
   std::vector<std::vector<Reception>> receptions_;

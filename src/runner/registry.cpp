@@ -54,4 +54,56 @@ std::vector<const ScenarioSpec*> all_scenarios() {
   return Registry::instance().all();
 }
 
+namespace {
+std::string value_set(const Axis& axis, const std::vector<double>& values) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += axis.cell(values[i]);
+  }
+  out += '}';
+  return out;
+}
+}  // namespace
+
+std::string describe(const ScenarioSpec& spec) {
+  std::string out = spec.name;
+  if (out.size() < 24) out.append(24 - out.size(), ' ');
+  out += ' ';
+  std::string figure = spec.figure.empty() ? "-" : spec.figure;
+  if (figure.size() < 10) figure.append(10 - figure.size(), ' ');
+  out += figure;
+  out += ' ';
+  out += spec.description;
+  out += "\n  axes: ";
+  if (spec.axes.empty()) out += "none";
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const Axis& axis = spec.axes[a];
+    if (a > 0) out += "; ";
+    out += axis.name;
+    out += " = ";
+    out += value_set(axis, axis.values);
+    if (!axis.full_values.empty()) {
+      out += " (full: ";
+      out += value_set(axis, axis.full_values);
+      out += ')';
+    }
+    if (axis.aggregate) out += " (aggregate)";
+  }
+  out += "\n  metrics: ";
+  for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+    if (m > 0) out += ", ";
+    out += spec.metrics[m].name;
+  }
+  out += "; seeds: ";
+  out += std::to_string(spec.default_seeds);
+  if (spec.full_seeds > 0 && spec.full_seeds != spec.default_seeds) {
+    out += " (full: ";
+    out += std::to_string(spec.full_seeds);
+    out += ')';
+  }
+  out += '\n';
+  return out;
+}
+
 }  // namespace frugal::runner

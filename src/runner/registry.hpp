@@ -8,6 +8,7 @@
 #pragma once
 
 #include <deque>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -40,5 +41,12 @@ void register_builtin_scenarios();
 /// Convenience lookups that make sure the built-ins are registered first.
 [[nodiscard]] const ScenarioSpec* find_scenario(std::string_view name);
 [[nodiscard]] std::vector<const ScenarioSpec*> all_scenarios();
+
+/// Human-readable description of one spec — what `experiment_cli --list`
+/// prints per scenario: name, figure and description, every axis with its
+/// quick (and, when different, full) value set rendered through the axis
+/// formatter, the metric names, and the seed defaults. New families are
+/// discoverable without reading scenarios.cpp.
+[[nodiscard]] std::string describe(const ScenarioSpec& spec);
 
 }  // namespace frugal::runner

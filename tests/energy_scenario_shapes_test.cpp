@@ -1,0 +1,136 @@
+// Expected-shape tests for the energy subsystem's headline claims: flooding
+// burns strictly more joules per delivered event than frugal at equal
+// reliability, shrinking batteries produce monotonically earlier first
+// deaths, and duty-cycled frugal trades a bounded reliability loss for a
+// measurably longer network lifetime. The scenario-level test runs the
+// registered energy_lifetime spec's own make_config so the asserted shape
+// is the one the bench reports.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "energy/energy.hpp"
+#include "runner/registry.hpp"
+#include "runner/sweep.hpp"
+#include "runner/worlds.hpp"
+
+namespace frugal::runner {
+namespace {
+
+/// A dense fig11-style grid: the paper's RWP world shrunk until every
+/// protocol reaches its ceiling reliability, so frugal and flooding can be
+/// compared at *equal* delivery counts.
+core::ExperimentConfig dense_world(core::Protocol protocol,
+                                   std::uint64_t seed) {
+  core::ExperimentConfig config = rwp_world_scaled(10.0, 0.8, 24, 1200.0,
+                                                   seed);
+  config.protocol = protocol;
+  config.warmup = SimDuration::from_seconds(60.0);
+  config.event_count = 4;
+  config.event_validity = SimDuration::from_seconds(120.0);
+  config.publish_spacing = SimDuration::from_seconds(1.0);
+  config.energy = energy::EnergyConfig{};  // metering only
+  return config;
+}
+
+TEST(EnergyShapes, FloodingBurnsStrictlyMoreJoulesPerEventThanFrugal) {
+  // The frugality headline in joules. On a grid dense enough that both
+  // protocols deliver everything, the delivered-event counts are equal —
+  // so flooding's extra TX/RX airtime shows up directly as a strictly
+  // higher joules-per-delivered-event.
+  for (const std::uint64_t seed : {1u, 2u}) {
+    const core::RunResult frugal =
+        core::run_experiment(dense_world(core::Protocol::kFrugal, seed));
+    const core::RunResult flooding = core::run_experiment(
+        dense_world(core::Protocol::kFloodInterestAware, seed));
+    ASSERT_GT(frugal.reliability(), 0.99) << "seed " << seed;
+    ASSERT_GT(flooding.reliability(), 0.99) << "seed " << seed;
+    EXPECT_GT(flooding.joules_per_delivered_event(),
+              frugal.joules_per_delivered_event())
+        << "seed " << seed;
+    EXPECT_GT(flooding.mean_joules_per_node(), frugal.mean_joules_per_node())
+        << "seed " << seed;
+  }
+}
+
+TEST(EnergyShapes, ShrinkingBatteriesDieMonotonicallyEarlier) {
+  const double idle_w = energy::RadioPowerProfile{}.idle_mw / 1000.0;
+  double previous_death = 0.0;
+  for (const double idle_seconds : {20.0, 40.0, 60.0}) {
+    core::ExperimentConfig config =
+        rwp_world_scaled(10.0, 0.8, 12, 1000.0, 5);
+    config.warmup = SimDuration::from_seconds(30.0);
+    config.event_count = 1;
+    config.event_validity = SimDuration::from_seconds(60.0);
+    energy::EnergyConfig energy;
+    energy.battery_capacity_j = idle_w * idle_seconds;
+    config.energy = energy;
+    const core::RunResult result = core::run_experiment(config);
+    // Every battery empties within the ~91 s horizon...
+    EXPECT_EQ(result.depleted_fraction(), 1.0) << idle_seconds;
+    // ...and a strictly larger battery dies strictly later.
+    EXPECT_GT(result.first_depletion_s(), previous_death) << idle_seconds;
+    // TX/RX can only shorten the idle-only bound.
+    EXPECT_LE(result.first_depletion_s(), idle_seconds + 1e-9)
+        << idle_seconds;
+    previous_death = result.first_depletion_s();
+  }
+}
+
+TEST(EnergyShapes, DutyCycleTradesBoundedReliabilityForLongerLifetime) {
+  const auto run = [](double sleep_fraction) {
+    core::ExperimentConfig config =
+        rwp_world_scaled(10.0, 0.8, 16, 1000.0, 9);
+    config.warmup = SimDuration::from_seconds(60.0);
+    config.event_count = 2;
+    config.event_validity = SimDuration::from_seconds(90.0);
+    config.publish_spacing = SimDuration::from_seconds(1.0);
+    energy::EnergyConfig energy;
+    energy.battery_capacity_j = 80.0;  // ~95 idle seconds of a ~151 s run
+    energy.sleep_fraction = sleep_fraction;
+    energy.duty_period = config.frugal.hb_upper;  // between heartbeat rounds
+    config.energy = energy;
+    return core::run_experiment(config);
+  };
+  const core::RunResult awake = run(0.0);
+  const core::RunResult dozing = run(0.5);
+  // Always-on radios die mid-run; dozing at 50% roughly halves the draw.
+  EXPECT_GT(awake.depleted_fraction(), 0.9);
+  EXPECT_LT(dozing.depleted_fraction(), awake.depleted_fraction());
+  EXPECT_GT(dozing.first_depletion_s(), awake.first_depletion_s() + 20.0);
+  // The price is bounded: the dozing network still disseminates.
+  EXPECT_GT(dozing.reliability(), 0.25);
+}
+
+TEST(EnergyShapes, EnergyLifetimeSpecContrastsProtocolsAtTightBatteries) {
+  const ScenarioSpec* spec = find_scenario("energy_lifetime");
+  ASSERT_NE(spec, nullptr);
+  // axes: protocol, battery_j, hb_upper_s, duty.
+  ParamPoint point;
+  for (const Axis& axis : spec->axes) point.names.push_back(axis.name);
+  const auto run = [&](core::Protocol protocol, double battery) {
+    point.values = {static_cast<double>(protocol), battery, 1.0, 0.0};
+    return core::run_experiment(spec->make_config(point, job_seed(1, 0)));
+  };
+  // Roomy batteries: everyone survives, the lifetime metric caps at the
+  // horizon, and frugal still wins the joules-per-event headline.
+  const core::RunResult frugal = run(core::Protocol::kFrugal, 800.0);
+  const core::RunResult flooding =
+      run(core::Protocol::kFloodInterestAware, 800.0);
+  EXPECT_EQ(frugal.survivor_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(frugal.first_depletion_s(), frugal.run_end.seconds());
+  EXPECT_GT(flooding.joules_per_delivered_event(),
+            frugal.joules_per_delivered_event());
+  // Tight batteries: the heavier flooding drain kills radios earlier.
+  const core::RunResult frugal_tight = run(core::Protocol::kFrugal, 350.0);
+  const core::RunResult flooding_tight =
+      run(core::Protocol::kFloodInterestAware, 350.0);
+  EXPECT_LE(flooding_tight.first_depletion_s(),
+            frugal_tight.first_depletion_s());
+  EXPECT_LT(frugal_tight.first_depletion_s(), frugal_tight.run_end.seconds());
+}
+
+}  // namespace
+}  // namespace frugal::runner

@@ -112,7 +112,7 @@ TEST(RegistryTest, AllBuiltinFiguresRegistered) {
       "fig19_duplicates",      "fig20_parasites",       "headline",
       "ablations",             "multi_publisher",       "high_density",
       "sparse_partition",      "topic_fanout",          "churn_city",
-      "adversarial_mobility",  "memory_pressure",
+      "adversarial_mobility",  "memory_pressure",       "energy_lifetime",
   };
   for (const char* name : expected) {
     EXPECT_NE(find_scenario(name), nullptr) << name;
@@ -145,6 +145,41 @@ TEST(RegistryTest, ListingIsSortedAndSpecsAreWellFormed) {
       EXPECT_GT(config.node_count, 0u) << spec->name;
     }
   }
+}
+
+TEST(RegistryTest, DescribeListsAxesValuesAndMetricNames) {
+  // --list's per-scenario block: new families are discoverable without
+  // reading scenarios.cpp.
+  const ScenarioSpec* spec = find_scenario("energy_lifetime");
+  ASSERT_NE(spec, nullptr);
+  const std::string text = describe(*spec);
+  EXPECT_NE(text.find("energy_lifetime"), std::string::npos);
+  // Axis values are spelled out, through the axis formatter where set...
+  EXPECT_NE(text.find("protocol = {frugal, interests-aware-flooding}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("battery_j = {300, 450, 800}"), std::string::npos)
+      << text;
+  // ...including the paper-strength grid where it differs.
+  EXPECT_NE(text.find("(full: {200, 250, 300, 350, 400, 450, 500, 650, "
+                      "800})"),
+            std::string::npos)
+      << text;
+  // Metric names and seed defaults are listed.
+  EXPECT_NE(text.find("joules_per_delivered_event"), std::string::npos);
+  EXPECT_NE(text.find("first_death_s"), std::string::npos);
+  EXPECT_NE(text.find("survivor_fraction"), std::string::npos);
+  EXPECT_NE(text.find("seeds: 2"), std::string::npos) << text;
+}
+
+TEST(RegistryTest, DescribeMarksAggregateAxes) {
+  const ScenarioSpec* spec = find_scenario("fig13_heartbeat");
+  ASSERT_NE(spec, nullptr);
+  const std::string text = describe(*spec);
+  EXPECT_NE(text.find("hb_upper_s = {1, 2, 3, 4, 5}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("(aggregate)"), std::string::npos) << text;
+  EXPECT_NE(text.find("metrics: reliability"), std::string::npos) << text;
 }
 
 TEST(RegistryTest, RuntimeRegistrationAndStablePointers) {
