@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversarial_mobility.dir/bench_adversarial_mobility.cpp.o"
+  "CMakeFiles/bench_adversarial_mobility.dir/bench_adversarial_mobility.cpp.o.d"
+  "bench_adversarial_mobility"
+  "bench_adversarial_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversarial_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_churn_city.dir/bench_churn_city.cpp.o"
+  "CMakeFiles/bench_churn_city.dir/bench_churn_city.cpp.o.d"
+  "bench_churn_city"
+  "bench_churn_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_churn_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

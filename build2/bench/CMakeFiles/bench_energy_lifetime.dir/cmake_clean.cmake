@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_lifetime.dir/bench_energy_lifetime.cpp.o"
+  "CMakeFiles/bench_energy_lifetime.dir/bench_energy_lifetime.cpp.o.d"
+  "bench_energy_lifetime"
+  "bench_energy_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_rwp_reliability.dir/bench_fig11_rwp_reliability.cpp.o"
+  "CMakeFiles/bench_fig11_rwp_reliability.dir/bench_fig11_rwp_reliability.cpp.o.d"
+  "bench_fig11_rwp_reliability"
+  "bench_fig11_rwp_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_rwp_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

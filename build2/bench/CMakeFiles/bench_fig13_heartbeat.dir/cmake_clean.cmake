@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_heartbeat.dir/bench_fig13_heartbeat.cpp.o"
+  "CMakeFiles/bench_fig13_heartbeat.dir/bench_fig13_heartbeat.cpp.o.d"
+  "bench_fig13_heartbeat"
+  "bench_fig13_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_city_subscribers.dir/bench_fig14_city_subscribers.cpp.o"
+  "CMakeFiles/bench_fig14_city_subscribers.dir/bench_fig14_city_subscribers.cpp.o.d"
+  "bench_fig14_city_subscribers"
+  "bench_fig14_city_subscribers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_city_subscribers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_publisher_spread.dir/bench_fig15_publisher_spread.cpp.o"
+  "CMakeFiles/bench_fig15_publisher_spread.dir/bench_fig15_publisher_spread.cpp.o.d"
+  "bench_fig15_publisher_spread"
+  "bench_fig15_publisher_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_publisher_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_city_validity.dir/bench_fig16_city_validity.cpp.o"
+  "CMakeFiles/bench_fig16_city_validity.dir/bench_fig16_city_validity.cpp.o.d"
+  "bench_fig16_city_validity"
+  "bench_fig16_city_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_city_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_events_sent.dir/bench_fig18_events_sent.cpp.o"
+  "CMakeFiles/bench_fig18_events_sent.dir/bench_fig18_events_sent.cpp.o.d"
+  "bench_fig18_events_sent"
+  "bench_fig18_events_sent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_events_sent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_duplicates.dir/bench_fig19_duplicates.cpp.o"
+  "CMakeFiles/bench_fig19_duplicates.dir/bench_fig19_duplicates.cpp.o.d"
+  "bench_fig19_duplicates"
+  "bench_fig19_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

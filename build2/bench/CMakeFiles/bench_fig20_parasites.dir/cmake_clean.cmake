@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_parasites.dir/bench_fig20_parasites.cpp.o"
+  "CMakeFiles/bench_fig20_parasites.dir/bench_fig20_parasites.cpp.o.d"
+  "bench_fig20_parasites"
+  "bench_fig20_parasites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_parasites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_pressure.dir/bench_memory_pressure.cpp.o"
+  "CMakeFiles/bench_memory_pressure.dir/bench_memory_pressure.cpp.o.d"
+  "bench_memory_pressure"
+  "bench_memory_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

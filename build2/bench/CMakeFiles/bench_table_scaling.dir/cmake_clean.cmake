@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_scaling.dir/bench_table_scaling.cpp.o"
+  "CMakeFiles/bench_table_scaling.dir/bench_table_scaling.cpp.o.d"
+  "bench_table_scaling"
+  "bench_table_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

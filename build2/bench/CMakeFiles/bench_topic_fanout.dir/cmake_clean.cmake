@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topic_fanout.dir/bench_topic_fanout.cpp.o"
+  "CMakeFiles/bench_topic_fanout.dir/bench_topic_fanout.cpp.o.d"
+  "bench_topic_fanout"
+  "bench_topic_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topic_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_news.dir/campus_news.cpp.o"
+  "CMakeFiles/campus_news.dir/campus_news.cpp.o.d"
+  "campus_news"
+  "campus_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

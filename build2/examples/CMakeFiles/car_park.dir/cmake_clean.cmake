@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_park.dir/car_park.cpp.o"
+  "CMakeFiles/car_park.dir/car_park.cpp.o.d"
+  "car_park"
+  "car_park.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_park.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_table.cpp" "src/CMakeFiles/frugal_core.dir/core/event_table.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/core/event_table.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/frugal_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/flooding.cpp" "src/CMakeFiles/frugal_core.dir/core/flooding.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/core/flooding.cpp.o.d"
+  "/root/repo/src/core/frugal_node.cpp" "src/CMakeFiles/frugal_core.dir/core/frugal_node.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/core/frugal_node.cpp.o.d"
+  "/root/repo/src/core/neighborhood_table.cpp" "src/CMakeFiles/frugal_core.dir/core/neighborhood_table.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/core/neighborhood_table.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/CMakeFiles/frugal_core.dir/core/wire.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/core/wire.cpp.o.d"
+  "/root/repo/src/energy/energy.cpp" "src/CMakeFiles/frugal_core.dir/energy/energy.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/energy/energy.cpp.o.d"
+  "/root/repo/src/mobility/city_section.cpp" "src/CMakeFiles/frugal_core.dir/mobility/city_section.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/mobility/city_section.cpp.o.d"
+  "/root/repo/src/mobility/street_graph.cpp" "src/CMakeFiles/frugal_core.dir/mobility/street_graph.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/mobility/street_graph.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/CMakeFiles/frugal_core.dir/net/medium.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/net/medium.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/frugal_core.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/frugal_core.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/frugal_core.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/stats/table.cpp.o.d"
+  "/root/repo/src/topics/topic.cpp" "src/CMakeFiles/frugal_core.dir/topics/topic.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/topics/topic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/frugal_core.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/frugal_core.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/frugal_core.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/frugal_core.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/frugal_core.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

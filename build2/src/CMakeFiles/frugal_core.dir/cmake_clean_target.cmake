@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrugal_core.a"
+)

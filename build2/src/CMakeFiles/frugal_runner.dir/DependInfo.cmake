@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/bench_main.cpp" "src/CMakeFiles/frugal_runner.dir/runner/bench_main.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/bench_main.cpp.o.d"
+  "/root/repo/src/runner/pool.cpp" "src/CMakeFiles/frugal_runner.dir/runner/pool.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/pool.cpp.o.d"
+  "/root/repo/src/runner/registry.cpp" "src/CMakeFiles/frugal_runner.dir/runner/registry.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/registry.cpp.o.d"
+  "/root/repo/src/runner/scenario.cpp" "src/CMakeFiles/frugal_runner.dir/runner/scenario.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/scenario.cpp.o.d"
+  "/root/repo/src/runner/scenarios.cpp" "src/CMakeFiles/frugal_runner.dir/runner/scenarios.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/scenarios.cpp.o.d"
+  "/root/repo/src/runner/shard.cpp" "src/CMakeFiles/frugal_runner.dir/runner/shard.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/shard.cpp.o.d"
+  "/root/repo/src/runner/sink.cpp" "src/CMakeFiles/frugal_runner.dir/runner/sink.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/sink.cpp.o.d"
+  "/root/repo/src/runner/sweep.cpp" "src/CMakeFiles/frugal_runner.dir/runner/sweep.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/sweep.cpp.o.d"
+  "/root/repo/src/runner/worlds.cpp" "src/CMakeFiles/frugal_runner.dir/runner/worlds.cpp.o" "gcc" "src/CMakeFiles/frugal_runner.dir/runner/worlds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/frugal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_runner.dir/runner/bench_main.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/bench_main.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/pool.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/pool.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/registry.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/registry.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/scenario.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/scenario.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/scenarios.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/scenarios.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/shard.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/shard.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/sink.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/sink.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/sweep.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/sweep.cpp.o.d"
+  "CMakeFiles/frugal_runner.dir/runner/worlds.cpp.o"
+  "CMakeFiles/frugal_runner.dir/runner/worlds.cpp.o.d"
+  "libfrugal_runner.a"
+  "libfrugal_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

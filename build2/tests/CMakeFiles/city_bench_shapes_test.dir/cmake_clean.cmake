@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_bench_shapes_test.dir/city_bench_shapes_test.cpp.o"
+  "CMakeFiles/city_bench_shapes_test.dir/city_bench_shapes_test.cpp.o.d"
+  "city_bench_shapes_test"
+  "city_bench_shapes_test.pdb"
+  "city_bench_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_bench_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

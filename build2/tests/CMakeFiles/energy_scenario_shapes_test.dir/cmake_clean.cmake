@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_scenario_shapes_test.dir/energy_scenario_shapes_test.cpp.o"
+  "CMakeFiles/energy_scenario_shapes_test.dir/energy_scenario_shapes_test.cpp.o.d"
+  "energy_scenario_shapes_test"
+  "energy_scenario_shapes_test.pdb"
+  "energy_scenario_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_scenario_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

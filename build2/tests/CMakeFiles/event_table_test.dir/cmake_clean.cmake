@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_table_test.dir/event_table_test.cpp.o"
+  "CMakeFiles/event_table_test.dir/event_table_test.cpp.o.d"
+  "event_table_test"
+  "event_table_test.pdb"
+  "event_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expect_test.dir/expect_test.cpp.o"
+  "CMakeFiles/expect_test.dir/expect_test.cpp.o.d"
+  "expect_test"
+  "expect_test.pdb"
+  "expect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding_test.dir/flooding_test.cpp.o"
+  "CMakeFiles/flooding_test.dir/flooding_test.cpp.o.d"
+  "flooding_test"
+  "flooding_test.pdb"
+  "flooding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_node_test.dir/frugal_node_test.cpp.o"
+  "CMakeFiles/frugal_node_test.dir/frugal_node_test.cpp.o.d"
+  "frugal_node_test"
+  "frugal_node_test.pdb"
+  "frugal_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_trace_test.dir/golden_trace_test.cpp.o"
+  "CMakeFiles/golden_trace_test.dir/golden_trace_test.cpp.o.d"
+  "golden_trace_test"
+  "golden_trace_test.pdb"
+  "golden_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medium_conservation_test.dir/medium_conservation_test.cpp.o"
+  "CMakeFiles/medium_conservation_test.dir/medium_conservation_test.cpp.o.d"
+  "medium_conservation_test"
+  "medium_conservation_test.pdb"
+  "medium_conservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medium_conservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

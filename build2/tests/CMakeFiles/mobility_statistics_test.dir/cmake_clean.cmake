@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_statistics_test.dir/mobility_statistics_test.cpp.o"
+  "CMakeFiles/mobility_statistics_test.dir/mobility_statistics_test.cpp.o.d"
+  "mobility_statistics_test"
+  "mobility_statistics_test.pdb"
+  "mobility_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_table_test.dir/neighborhood_table_test.cpp.o"
+  "CMakeFiles/neighborhood_table_test.dir/neighborhood_table_test.cpp.o.d"
+  "neighborhood_table_test"
+  "neighborhood_table_test.pdb"
+  "neighborhood_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_task_test.dir/periodic_task_test.cpp.o"
+  "CMakeFiles/periodic_task_test.dir/periodic_task_test.cpp.o.d"
+  "periodic_task_test"
+  "periodic_task_test.pdb"
+  "periodic_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

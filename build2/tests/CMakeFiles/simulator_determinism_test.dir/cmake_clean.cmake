@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_determinism_test.dir/simulator_determinism_test.cpp.o"
+  "CMakeFiles/simulator_determinism_test.dir/simulator_determinism_test.cpp.o.d"
+  "simulator_determinism_test"
+  "simulator_determinism_test.pdb"
+  "simulator_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_scenario_shapes_test.dir/stress_scenario_shapes_test.cpp.o"
+  "CMakeFiles/stress_scenario_shapes_test.dir/stress_scenario_shapes_test.cpp.o.d"
+  "stress_scenario_shapes_test"
+  "stress_scenario_shapes_test.pdb"
+  "stress_scenario_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_scenario_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validity_probe_test.dir/validity_probe_test.cpp.o"
+  "CMakeFiles/validity_probe_test.dir/validity_probe_test.cpp.o.d"
+  "validity_probe_test"
+  "validity_probe_test.pdb"
+  "validity_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validity_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
