@@ -1,0 +1,158 @@
+// Medium receiver-resolution scaling: uniform-grid spatial index vs the
+// brute-force O(n) scan it replaced.
+//
+// Constant-density random-waypoint worlds (so per-node neighbourhoods stay
+// comparable as n grows) with a fixed per-node broadcast rate: wall time per
+// world is ~O(n) on the indexed path and ~O(n^2) on the brute-force path.
+// Both paths run the identical workload and must finish with identical
+// aggregate traffic counters — the bench doubles as an end-to-end
+// equivalence check at sizes the unit tests don't reach.
+//
+// Prints a table and writes BENCH_medium_scaling.json (CI perf-trajectory
+// artifact; directory overridable via FRUGAL_BENCH_DIR).
+//
+// Environment knobs:
+//   FRUGAL_BENCH_NODES  comma-free max node count (default 4000)
+//   FRUGAL_BENCH_DIR    output directory for the JSON artifact (default .)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mobility/random_waypoint.hpp"
+#include "net/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/table.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace frugal;
+
+class NullSink final : public net::MediumClient {
+ public:
+  void on_frame(const net::Frame&) override {}
+};
+
+struct RunTotals {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collided = 0;
+  std::uint64_t missed_busy = 0;
+  double wall_s = 0;
+};
+
+/// One complete world: n nodes, ~5 broadcasts per node over a 10 s window,
+/// area scaled to keep ~10 neighbours per node at 120 m range.
+RunTotals run_world(std::size_t nodes, bool use_index, std::uint64_t seed) {
+  mobility::RandomWaypointConfig mob_config;
+  const double side = 65.0 * std::sqrt(static_cast<double>(nodes));
+  mob_config.width_m = side;
+  mob_config.height_m = side;
+  mob_config.speed_min_mps = 1.0;
+  mob_config.speed_max_mps = 10.0;
+  mob_config.pause = SimDuration::from_seconds(0.5);
+  mobility::RandomWaypoint mobility{mob_config, nodes, Rng{seed * 77 + 1}};
+
+  sim::Scheduler scheduler;
+  net::MediumConfig config;
+  config.range_m = 120.0;
+  config.rate_bps = 1e6;
+  config.max_jitter = SimDuration::from_ms(3);
+  config.use_spatial_index = use_index;
+  net::Medium medium{scheduler, mobility, config, Rng{seed ^ 0xBEEF}};
+
+  std::vector<NullSink> sinks(nodes);
+  for (NodeId id = 0; id < nodes; ++id) medium.attach(id, &sinks[id]);
+
+  Rng traffic{seed * 13 + 5};
+  const std::size_t broadcasts = nodes * 5;
+  for (std::size_t i = 0; i < broadcasts; ++i) {
+    const auto sender = static_cast<NodeId>(traffic.uniform_u64(nodes));
+    const SimTime at = SimTime::from_seconds(traffic.uniform(0, 10.0));
+    scheduler.schedule_at(at,
+                          [&medium, sender] { medium.broadcast(sender, 125, 0); });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.run_until(SimTime::from_seconds(15.0));
+  scheduler.run_all();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunTotals totals;
+  totals.wall_s = std::chrono::duration<double>(end - start).count();
+  for (NodeId id = 0; id < nodes; ++id) {
+    const net::TrafficCounters& c = medium.counters(id);
+    totals.sent += c.frames_sent;
+    totals.delivered += c.frames_delivered;
+    totals.collided += c.frames_collided;
+    totals.missed_busy += c.frames_missed_busy;
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  const auto max_nodes =
+      static_cast<std::size_t>(frugal::env_int("FRUGAL_BENCH_NODES", 4000));
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 250; n <= max_nodes; n *= 2) counts.push_back(n);
+
+  stats::Table table{
+      "Medium receiver resolution: spatial index vs brute-force scan",
+      {"nodes", "brute[s]", "indexed[s]", "speedup", "frames", "identical"}};
+
+  std::string json = "[\n";
+  bool mismatch = false;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::size_t n = counts[i];
+    const RunTotals brute = run_world(n, /*use_index=*/false, 42);
+    const RunTotals indexed = run_world(n, /*use_index=*/true, 42);
+    const bool identical = brute.sent == indexed.sent &&
+                           brute.delivered == indexed.delivered &&
+                           brute.collided == indexed.collided &&
+                           brute.missed_busy == indexed.missed_busy;
+    mismatch |= !identical;
+    table.add_row({std::to_string(n),
+                   stats::format_double(brute.wall_s, 3),
+                   stats::format_double(indexed.wall_s, 3),
+                   stats::format_double(brute.wall_s /
+                                            std::max(indexed.wall_s, 1e-9),
+                                        1),
+                   std::to_string(indexed.delivered),
+                   identical ? "yes" : "NO"});
+    json += "  {\"nodes\": " + std::to_string(n) +
+            ", \"brute_wall_s\": " + stats::format_double(brute.wall_s, 4) +
+            ", \"indexed_wall_s\": " +
+            stats::format_double(indexed.wall_s, 4) +
+            ", \"frames_delivered\": " + std::to_string(indexed.delivered) +
+            ", \"counters_identical\": " + (identical ? "true" : "false") +
+            "}" + (i + 1 < counts.size() ? "," : "") + "\n";
+  }
+  json += "]\n";
+  table.emit();
+
+  const std::string dir =
+      frugal::env_string("FRUGAL_BENCH_DIR").value_or(".");
+  const std::string path = dir + "/BENCH_medium_scaling.json";
+  if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  if (mismatch) {
+    std::fprintf(stderr,
+                 "FAIL: indexed and brute-force counters diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Metro-scale city world (10k+ processes): the scenario the medium's
+// uniform-grid spatial index unlocks. Thin wrapper over the registered
+// "metro_scale" scenario; see src/runner/scenarios.cpp and EXPERIMENTS.md.
+
+#include "runner/bench_main.hpp"
+
+int main() {
+  return frugal::runner::figure_bench_main("metro_scale");
+}

@@ -49,6 +49,9 @@ class ParkedAndDriving final : public mobility::MobilityModel {
   [[nodiscard]] std::size_t node_count() const override {
     return gates_.size() + driving_.node_count();
   }
+  [[nodiscard]] double max_speed_mps() const override {
+    return driving_.max_speed_mps();  // parked nodes never move
+  }
 
  private:
   std::vector<Vec2> gates_;

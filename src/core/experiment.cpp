@@ -64,6 +64,9 @@ std::unique_ptr<mobility::MobilityModel> build_mobility(
     [[nodiscard]] std::size_t node_count() const override {
       return model.node_count();
     }
+    [[nodiscard]] double max_speed_mps() const override {
+      return model.max_speed_mps();
+    }
     mobility::StreetGraph graph;
     mobility::CitySection model;
   };

@@ -1,5 +1,7 @@
 #include "mobility/city_section.hpp"
 
+#include <algorithm>
+
 #include "util/expect.hpp"
 
 namespace frugal::mobility {
@@ -20,6 +22,12 @@ CitySection::CitySection(const StreetGraph& graph, CitySectionConfig config,
     // Never fully zero so isolated-but-connected corners remain reachable
     // destinations.
     intersection_weights_.push_back(0.1 + graph.intersection_popularity(i));
+  }
+  // Nodes always drive at the speed limit of the street they are on, so the
+  // fastest street bounds every node's speed at every time.
+  for (std::uint32_t e = 0;
+       e < static_cast<std::uint32_t>(graph.street_count()); ++e) {
+    max_speed_ = std::max(max_speed_, graph.street(e).speed_limit_mps);
   }
 }
 

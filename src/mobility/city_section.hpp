@@ -37,6 +37,7 @@ class CitySection final : public MobilityModel {
   [[nodiscard]] std::size_t node_count() const override {
     return nodes_.size();
   }
+  [[nodiscard]] double max_speed_mps() const override { return max_speed_; }
 
   [[nodiscard]] const StreetGraph& graph() const { return graph_; }
 
@@ -67,6 +68,7 @@ class CitySection final : public MobilityModel {
   Rng rng_root_;
   std::vector<NodeState> nodes_;
   std::vector<double> intersection_weights_;
+  double max_speed_ = 0.0;
 };
 
 }  // namespace frugal::mobility

@@ -13,6 +13,7 @@
 // `speed_mps` simply move faster, which is what an adversary would do.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <vector>
@@ -76,6 +77,21 @@ class ConvergeDisperse final : public MobilityModel {
 
   [[nodiscard]] std::size_t node_count() const override {
     return nodes_.size();
+  }
+
+  [[nodiscard]] double max_speed_mps() const override {
+    // Late starters move faster than speed_mps so they still arrive exactly
+    // at converge_by; the worst case starts at the area corner farthest from
+    // the rally disc and covers that distance in the whole window.
+    double worst_dist = 0.0;
+    for (const Vec2 corner : {Vec2{0, 0}, Vec2{config_.width_m, 0},
+                              Vec2{0, config_.height_m},
+                              Vec2{config_.width_m, config_.height_m}}) {
+      worst_dist = std::max(worst_dist, distance(corner, config_.rally));
+    }
+    worst_dist += config_.rally_radius_m;
+    const double window_s = (config_.converge_by - SimTime::zero()).seconds();
+    return std::max(config_.speed_mps, worst_dist / window_s);
   }
 
  private:

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/time.hpp"
 #include "util/types.hpp"
@@ -26,6 +27,19 @@ class MobilityModel {
   [[nodiscard]] virtual double speed(NodeId node, SimTime t) = 0;
 
   [[nodiscard]] virtual std::size_t node_count() const = 0;
+
+  /// Conservative upper bound on any node's speed at any time, m/s. The
+  /// medium's spatial index uses it to bound how far positions can drift
+  /// between grid rebuilds: over-estimates only cost extra rebuild/query
+  /// work, under-estimates would silently miss receivers.
+  [[nodiscard]] virtual double max_speed_mps() const = 0;
+
+  /// Monotone counter bumped whenever positions change outside the model's
+  /// own time evolution (e.g. StaticMobility::move_node teleports), so
+  /// position caches such as the medium's spatial index can invalidate
+  /// themselves. Models whose positions are pure functions of time keep the
+  /// default constant 0.
+  [[nodiscard]] virtual std::uint64_t position_revision() const { return 0; }
 };
 
 }  // namespace frugal::mobility

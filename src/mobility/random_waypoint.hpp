@@ -54,6 +54,9 @@ class RandomWaypoint final : public MobilityModel {
   [[nodiscard]] std::size_t node_count() const override {
     return nodes_.size();
   }
+  [[nodiscard]] double max_speed_mps() const override {
+    return config_.speed_max_mps;
+  }
 
  private:
   /// One straight-line travel leg or a pause (speed 0, from == to).

@@ -1,6 +1,7 @@
 // Trivial models used by tests and the quickstart example.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -25,15 +26,21 @@ class StaticMobility final : public MobilityModel {
   [[nodiscard]] std::size_t node_count() const override {
     return positions_.size();
   }
+  [[nodiscard]] double max_speed_mps() const override { return 0.0; }
+  [[nodiscard]] std::uint64_t position_revision() const override {
+    return revision_;
+  }
 
   /// Teleports a node (between queries); used by tests to script topologies.
   void move_node(NodeId node, Vec2 to) {
     FRUGAL_EXPECT(node < positions_.size());
     positions_[node] = to;
+    ++revision_;  // teleports break the max-speed drift bound; tell caches
   }
 
  private:
   std::vector<Vec2> positions_;
+  std::uint64_t revision_ = 0;
 };
 
 /// Piecewise-linear scripted trajectories: each node follows straight lines
@@ -51,6 +58,10 @@ class WaypointTrace final : public MobilityModel {
       FRUGAL_EXPECT(!traj.empty());
       for (std::size_t i = 1; i < traj.size(); ++i) {
         FRUGAL_EXPECT(traj[i - 1].at < traj[i].at);
+        const double leg_speed =
+            distance(traj[i - 1].pos, traj[i].pos) /
+            (traj[i].at - traj[i - 1].at).seconds();
+        max_speed_ = std::max(max_speed_, leg_speed);
       }
     }
   }
@@ -86,6 +97,7 @@ class WaypointTrace final : public MobilityModel {
   [[nodiscard]] std::size_t node_count() const override {
     return trajectories_.size();
   }
+  [[nodiscard]] double max_speed_mps() const override { return max_speed_; }
 
  private:
   [[nodiscard]] const std::vector<Knot>& trajectory(NodeId node) const {
@@ -94,6 +106,7 @@ class WaypointTrace final : public MobilityModel {
   }
 
   std::vector<std::vector<Knot>> trajectories_;
+  double max_speed_ = 0.0;
 };
 
 }  // namespace frugal::mobility

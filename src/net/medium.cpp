@@ -24,6 +24,9 @@ Medium::Medium(sim::Scheduler& scheduler, mobility::MobilityModel& mobility,
   FRUGAL_EXPECT(config.range_m > 0);
   FRUGAL_EXPECT(config.rate_bps > 0);
   FRUGAL_EXPECT(!config.max_jitter.is_negative());
+  if (config_.use_spatial_index) {
+    index_ = std::make_unique<SpatialIndex>(mobility_, config_.range_m);
+  }
 }
 
 void Medium::attach(NodeId node, MediumClient* client) {
@@ -71,11 +74,20 @@ std::vector<NodeId> Medium::nodes_in_range(NodeId node) const {
   const Vec2 here = mobility_.position(node, now);
   const double range_sq = config_.range_m * config_.range_m;
   std::vector<NodeId> result;
-  for (NodeId other = 0; other < clients_.size(); ++other) {
-    if (other == node || !up_[other]) continue;
+  auto consider = [&](NodeId other) {
+    if (!can_receive(other, node)) return;
     if (distance_sq(here, mobility_.position(other, now)) <= range_sq) {
       result.push_back(other);
     }
+  };
+  if (index_ != nullptr) {
+    // Candidates come back sorted, so `result` matches the brute-force
+    // ascending order exactly.
+    for (NodeId other : index_->candidates(here, config_.range_m, now)) {
+      consider(other);
+    }
+  } else {
+    for (NodeId other = 0; other < clients_.size(); ++other) consider(other);
   }
   return result;
 }
@@ -84,7 +96,13 @@ void Medium::broadcast(NodeId sender, std::uint32_t size_bytes,
                        std::any payload) {
   FRUGAL_EXPECT(sender < clients_.size());
   FRUGAL_EXPECT(size_bytes > 0);
-  if (!up_[sender]) return;
+  if (!up_[sender]) {
+    // Issued while down: the counters contract promises every issued frame
+    // lands in exactly one of frames_sent / frames_dropped, same as the
+    // crashed-while-queued path below.
+    counters_[sender].frames_dropped += 1;
+    return;
+  }
 
   auto frame = std::make_shared<Frame>(
       Frame{sender, size_bytes, std::move(payload)});
@@ -102,6 +120,21 @@ SimTime Medium::sensed_busy_until(NodeId sender, SimTime at) const {
   const Vec2 here = mobility_.position(sender, at);
   const double range_sq = config_.range_m * config_.range_m;
   SimTime busy = SimTime::zero();
+  if (index_ != nullptr) {
+    // tx_busy_until_[j] > at iff j has a transmission on air at `at` (it is
+    // only ever set to the end of a transmission starting right then, and a
+    // sender never overlaps its own frames), and that transmission ends at
+    // exactly tx_busy_until_[j] — so the per-node field answers the same
+    // question the on_air_ scan below does, without the scan.
+    for (NodeId other : index_->candidates(here, config_.range_m, at)) {
+      if (other == sender || tx_busy_until_[other] <= at) continue;
+      const Vec2 there = mobility_.position(other, at);
+      if (distance_sq(here, there) <= range_sq) {
+        busy = std::max(busy, tx_busy_until_[other]);
+      }
+    }
+    return busy;
+  }
   for (const Transmission& tx : on_air_) {
     if (tx.end <= at || tx.sender == sender) continue;
     const Vec2 there = mobility_.position(tx.sender, at);
@@ -162,62 +195,84 @@ void Medium::start_transmission(NodeId sender,
 
   const Vec2 origin = mobility_.position(sender, now);
   const double range_sq = config_.range_m * config_.range_m;
-  for (NodeId receiver = 0; receiver < clients_.size(); ++receiver) {
-    if (receiver == sender || !up_[receiver] || clients_[receiver] == nullptr)
-      continue;
-    if (distance_sq(origin, mobility_.position(receiver, now)) > range_sq)
-      continue;
-
-    // Half-duplex: a radio that is transmitting cannot hear this frame.
-    if (config_.enable_collisions && tx_busy_until_[receiver] > now) {
-      counters_[receiver].frames_missed_busy += 1;
-      continue;
+  if (index_ != nullptr) {
+    // Candidates are a sorted superset of the in-range nodes;
+    // offer_to_receiver re-applies the exact predicate and distance check,
+    // and the ascending order keeps every side effect in brute-force order.
+    for (NodeId receiver :
+         index_->candidates(origin, config_.range_m, now)) {
+      if (!can_receive(receiver, sender)) continue;
+      if (distance_sq(origin, mobility_.position(receiver, now)) > range_sq)
+        continue;
+      offer_to_receiver(receiver, frame, now, end);
     }
-
-    // Power-save sleep: the radio is dozing and never locks on the frame.
-    if (sleeping_[receiver]) {
-      counters_[receiver].frames_missed_asleep += 1;
-      continue;
+  } else {
+    for (NodeId receiver = 0; receiver < clients_.size(); ++receiver) {
+      if (!can_receive(receiver, sender)) continue;
+      if (distance_sq(origin, mobility_.position(receiver, now)) > range_sq)
+        continue;
+      offer_to_receiver(receiver, frame, now, end);
     }
-
-    auto corrupted = std::make_shared<bool>(false);
-    if (config_.enable_collisions) {
-      for (Reception& ongoing : receptions_[receiver]) {
-        if (ongoing.end > now) {  // overlap: both frames are lost
-          *ongoing.corrupted = true;
-          *corrupted = true;
-        }
-      }
-    }
-    receptions_[receiver].push_back(Reception{now, end, corrupted});
-    if (listener_ != nullptr) listener_->on_rx(receiver, now, end);
-
-    scheduler_.schedule_at(end, [this, receiver, frame, corrupted] {
-      if (*corrupted) {
-        counters_[receiver].frames_collided += 1;
-        return;
-      }
-      if (!up_[receiver] || clients_[receiver] == nullptr) {
-        // Powered down mid-reception: the locked-on frame is voided, and
-        // counted so (delivered + collided + missed_down covers every
-        // reception the radio started).
-        counters_[receiver].frames_missed_down += 1;
-        return;
-      }
-      counters_[receiver].frames_delivered += 1;
-      counters_[receiver].bytes_delivered += frame->size_bytes;
-      clients_[receiver]->on_frame(*frame);
-    });
   }
 }
 
+void Medium::offer_to_receiver(NodeId receiver,
+                               const std::shared_ptr<Frame>& frame,
+                               SimTime now, SimTime end) {
+  // Half-duplex: a radio that is transmitting cannot hear this frame.
+  if (config_.enable_collisions && tx_busy_until_[receiver] > now) {
+    counters_[receiver].frames_missed_busy += 1;
+    return;
+  }
+
+  // Power-save sleep: the radio is dozing and never locks on the frame.
+  if (sleeping_[receiver]) {
+    counters_[receiver].frames_missed_asleep += 1;
+    return;
+  }
+
+  // Drop this receiver's ended receptions before the overlap check. Pruning
+  // here — instead of sweeping every node's list on every broadcast — keeps
+  // the per-broadcast cost proportional to the audience; ended receptions
+  // can never corrupt anything (the overlap test is `ongoing.end > now`).
+  std::erase_if(receptions_[receiver],
+                [now](const Reception& rx) { return rx.end <= now; });
+
+  auto corrupted = std::make_shared<bool>(false);
+  if (config_.enable_collisions) {
+    for (Reception& ongoing : receptions_[receiver]) {
+      if (ongoing.end > now) {  // overlap: both frames are lost
+        *ongoing.corrupted = true;
+        *corrupted = true;
+      }
+    }
+  }
+  receptions_[receiver].push_back(Reception{now, end, corrupted});
+  if (listener_ != nullptr) listener_->on_rx(receiver, now, end);
+
+  scheduler_.schedule_at(end, [this, receiver, frame, corrupted] {
+    if (*corrupted) {
+      counters_[receiver].frames_collided += 1;
+      return;
+    }
+    if (!up_[receiver] || clients_[receiver] == nullptr) {
+      // Powered down mid-reception: the locked-on frame is voided, and
+      // counted so (delivered + collided + missed_down covers every
+      // reception the radio started).
+      counters_[receiver].frames_missed_down += 1;
+      return;
+    }
+    counters_[receiver].frames_delivered += 1;
+    counters_[receiver].bytes_delivered += frame->size_bytes;
+    clients_[receiver]->on_frame(*frame);
+  });
+}
+
 void Medium::prune(SimTime now) {
+  // Receptions are pruned lazily per receiver in offer_to_receiver; sweeping
+  // them all here would reintroduce an O(n) cost per broadcast.
   std::erase_if(on_air_,
                 [now](const Transmission& tx) { return tx.end <= now; });
-  for (auto& list : receptions_) {
-    std::erase_if(list,
-                  [now](const Reception& rx) { return rx.end <= now; });
-  }
 }
 
 double two_ray_range(double tx_power_dbm, double sensitivity_dbm,

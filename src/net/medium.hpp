@@ -16,9 +16,11 @@
 
 #include <any>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mobility/mobility.hpp"
+#include "net/spatial_index.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -84,6 +86,13 @@ struct MediumConfig {
   /// under saturation). The per-retry wait grows linearly with the attempt
   /// number (a simple stand-in for DCF's exponential back-off).
   int max_defers = 16;
+  /// Receiver/carrier-sense resolution path. true: uniform-grid spatial
+  /// index, O(neighbors) per broadcast (see net/spatial_index.hpp). false:
+  /// the original brute-force scan over every node, O(n) per broadcast.
+  /// Both paths are behaviour-identical down to the byte (spatial_index_test
+  /// proves it); the flag exists so bench_medium_scaling can measure the
+  /// separation and the property test can compare the two live.
+  bool use_spatial_index = true;
 };
 
 struct TrafficCounters {
@@ -136,8 +145,16 @@ class Medium {
   [[nodiscard]] const TrafficCounters& counters(NodeId node) const;
   [[nodiscard]] std::size_t node_count() const { return clients_.size(); }
 
-  /// Nodes currently within radio range of `node` (excluding itself).
+  /// Nodes currently within radio range of `node` that could receive a frame
+  /// from it: up, attached, and within `range_m` (excluding itself). Sleeping
+  /// nodes are included — they are in range, they just doze through frames.
   [[nodiscard]] std::vector<NodeId> nodes_in_range(NodeId node) const;
+
+  /// Until when `sender` senses the channel busy at time `at` (zero when the
+  /// channel is idle): the latest end among other nodes' transmissions in
+  /// range. Public so the index-equivalence property test can compare the
+  /// indexed and brute-force answers directly.
+  [[nodiscard]] SimTime sensed_busy_until(NodeId sender, SimTime at) const;
 
   [[nodiscard]] const MediumConfig& config() const { return config_; }
 
@@ -153,9 +170,17 @@ class Medium {
     SimTime end;
   };
 
+  /// The one receiver predicate shared by delivery and nodes_in_range (minus
+  /// the range check, which callers apply to their own query position).
+  [[nodiscard]] bool can_receive(NodeId receiver, NodeId sender) const {
+    return receiver != sender && up_[receiver] &&
+           clients_[receiver] != nullptr;
+  }
+
   void start_transmission(NodeId sender, const std::shared_ptr<Frame>& frame,
                           int attempt);
-  [[nodiscard]] SimTime sensed_busy_until(NodeId sender, SimTime at) const;
+  void offer_to_receiver(NodeId receiver, const std::shared_ptr<Frame>& frame,
+                         SimTime now, SimTime end);
   void prune(SimTime now);
 
   sim::Scheduler& scheduler_;
@@ -170,6 +195,9 @@ class Medium {
   std::vector<SimTime> tx_busy_until_;
   std::vector<std::vector<Reception>> receptions_;
   std::vector<Transmission> on_air_;
+  /// Present iff config_.use_spatial_index. unique_ptr (not optional) so the
+  /// const query methods can use it: candidates() mutates internal caches.
+  std::unique_ptr<SpatialIndex> index_;
 };
 
 /// Radio range from the two-ray ground-reflection model:

@@ -1,0 +1,86 @@
+#include "net/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace frugal::net {
+
+namespace {
+/// Headroom added to every query radius. Mobility models interpolate
+/// positions in doubles, so a node can land a hair outside the ideal
+/// max_speed * elapsed drift envelope; positions are meters, so a micrometer
+/// dwarfs any accumulated rounding while staying far below physical scales.
+constexpr double kFloatSlackM = 1e-6;
+}  // namespace
+
+SpatialIndex::SpatialIndex(mobility::MobilityModel& mobility,
+                           double cell_size_m)
+    : mobility_{mobility},
+      cell_m_{cell_size_m},
+      max_speed_{mobility.max_speed_mps()} {
+  FRUGAL_EXPECT(cell_size_m > 0);
+  FRUGAL_EXPECT(max_speed_ >= 0);
+}
+
+std::int64_t SpatialIndex::cell_of(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cell_m_));
+}
+
+double SpatialIndex::drift_m(SimTime now) const {
+  return std::max(0.0, max_speed_ * (now - built_at_).seconds());
+}
+
+void SpatialIndex::rebuild(SimTime now) {
+  for (auto& [unused_key, bucket] : cells_) bucket.clear();
+  const std::size_t n = mobility_.node_count();
+  for (NodeId node = 0; node < n; ++node) {
+    const Vec2 pos = mobility_.position(node, now);
+    // Ascending insertion keeps every bucket sorted by construction.
+    cells_[key(cell_of(pos.x), cell_of(pos.y))].push_back(node);
+  }
+  built_ = true;
+  built_at_ = now;
+  built_revision_ = mobility_.position_revision();
+  ++rebuilds_;
+}
+
+const std::vector<NodeId>& SpatialIndex::candidates(Vec2 center,
+                                                    double radius_m,
+                                                    SimTime now) {
+  FRUGAL_EXPECT(radius_m >= 0);
+  // Rebuild when positions were edited out-of-band (teleports) or nodes may
+  // have drifted more than one cell from where the grid placed them; the
+  // one-cell budget keeps query rectangles small without rebuilding on every
+  // call.
+  if (!built_ || built_revision_ != mobility_.position_revision() ||
+      drift_m(now) > cell_m_) {
+    rebuild(now);
+  }
+
+  // A node within radius_m of `center` now was within radius_m + drift of it
+  // at build time, so scanning every cell that intersects the widened square
+  // around `center` covers the true in-range set. floor() is monotone, so
+  // the cell range below is exact for the widened square.
+  const double reach = radius_m + drift_m(now) + kFloatSlackM;
+  const std::int64_t cx_min = cell_of(center.x - reach);
+  const std::int64_t cx_max = cell_of(center.x + reach);
+  const std::int64_t cy_min = cell_of(center.y - reach);
+  const std::int64_t cy_max = cell_of(center.y + reach);
+
+  scratch_.clear();
+  for (std::int64_t cx = cx_min; cx <= cx_max; ++cx) {
+    for (std::int64_t cy = cy_min; cy <= cy_max; ++cy) {
+      const auto it = cells_.find(key(cx, cy));
+      if (it == cells_.end()) continue;
+      scratch_.insert(scratch_.end(), it->second.begin(), it->second.end());
+    }
+  }
+  // Buckets are individually sorted but visited in cell order; downstream
+  // behaviour depends on ascending NodeId order (see header).
+  std::sort(scratch_.begin(), scratch_.end());
+  return scratch_;
+}
+
+}  // namespace frugal::net

@@ -1,0 +1,85 @@
+// Uniform-grid spatial index over mobility positions.
+//
+// The medium's receiver resolution, carrier sense, and nodes_in_range all ask
+// the same question: "which nodes are within `radius` of this point right
+// now?". The brute-force answer scans every node — O(n) per broadcast, O(n²)
+// per heartbeat round — which caps worlds at a few hundred nodes. This index
+// buckets nodes into square cells (side = radio range) and answers with the
+// nodes in the 3x3-ish block of cells around the query point instead.
+//
+// Design constraints, in order:
+//   1. *Exactness.* `candidates()` must return a superset of the true
+//      in-range set — the medium re-checks exact distances and all receiver
+//      predicates, so extra candidates cost a little time but never change
+//      behaviour. A missed candidate would silently change delivery, so the
+//      index is conservative everywhere (drift bounds, float slack).
+//   2. *Determinism.* Candidates come back sorted ascending by NodeId, the
+//      same order the brute-force scan visits nodes, so every downstream
+//      side effect (counter bumps, scheduled deliveries, trace lines) is
+//      byte-identical between the two paths.
+//   3. *No mobility-model cooperation beyond two cheap hooks.* Models only
+//      report a global speed bound (max_speed_mps) and a teleport revision
+//      counter; the index lazily rebuilds itself whenever positions may have
+//      drifted more than one cell since the last build, and widens queries
+//      by the accumulated drift in between. Rebuilds are O(n) but amortized
+//      over cell_size / max_speed of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/mobility.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+#include "util/vec2.hpp"
+
+namespace frugal::net {
+
+class SpatialIndex {
+ public:
+  /// `cell_size_m` should be the query radius (radio range) for the classic
+  /// ~9-cell lookups; any positive value is correct.
+  SpatialIndex(mobility::MobilityModel& mobility, double cell_size_m);
+
+  /// Node ids whose position at `now` *may* be within `radius_m` of
+  /// `center`: a conservative superset of the true in-range set (callers
+  /// must re-check exact distances), sorted ascending. The returned buffer
+  /// is owned by the index and valid until the next call.
+  ///
+  /// Query times must be non-decreasing (the mobility-model contract, which
+  /// the index inherits because rebuilds query every node's position).
+  [[nodiscard]] const std::vector<NodeId>& candidates(Vec2 center,
+                                                      double radius_m,
+                                                      SimTime now);
+
+  /// Number of full grid rebuilds performed so far (bench/test telemetry).
+  [[nodiscard]] std::uint64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  /// Packs a cell coordinate pair into one map key. Distinct cells collide
+  /// only when their coordinates differ by a multiple of 2^32 cells —
+  /// unreachable for any physical world — and a collision would only merge
+  /// buckets, i.e. add candidates, never lose them.
+  [[nodiscard]] static std::uint64_t key(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+
+  [[nodiscard]] std::int64_t cell_of(double v) const;
+  /// Worst-case meters any node may have moved since the grid was built.
+  [[nodiscard]] double drift_m(SimTime now) const;
+  void rebuild(SimTime now);
+
+  mobility::MobilityModel& mobility_;
+  double cell_m_;
+  double max_speed_;
+  bool built_ = false;
+  SimTime built_at_;
+  std::uint64_t built_revision_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
+  std::vector<NodeId> scratch_;
+};
+
+}  // namespace frugal::net

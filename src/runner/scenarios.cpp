@@ -799,6 +799,36 @@ ScenarioSpec energy_lifetime_spec() {
   return spec;
 }
 
+ScenarioSpec metro_scale_spec() {
+  ScenarioSpec spec;
+  spec.name = "metro_scale";
+  spec.title =
+      "Metro scale: 10k+ processes on a 6 x 6 km city grid (spatial index)";
+  spec.description =
+      "The world the medium's uniform-grid index unlocks: a metropolitan "
+      "street network two orders of magnitude past the paper's 15-process "
+      "city runs, multi-publisher, Zipf-skewed topic hierarchy. Unrunnable "
+      "with the O(n^2) brute-force medium, routine with the index.";
+  spec.axes = {axis("nodes", {2500, 10000}, {2500, 5000, 10000, 20000}),
+               axis("interest", {0.5}, {0.2, 0.5, 0.8})};
+  spec.default_seeds = 1;
+  spec.full_seeds = 2;
+  spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
+    return metro_world(static_cast<std::size_t>(point.get("nodes")),
+                       point.get("interest"), seed);
+  };
+  spec.metrics = {reliability_metric(), bytes_metric(), duplicates_metric(),
+                  latency_metric()};
+  spec.expected_shape =
+      "Expected shape: the street grid is sparse per-hop (44 m radio on "
+      "150 m blocks), so dissemination rides encounters at intersections "
+      "and reliability within the short 60 s validity stays far below the "
+      "small-city figures at every size, while per-process bytes stay "
+      "near-flat across the nodes axis — the frugal back-off absorbs "
+      "density, which is exactly what makes 10k processes affordable.";
+  return spec;
+}
+
 ScenarioSpec sparse_partition_spec() {
   ScenarioSpec spec;
   spec.name = "sparse_partition";
@@ -879,6 +909,7 @@ void register_builtin_scenarios() {
     registry.add(adversarial_mobility_spec());
     registry.add(memory_pressure_spec());
     registry.add(energy_lifetime_spec());
+    registry.add(metro_scale_spec());
     return true;
   }();
   static_cast<void>(registered);

@@ -62,4 +62,35 @@ core::ExperimentConfig rwp_world_scaled(double speed_mps, double interest,
   return config;
 }
 
+core::ExperimentConfig metro_world(std::size_t node_count, double interest,
+                                   std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.node_count = node_count;
+  config.interest_fraction = interest;
+  core::CitySetup city;
+  city.grid.width_m = 6000.0;
+  city.grid.height_m = 6000.0;
+  city.grid.columns = 40;
+  city.grid.rows = 40;
+  config.mobility = city;
+  config.medium.range_m = 44.0;  // city reception sensitivity -65 dB
+  config.medium.rate_bps = 1e6;
+  config.frugal.hb_upper = SimDuration::from_seconds(1.0);
+  config.warmup = SimDuration::from_seconds(30.0);
+  config.event_validity = SimDuration::from_seconds(60.0);
+  config.event_count = 8;
+  config.event_bytes = 400;
+  config.publish_spacing = SimDuration::from_seconds(1.0);
+  config.publisher_count = 8;
+  core::TopicHierarchyWorkload workload;
+  workload.depth = 3;
+  workload.branching = 4;
+  workload.zipf_s = 1.0;
+  workload.broad_fraction = 0.3;
+  workload.subscriptions_per_node = 2;
+  config.topic_workload = workload;
+  config.seed = seed;
+  return config;
+}
+
 }  // namespace frugal::runner

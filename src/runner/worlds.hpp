@@ -33,4 +33,14 @@ namespace frugal::runner {
                                                       double area_side_m,
                                                       std::uint64_t seed);
 
+/// The metro-scale world the spatial index unlocks: `node_count` (10k+)
+/// processes on a 6 x 6 km, 40 x 40-street city grid with the paper's city
+/// radio (44 m), multiple round-robin publishers and a Zipf-skewed topic
+/// hierarchy. A short validity window keeps the wall-clock budget sane; the
+/// O(n^2) brute-force medium path makes this config unrunnable, which is
+/// the point.
+[[nodiscard]] core::ExperimentConfig metro_world(std::size_t node_count,
+                                                 double interest,
+                                                 std::uint64_t seed);
+
 }  // namespace frugal::runner

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -62,12 +63,18 @@ constexpr std::uint32_t kFrameBytes = 125;  // 1 ms at 1 Mbps
 
 struct World {
   World(std::size_t node_count, double area_m, MediumConfig config,
-        std::uint64_t seed)
+        std::uint64_t seed, std::vector<NodeId> unattached = {})
       : mobility{random_positions(node_count, area_m, seed)},
         medium{scheduler, mobility, config, Rng{seed ^ 0xABCDu}},
         listener{medium} {
     sinks.resize(node_count);
-    for (NodeId id = 0; id < node_count; ++id) medium.attach(id, &sinks[id]);
+    for (NodeId id = 0; id < node_count; ++id) {
+      if (std::find(unattached.begin(), unattached.end(), id) !=
+          unattached.end()) {
+        continue;  // up, present, but no client: a radio nobody listens to
+      }
+      medium.attach(id, &sinks[id]);
+    }
     medium.set_listener(&listener);
   }
 
@@ -84,17 +91,20 @@ struct World {
 
   /// Issues `count` broadcasts from random senders at random times over
   /// `window_s` seconds and runs the world to quiescence. Returns the
-  /// number of frames actually issued (a sender that is down at issue
-  /// time cannot even queue and is not counted).
+  /// number of frames issued. By default senders that are down at issue
+  /// time stay silent (the protocol layer checks is_up first); with
+  /// `issue_while_down` they call broadcast anyway, exercising the
+  /// issued-while-down => frames_dropped accounting path.
   std::size_t run_random_traffic(std::size_t count, double window_s,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 bool issue_while_down = false) {
     Rng rng{seed * 31 + 7};
     for (std::size_t i = 0; i < count; ++i) {
       const auto sender =
           static_cast<NodeId>(rng.uniform_u64(sinks.size()));
       const SimTime at = SimTime::from_seconds(rng.uniform(0, window_s));
-      scheduler.schedule_at(at, [this, sender] {
-        if (!medium.is_up(sender)) return;
+      scheduler.schedule_at(at, [this, sender, issue_while_down] {
+        if (!issue_while_down && !medium.is_up(sender)) return;
         ++issued;
         medium.broadcast(sender, kFrameBytes, 0);
       });
@@ -215,6 +225,37 @@ TEST_P(ConservationSweep, BalancesWithDownAndSleepingRadios) {
   EXPECT_GT(t.missed_asleep, 0u);
   EXPECT_EQ(world.medium.counters(2).frames_delivered, 0u);
   EXPECT_EQ(world.medium.counters(7).frames_delivered, 0u);
+}
+
+TEST_P(ConservationSweep, IssuesWhileDownCountAsDropped) {
+  // Regression: broadcast from a down radio used to return without touching
+  // frames_dropped, so sent + dropped undercounted the issues. Nodes 1 and
+  // 5 stay down the whole run and every issue is pushed at the medium.
+  World world{10, 400.0, test_config(), GetParam() * 53 + 9};
+  world.medium.set_up(1, false);
+  world.medium.set_up(5, false);
+  const std::size_t issued = world.run_random_traffic(
+      60, 2.0, GetParam() + 99, /*issue_while_down=*/true);
+  ASSERT_GT(issued, 0u);
+  assert_conservation(world, issued);
+  EXPECT_GT(totals_of(world.medium).dropped, 0u);
+  EXPECT_EQ(world.medium.counters(1).frames_sent, 0u);
+  EXPECT_EQ(world.medium.counters(5).frames_sent, 0u);
+}
+
+TEST_P(ConservationSweep, BalancesWithUnattachedNodes) {
+  // Regression: nodes 3 and 8 are up but never attached a client. They used
+  // to inflate every nearby sender's advertised audience while the delivery
+  // loop skipped them, silently breaking audience == rx + missed_busy +
+  // missed_asleep; the unified receiver predicate keeps them out of both.
+  World world{12, 400.0, test_config(), GetParam() * 211 + 13,
+              /*unattached=*/{3, 8}};
+  const std::size_t issued =
+      world.run_random_traffic(80, 2.0, GetParam() * 5 + 1);
+  ASSERT_GT(issued, 0u);
+  assert_conservation(world, issued);
+  EXPECT_EQ(world.medium.counters(3).frames_delivered, 0u);
+  EXPECT_EQ(world.medium.counters(8).frames_delivered, 0u);
 }
 
 TEST_P(ConservationSweep, SaturationDropsAreCountedExactlyOnce) {

@@ -122,6 +122,19 @@ TEST(MediumTest, RecoveredNodeReceivesAgain) {
   EXPECT_EQ(f.sinks[1].frames.size(), 1u);
 }
 
+TEST(MediumTest, BroadcastWhileDownCountsAsDropped) {
+  // Regression: a broadcast issued from a down radio used to vanish without
+  // touching any counter, violating the frames_sent + frames_dropped ==
+  // issued contract the conservation suite audits.
+  Fixture f{{{0, 0}, {50, 0}}, fast_config()};
+  f.medium.set_up(0, false);
+  f.medium.broadcast(0, 100, 0);
+  f.scheduler.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(f.medium.counters(0).frames_sent, 0u);
+  EXPECT_EQ(f.medium.counters(0).frames_dropped, 1u);
+  EXPECT_TRUE(f.sinks[1].frames.empty());
+}
+
 TEST(MediumTest, CrashWhileQueuedDropsFrame) {
   Fixture f{{{0, 0}, {50, 0}}, fast_config()};
   f.medium.broadcast(0, 100, 0);
@@ -194,6 +207,20 @@ TEST(MediumTest, NodesInRangeSkipsDownNodes) {
   f.medium.set_up(1, false);
   const auto neighbors = f.medium.nodes_in_range(0);
   EXPECT_EQ(neighbors, (std::vector<NodeId>{2}));
+}
+
+TEST(MediumTest, NodesInRangeSkipsUnattachedNodes) {
+  // Regression: nodes_in_range used to report unattached-but-up nodes the
+  // delivery loop would then skip, so the advertised audience could never
+  // receive. One predicate (up + attached) now covers both paths.
+  sim::Scheduler scheduler;
+  mobility::StaticMobility mobility{{{0, 0}, {50, 0}, {60, 0}}};
+  Medium medium{scheduler, mobility, fast_config(), Rng{99}};
+  Sink sink0;
+  Sink sink2;
+  medium.attach(0, &sink0);
+  medium.attach(2, &sink2);  // node 1 is up but never attached
+  EXPECT_EQ(medium.nodes_in_range(0), (std::vector<NodeId>{2}));
 }
 
 TEST(MediumTest, MobilityAffectsReachability) {

@@ -1,0 +1,352 @@
+// Index == brute force, by construction and by experiment.
+//
+// The spatial index's whole contract is that switching it on changes nothing
+// observable: receiver sets, carrier-sense answers, counters, delivery
+// order, everything byte-identical to the original O(n) scans. This suite
+// runs two complete Medium instances — one brute-force, one indexed — off
+// the same scheduler, the same mobility model, and the same traffic script,
+// then demands their entire observable state match: every per-node counter,
+// every sink's delivered-frame sequence, plus nodes_in_range and
+// sensed_busy_until probed mid-run while frames are on the air.
+//
+// Sharing one scheduler is safe because a Medium's events only touch its own
+// state: interleaving the two mediums' callbacks cannot change either one's
+// behaviour relative to running alone. Sharing the mobility model is safe
+// because trajectories are pure functions of (seed, node, t).
+//
+// Coverage axes (per the PR issue): >= 5 seeds x {static, random-waypoint,
+// city-section, converge} x node counts {2, 35, 500}, with nodes crashing
+// and sleeping mid-run, plus deterministic worlds with positions exactly on
+// grid cell boundaries and exactly at range_m.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <any>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mobility/city_section.hpp"
+#include "mobility/converge.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_mobility.hpp"
+#include "mobility/street_graph.hpp"
+#include "net/medium.hpp"
+#include "net/spatial_index.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace frugal::net {
+namespace {
+
+/// Records the exact delivery sequence (order matters: it proves the index
+/// preserves side-effect order, not just the final sets).
+class SequenceSink final : public MediumClient {
+ public:
+  struct Delivery {
+    NodeId sender;
+    std::uint32_t size_bytes;
+    int tag;
+    bool operator==(const Delivery&) const = default;
+  };
+  void on_frame(const Frame& frame) override {
+    deliveries.push_back(
+        {frame.sender, frame.size_bytes, std::any_cast<int>(frame.payload)});
+  }
+  std::vector<Delivery> deliveries;
+};
+
+/// Owns a mobility model plus two mediums over it: `brute` scans, `grid`
+/// uses the spatial index, both seeded with the same jitter rng.
+struct DualWorld {
+  DualWorld(std::unique_ptr<mobility::MobilityModel> model, MediumConfig base,
+            std::uint64_t seed)
+      : mobility{std::move(model)} {
+    MediumConfig brute_cfg = base;
+    brute_cfg.use_spatial_index = false;
+    MediumConfig grid_cfg = base;
+    grid_cfg.use_spatial_index = true;
+    brute.emplace(scheduler, *mobility, brute_cfg, Rng{seed ^ 0xF00Du});
+    grid.emplace(scheduler, *mobility, grid_cfg, Rng{seed ^ 0xF00Du});
+    const std::size_t n = mobility->node_count();
+    brute_sinks.resize(n);
+    grid_sinks.resize(n);
+    for (NodeId id = 0; id < n; ++id) {
+      brute->attach(id, &brute_sinks[id]);
+      grid->attach(id, &grid_sinks[id]);
+    }
+  }
+
+  /// Random broadcasts, crashes/recoveries, sleep flips, and live probes of
+  /// the two query methods, identically applied to both mediums.
+  void run_random_script(std::uint64_t seed, double window_s) {
+    Rng rng{seed * 2654435761u + 17};
+    const std::size_t n = mobility->node_count();
+    const std::size_t broadcasts = 3 * n + 20;
+    for (std::size_t i = 0; i < broadcasts; ++i) {
+      const auto sender = static_cast<NodeId>(rng.uniform_u64(n));
+      const SimTime at = SimTime::from_seconds(rng.uniform(0, window_s));
+      const int tag = static_cast<int>(i);
+      scheduler.schedule_at(at, [this, sender, tag] {
+        brute->broadcast(sender, 125, tag);
+        grid->broadcast(sender, 125, tag);
+      });
+    }
+    // Crash ~10% of nodes mid-run; recover half of them later.
+    for (std::size_t i = 0; i < n / 10 + 1; ++i) {
+      const auto victim = static_cast<NodeId>(rng.uniform_u64(n));
+      const SimTime down_at =
+          SimTime::from_seconds(rng.uniform(0, window_s * 0.7));
+      scheduler.schedule_at(down_at, [this, victim] {
+        brute->set_up(victim, false);
+        grid->set_up(victim, false);
+      });
+      if (i % 2 == 0) {
+        const SimTime up_at =
+            down_at + SimDuration::from_seconds(rng.uniform(0.1, 2.0));
+        scheduler.schedule_at(up_at, [this, victim] {
+          brute->set_up(victim, true);
+          grid->set_up(victim, true);
+        });
+      }
+    }
+    // Doze ~10% of nodes for a stretch.
+    for (std::size_t i = 0; i < n / 10 + 1; ++i) {
+      const auto dozer = static_cast<NodeId>(rng.uniform_u64(n));
+      const SimTime doze_at =
+          SimTime::from_seconds(rng.uniform(0, window_s * 0.7));
+      scheduler.schedule_at(doze_at, [this, dozer] {
+        brute->set_sleeping(dozer, true);
+        grid->set_sleeping(dozer, true);
+      });
+      scheduler.schedule_at(
+          doze_at + SimDuration::from_seconds(rng.uniform(0.2, 3.0)),
+          [this, dozer] {
+            brute->set_sleeping(dozer, false);
+            grid->set_sleeping(dozer, false);
+          });
+    }
+    // Probe the query APIs while traffic is in flight.
+    for (std::size_t i = 0; i < 40; ++i) {
+      const auto node = static_cast<NodeId>(rng.uniform_u64(n));
+      const SimTime at = SimTime::from_seconds(rng.uniform(0, window_s));
+      scheduler.schedule_at(at, [this, node] {
+        const SimTime now = scheduler.now();
+        EXPECT_EQ(brute->nodes_in_range(node), grid->nodes_in_range(node));
+        EXPECT_EQ(brute->sensed_busy_until(node, now).us(),
+                  grid->sensed_busy_until(node, now).us());
+      });
+    }
+    scheduler.run_until(SimTime::from_seconds(window_s + 10.0));
+    scheduler.run_all();
+  }
+
+  void expect_identical() {
+    for (NodeId id = 0; id < mobility->node_count(); ++id) {
+      const TrafficCounters& b = brute->counters(id);
+      const TrafficCounters& g = grid->counters(id);
+      EXPECT_EQ(b.frames_sent, g.frames_sent) << "node " << id;
+      EXPECT_EQ(b.bytes_sent, g.bytes_sent) << "node " << id;
+      EXPECT_EQ(b.frames_delivered, g.frames_delivered) << "node " << id;
+      EXPECT_EQ(b.bytes_delivered, g.bytes_delivered) << "node " << id;
+      EXPECT_EQ(b.frames_collided, g.frames_collided) << "node " << id;
+      EXPECT_EQ(b.frames_missed_busy, g.frames_missed_busy) << "node " << id;
+      EXPECT_EQ(b.frames_missed_asleep, g.frames_missed_asleep)
+          << "node " << id;
+      EXPECT_EQ(b.frames_missed_down, g.frames_missed_down) << "node " << id;
+      EXPECT_EQ(b.frames_dropped, g.frames_dropped) << "node " << id;
+      EXPECT_EQ(brute_sinks[id].deliveries, grid_sinks[id].deliveries)
+          << "node " << id;
+    }
+  }
+
+  sim::Scheduler scheduler;
+  std::unique_ptr<mobility::MobilityModel> mobility;
+  std::optional<Medium> brute;
+  std::optional<Medium> grid;
+  std::vector<SequenceSink> brute_sinks;
+  std::vector<SequenceSink> grid_sinks;
+};
+
+MediumConfig dense_config() {
+  MediumConfig config;
+  config.range_m = 120.0;
+  config.rate_bps = 250e3;  // 4 ms per 125 B frame: real contention
+  config.max_jitter = SimDuration::from_ms(3);
+  return config;
+}
+
+/// Area side scaling that keeps the neighbour count roughly constant as the
+/// node count grows, so every world has real contention and real sparsity.
+double area_side(std::size_t nodes) {
+  return 60.0 * std::sqrt(static_cast<double>(nodes)) + 25.0;
+}
+
+std::unique_ptr<mobility::MobilityModel> make_model(const std::string& kind,
+                                                    std::size_t nodes,
+                                                    std::uint64_t seed) {
+  const double side = area_side(nodes);
+  if (kind == "static") {
+    Rng rng{seed * 7919 + 1};
+    std::vector<Vec2> positions;
+    positions.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      positions.push_back({rng.uniform(0, side), rng.uniform(0, side)});
+    }
+    return std::make_unique<mobility::StaticMobility>(std::move(positions));
+  }
+  if (kind == "rwp") {
+    mobility::RandomWaypointConfig config;
+    config.width_m = side;
+    config.height_m = side;
+    config.speed_min_mps = 1.0;
+    config.speed_max_mps = 12.0;  // fast enough to force grid rebuilds
+    config.pause = SimDuration::from_seconds(0.5);
+    return std::make_unique<mobility::RandomWaypoint>(config, nodes,
+                                                      Rng{seed * 31 + 5});
+  }
+  if (kind == "city") {
+    struct OwningCity final : mobility::MobilityModel {
+      OwningCity(mobility::StreetGraph g, std::size_t n, Rng r)
+          : graph{std::move(g)},
+            model{graph, mobility::CitySectionConfig{}, n, r} {}
+      [[nodiscard]] Vec2 position(NodeId node, SimTime t) override {
+        return model.position(node, t);
+      }
+      [[nodiscard]] double speed(NodeId node, SimTime t) override {
+        return model.speed(node, t);
+      }
+      [[nodiscard]] std::size_t node_count() const override {
+        return model.node_count();
+      }
+      [[nodiscard]] double max_speed_mps() const override {
+        return model.max_speed_mps();
+      }
+      mobility::StreetGraph graph;
+      mobility::CitySection model;
+    };
+    Rng grid_rng{seed * 131 + 9};
+    return std::make_unique<OwningCity>(
+        mobility::make_campus_grid(mobility::CampusGridConfig{}, grid_rng),
+        nodes, Rng{seed * 17 + 3});
+  }
+  // converge: everyone rushes one rally point and scatters again, inside the
+  // traffic window, so the index sees extreme density swings and the fast
+  // catch-up speeds of far-away nodes.
+  mobility::ConvergeConfig config;
+  config.width_m = side;
+  config.height_m = side;
+  config.speed_mps = 10.0;
+  config.rally = {side / 2, side / 2};
+  config.rally_radius_m = 12.0;
+  config.converge_by = SimTime::from_seconds(3.0);
+  config.disperse_at = SimTime::from_seconds(4.5);
+  return std::make_unique<mobility::ConvergeDisperse>(config, nodes,
+                                                      Rng{seed * 101 + 7});
+}
+
+class IndexEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(IndexEquivalence, MatchesBruteForceAcrossNodeCounts) {
+  const auto& [kind, seed] = GetParam();
+  for (const std::size_t nodes : {std::size_t{2}, std::size_t{35},
+                                  std::size_t{500}}) {
+    SCOPED_TRACE(kind + " nodes=" + std::to_string(nodes));
+    MediumConfig config = dense_config();
+    if (kind == "city") config.range_m = 44.0;  // the paper's city radio
+    DualWorld world{make_model(kind, nodes, seed), config, seed};
+    world.run_random_script(seed * 13 + nodes, /*window_s=*/6.0);
+    world.expect_identical();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, IndexEquivalence,
+    ::testing::Combine(::testing::Values("static", "rwp", "city", "converge"),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(SpatialIndexBoundary, CellBordersAndExactRangeMatchBruteForce) {
+  // Positions exactly on cell boundaries (multiples of range_m, including
+  // negative-axis corners) and receivers exactly at range_m: the <= range
+  // comparison and floor() cell mapping must agree with the brute scan.
+  MediumConfig config;
+  config.range_m = 100.0;
+  config.max_jitter = SimDuration::from_us(50);
+  std::vector<Vec2> positions{
+      {0, 0},        // on the (0,0) cell corner
+      {100, 0},      // exactly range_m away: in range, on a cell border
+      {200, 0},      // exactly 2x range: out of range, on a cell border
+      {100, 100},    // cell corner, sqrt(2)*range away: out of range
+      {-100, 0},     // negative-axis cell border, exactly at range
+      {0, -100},     // negative-axis cell border, exactly at range
+      {50, -50},     // interior of a negative cell, in range
+      {99.999, 0},   // just inside
+      {100.001, 0},  // just outside
+  };
+  DualWorld world{std::make_unique<mobility::StaticMobility>(positions),
+                  config, 7};
+  world.run_random_script(/*seed=*/11, /*window_s=*/2.0);
+  world.expect_identical();
+
+  const std::vector<NodeId> expected{1, 4, 5, 6, 7};
+  EXPECT_EQ(world.grid->nodes_in_range(0), expected);
+  EXPECT_EQ(world.brute->nodes_in_range(0), expected);
+}
+
+TEST(SpatialIndexDirect, CandidatesAreSortedSupersetUnderMotion) {
+  // Exercise the index's own contract without a medium: candidates must be
+  // sorted, deduplicated, and contain every node truly within the radius,
+  // across query times spanning many drift-triggered rebuilds.
+  mobility::RandomWaypointConfig config;
+  config.width_m = 900.0;
+  config.height_m = 900.0;
+  config.speed_min_mps = 2.0;
+  config.speed_max_mps = 14.0;
+  config.pause = SimDuration::from_seconds(0.2);
+  mobility::RandomWaypoint model{config, 300, Rng{424242}};
+  SpatialIndex index{model, /*cell_size_m=*/100.0};
+
+  Rng rng{999};
+  for (int step = 0; step < 60; ++step) {
+    const SimTime now = SimTime::from_seconds(step * 0.5);
+    const Vec2 center{rng.uniform(0, config.width_m),
+                      rng.uniform(0, config.height_m)};
+    const auto& cand = index.candidates(center, 100.0, now);
+    for (std::size_t i = 1; i < cand.size(); ++i) {
+      EXPECT_LT(cand[i - 1], cand[i]);  // sorted and duplicate-free
+    }
+    for (NodeId node = 0; node < model.node_count(); ++node) {
+      if (distance(center, model.position(node, now)) <= 100.0) {
+        EXPECT_TRUE(std::binary_search(cand.begin(), cand.end(), node))
+            << "node " << node << " missing at t=" << step;
+      }
+    }
+  }
+  EXPECT_GT(index.rebuild_count(), 1u);
+}
+
+TEST(SpatialIndexDirect, TeleportsInvalidateTheGrid) {
+  // StaticMobility's max speed is zero, so without the revision counter the
+  // index would never rebuild and a teleported node would keep its old cell.
+  std::vector<Vec2> positions{{0, 0}, {1000, 1000}};
+  mobility::StaticMobility model{positions};
+  SpatialIndex index{model, 100.0};
+
+  const auto& before = index.candidates({0, 0}, 100.0, SimTime::zero());
+  EXPECT_EQ(before, (std::vector<NodeId>{0}));
+
+  model.move_node(1, {10, 10});
+  const auto& after =
+      index.candidates({0, 0}, 100.0, SimTime::from_seconds(1));
+  EXPECT_EQ(after, (std::vector<NodeId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace frugal::net
