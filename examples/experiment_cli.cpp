@@ -50,13 +50,25 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s --list\n"
+      "       %s --describe-json [--scenario NAME]\n"
       "       %s --scenario NAME [--jobs N] [--seeds N] [--seed-base N]\n"
       "          [--full] [--grid axis=v1,v2,...]...\n"
       "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
+      "          [--telemetry] [--profile] [--window S]\n"
+      "          [--timeseries FILE] [--perfetto FILE] [--manifest FILE]\n"
       "       %s --scenario NAME [sweep flags as above] --shard i/N\n"
       "       %s --merge FILE [--merge FILE]...\n"
       "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
       "\n"
+      "--describe-json prints the machine-readable scenario/axis/metric\n"
+      "listing (all scenarios, or just --scenario NAME).\n"
+      "--telemetry streams every run through the bounded-memory telemetry\n"
+      "hub — output stays byte-identical to the default path.\n"
+      "--timeseries / --perfetto write windowed time-series JSONL / a\n"
+      "Chrome trace for the run; both need a single-job sweep (one grid\n"
+      "point, one seed — use --grid and --seeds 1).\n"
+      "--profile prints per-subsystem self-profiling; --manifest writes a\n"
+      "run-manifest JSON (provenance + profile) after the sweep.\n"
       "--shard runs slice i of N of the job grid and prints the partial\n"
       "artifact (JSONL) to stdout — it takes no --format/--csv-dir;\n"
       "--merge recombines a complete shard set into output byte-identical\n"
@@ -64,7 +76,7 @@ namespace {
       "artifacts fix the grid, seeds and seed base).\n"
       "Defaults honour FRUGAL_JOBS, FRUGAL_SEEDS, FRUGAL_FULL and\n"
       "FRUGAL_CSV_DIR; flags win over the environment.\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -87,6 +99,19 @@ int parse_positive_int(const char* text, const char* flag,
     usage(argv0);
   }
   return static_cast<int>(value);
+}
+
+/// Strict positive-double flag parsing (--window).
+double parse_positive_double(const char* text, const char* flag,
+                             const char* argv0) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value > 0) || value > 1e9) {
+    std::fprintf(stderr, "%s wants a positive number, got \"%s\"\n", flag,
+                 text);
+    usage(argv0);
+  }
+  return value;
 }
 
 /// Parses "axis=v1,v2,..." into an override Axis.
@@ -117,6 +142,18 @@ Axis parse_grid_override(const char* text, const char* argv0) {
   return axis;
 }
 
+/// JSON string literal (quotes included) for manifest fields the user
+/// controls, e.g. artifact paths.
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string read_file_or_die(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) {
@@ -137,9 +174,11 @@ int main(int argc, char** argv) {
   Format format = Format::kTable;
   std::string csv_dir = env_string("FRUGAL_CSV_DIR").value_or("");
   bool list_requested = false;
+  bool describe_json_requested = false;
   bool shard_requested = false;
   bool sweep_flags_used = false;   // --merge takes no sweep-shaping flags
   bool output_flags_used = false;  // --shard takes no output-shaping flags
+  std::string manifest_path;
   std::vector<std::string> merge_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -152,6 +191,26 @@ int main(int argc, char** argv) {
     };
     if (is("--list")) {
       list_requested = true;
+    } else if (is("--describe-json")) {
+      describe_json_requested = true;
+    } else if (is("--telemetry")) {
+      options.telemetry = true;
+      sweep_flags_used = true;
+    } else if (is("--profile")) {
+      options.profile = true;
+      sweep_flags_used = true;
+    } else if (is("--window")) {
+      options.window_s = parse_positive_double(value(), "--window", argv[0]);
+      sweep_flags_used = true;
+    } else if (is("--timeseries")) {
+      options.timeseries_path = value();
+      sweep_flags_used = true;
+    } else if (is("--perfetto")) {
+      options.perfetto_path = value();
+      sweep_flags_used = true;
+    } else if (is("--manifest")) {
+      manifest_path = value();
+      output_flags_used = true;
     } else if (is("--scenario")) {
       scenario_name = value();
     } else if (is("--jobs")) {
@@ -203,6 +262,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (describe_json_requested) {
+    // Pure metadata: combining it with run-shaping flags would silently
+    // ignore them, so reject everything but an optional --scenario filter.
+    if (shard_requested || !merge_paths.empty() || sweep_flags_used ||
+        output_flags_used) {
+      std::fprintf(stderr, "--describe-json takes only --scenario NAME\n");
+      usage(argv[0]);
+    }
+    if (scenario_name.empty()) {
+      std::fputs(scenarios_json().c_str(), stdout);
+      return 0;
+    }
+    const ScenarioSpec* spec = find_scenario(scenario_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario \"%s\" (see --list)\n",
+                   scenario_name.c_str());
+      return 2;
+    }
+    std::printf("%s\n", describe_json(*spec).c_str());
+    return 0;
+  }
+
   if (!merge_paths.empty()) {
     // The artifacts fix the sweep (grid, seeds, seed base); flags that try
     // to reshape it would be silently ignored, so reject them.
@@ -246,6 +327,15 @@ int main(int argc, char** argv) {
   }
 
   if (shard_requested) {
+    // Time-series / Perfetto artifacts describe one simulation; a shard
+    // slice is not one simulation. (--telemetry is fine: shards stream
+    // through the hub and the merge stays byte-identical.)
+    if (!options.timeseries_path.empty() || !options.perfetto_path.empty()) {
+      std::fprintf(stderr,
+                   "--timeseries/--perfetto need a single-job run, not a "
+                   "--shard slice\n");
+      usage(argv[0]);
+    }
     // The partial artifact is the whole output — machine-to-machine
     // interchange, so no table chrome on stdout, and flags that shape
     // normal output would be silently ignored: reject them.
@@ -264,11 +354,45 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!options.timeseries_path.empty() || !options.perfetto_path.empty()) {
+    // Friendlier than the runner's abort: these artifacts describe one
+    // simulation, so the resolved sweep must be exactly one job.
+    const SweepPlan plan = plan_sweep(*spec, options);
+    if (plan.job_count != 1) {
+      std::fprintf(stderr,
+                   "--timeseries/--perfetto describe one simulation but this "
+                   "sweep has %zu jobs; narrow it with --grid and --seeds 1\n",
+                   plan.job_count);
+      return 2;
+    }
+  }
+
   if (format == Format::kTable) {
     std::printf("# %s — %s\n", spec->name.c_str(), spec->description.c_str());
     std::printf("# %d worker(s)\n", resolve_jobs(options.jobs));
   }
   const SweepResult sweep = run_sweep(*spec, options);
   emit(sweep, format, csv_dir);
+
+  if (!manifest_path.empty()) {
+    std::ofstream out{manifest_path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "cannot write manifest \"%s\"\n",
+                   manifest_path.c_str());
+      return 2;
+    }
+    char wall[64];
+    std::snprintf(wall, sizeof wall, "%.3f", sweep.wall_seconds);
+    out << "{\"scenario\":" << json_string(spec->name)
+        << ",\"seeds\":" << sweep.seeds << ",\"jobs\":" << sweep.jobs
+        << ",\"runs\":" << sweep.job_count << ",\"wall_seconds\":" << wall
+        << ",\"telemetry\":" << (options.telemetry ? "true" : "false")
+        << ",\"timeseries\":" << json_string(options.timeseries_path)
+        << ",\"perfetto\":" << json_string(options.perfetto_path)
+        << ",\"profile\":" << profile_json(sweep.profile) << "}\n";
+    if (format == Format::kTable) {
+      std::printf("# manifest written to %s\n", manifest_path.c_str());
+    }
+  }
   return 0;
 }

@@ -7,6 +7,14 @@ mean/ci95/min/max) and renders one chart per (scenario, metric): the numeric
 axis with the most distinct values becomes the x axis, every combination of
 the remaining axes becomes one series.
 
+Also understands the telemetry time-series artifact (`experiment_cli
+--timeseries out.jsonl`): a header line `{"artifact":"timeseries",...}`
+followed by one row per tumbling window. Those render with simulated time on
+the x axis, one chart per series field, null cells skipped. A file may hold
+sweep rows OR a time-series run, never both — mixed files are a hard error
+(a time-series row has no scenario/axes context, so silently merging the two
+would plot garbage). One invocation may freely mix *files* of both kinds.
+
 Rendering prefers matplotlib (PNG) when it is importable; otherwise a
 dependency-free built-in SVG writer is used, so the script runs anywhere the
 repo builds — CI uploads the result either way.
@@ -15,8 +23,9 @@ Usage:
     plot_figures.py PATH [PATH...] [--out-dir DIR] [--metrics a,b,...]
 
 PATH is a .jsonl file or a directory scanned for *.jsonl. --metrics
-restricts rendering to the named metrics (comma-separated, exact names),
-so multi-metric scenarios don't explode the figures artifact.
+restricts rendering to the named metrics (comma-separated, exact names;
+time-series fields count as metrics), so multi-metric scenarios don't
+explode the figures artifact.
 """
 
 from __future__ import annotations
@@ -42,13 +51,31 @@ PALETTE = [
 ]
 
 
+# Series fields of a time-series row, in artifact order.
+TIMESERIES_FIELDS = [
+    "reliability", "latency_p50_s", "latency_p95_s", "latency_p99_s",
+    "deliveries_per_s", "frames_per_s", "gc_per_s", "live_nodes",
+    "joules_per_s",
+]
+
+
 def load_rows(paths):
-    """Parses every JSONL line of the given files/directories."""
-    rows = []
+    """Parses every JSONL line of the given files/directories.
+
+    -> (sweep_rows, timeseries_runs) where timeseries_runs is a list of
+    (file stem, header dict, [row dict, ...]). Each *file* must be entirely
+    one artifact kind; mixing sweep rows and time-series rows in one file is
+    a hard error.
+    """
+    sweep_rows = []
+    timeseries_runs = []
     for raw in paths:
         path = Path(raw)
         files = sorted(path.glob("*.jsonl")) if path.is_dir() else [path]
         for file in files:
+            file_kind = None  # "sweep" | "timeseries", fixed by first row
+            header = None
+            ts_rows = []
             for line_no, line in enumerate(
                     file.read_text().splitlines(), start=1):
                 line = line.strip()
@@ -58,10 +85,34 @@ def load_rows(paths):
                     row = json.loads(line)
                 except json.JSONDecodeError as error:
                     sys.exit(f"{file}:{line_no}: bad JSON: {error}")
-                if "scenario" not in row or "metrics" not in row:
-                    sys.exit(f"{file}:{line_no}: not a sink row")
-                rows.append(row)
-    return rows
+                is_sweep = "scenario" in row and "metrics" in row
+                is_ts = row.get("artifact") == "timeseries" or "t_s" in row
+                if (is_sweep and file_kind == "timeseries") or (
+                        is_ts and file_kind == "sweep"):
+                    sys.exit(
+                        f"{file}:{line_no}: mixed artifacts — this file "
+                        f"holds both sweep rows and time-series rows; write "
+                        f"them to separate files")
+                if is_sweep:
+                    file_kind = "sweep"
+                    sweep_rows.append(row)
+                elif row.get("artifact") == "timeseries":
+                    if file_kind == "timeseries":
+                        sys.exit(f"{file}:{line_no}: second time-series "
+                                 f"header in one file")
+                    file_kind = "timeseries"
+                    header = row
+                elif "t_s" in row:
+                    if file_kind != "timeseries":
+                        sys.exit(f"{file}:{line_no}: time-series row "
+                                 f"before its header line")
+                    ts_rows.append(row)
+                else:
+                    sys.exit(f"{file}:{line_no}: neither a sink row nor a "
+                             f"time-series row")
+            if file_kind == "timeseries":
+                timeseries_runs.append((file.stem, header, ts_rows))
+    return sweep_rows, timeseries_runs
 
 
 def pick_x_axis(rows):
@@ -210,11 +261,13 @@ def main():
     args = parser.parse_args()
     wanted = {name for name in args.metrics.split(",") if name}
 
-    rows = load_rows(args.paths)
-    if not rows:
+    rows, timeseries_runs = load_rows(args.paths)
+    if not rows and not timeseries_runs:
         sys.exit("no JSONL rows found")
     if wanted:
         known = {name for row in rows for name in row["metrics"]}
+        if timeseries_runs:
+            known |= set(TIMESERIES_FIELDS)
         unknown = sorted(wanted - known)
         if unknown:
             sys.exit(f"--metrics names no metric in the input: {unknown} "
@@ -227,6 +280,21 @@ def main():
         by_scenario.setdefault(row["scenario"], []).append(row)
 
     written = []
+    for stem, header, ts_rows in timeseries_runs:
+        window_s = header.get("window_s", "?")
+        for field in TIMESERIES_FIELDS:
+            if wanted and field not in wanted:
+                continue
+            points = [(row["t_s"], row[field], 0.0) for row in ts_rows
+                      if isinstance(row.get(field), (int, float))]
+            if not points:
+                continue  # e.g. joules_per_s on a run without energy
+            render = render_matplotlib if HAVE_MATPLOTLIB else render_svg
+            written.append(render(
+                f"{stem}: {field} ({window_s} s windows)",
+                "simulated time (s)", field, {stem: points},
+                out_dir / f"{stem}__{field}"))
+
     for scenario, scenario_rows in sorted(by_scenario.items()):
         x_axis = pick_x_axis(scenario_rows)
         metrics = sorted({name for row in scenario_rows

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <tuple>
 
 #include "mobility/static_mobility.hpp"
+#include "sim/profiler.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "util/expect.hpp"
 
@@ -103,6 +106,11 @@ struct MetricsSnapshot {
 }  // namespace
 
 double RunResult::reliability_within(SimDuration validity) const {
+  // Bounded-memory runs have no per-event records; the streamed aggregates
+  // answer (only) the probe validities registered before the run.
+  if (events.empty() && aggregates.has_value()) {
+    return aggregates->reliability_within(validity);
+  }
   if (events.empty()) return 0.0;
   double total = 0;
   std::size_t counted_events = 0;
@@ -130,6 +138,9 @@ double RunResult::reliability_within(SimDuration validity) const {
 }
 
 double RunResult::reliability() const {
+  if (events.empty() && aggregates.has_value()) {
+    return aggregates->reliability();
+  }
   return events.empty() ? 0.0 : reliability_within(events.front().validity);
 }
 
@@ -181,6 +192,9 @@ double RunResult::mean_joules_per_node() const {
 }
 
 std::size_t RunResult::delivered_count() const {
+  if (events.empty() && aggregates.has_value()) {
+    return aggregates->delivered_count();
+  }
   std::size_t count = 0;
   for (const NodeOutcome& node : nodes) {
     for (const auto& at : node.delivered_at) {
@@ -230,11 +244,24 @@ std::vector<double> RunResult::delivery_latencies_s() const {
 }
 
 double RunResult::mean_delivery_latency_s() const {
-  const auto latencies = delivery_latencies_s();
-  if (latencies.empty()) return 0.0;
-  double total = 0;
-  for (double latency : latencies) total += latency;
-  return total / static_cast<double>(latencies.size());
+  if (events.empty() && aggregates.has_value()) {
+    return aggregates->mean_delivery_latency_s();
+  }
+  // Exact integer-microsecond sum: addition order cannot matter, which is
+  // what makes the streamed fold (delivery order) bit-equal to this
+  // node-major walk.
+  std::int64_t total_us = 0;
+  std::uint64_t count = 0;
+  for (const NodeOutcome& node : nodes) {
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (node.delivered_at[e].has_value()) {
+        total_us += (*node.delivered_at[e] - events[e].published_at).us();
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(total_us) / static_cast<double>(count) / 1e6;
 }
 
 RunResult run_experiment(const ExperimentConfig& config) {
@@ -244,7 +271,18 @@ RunResult run_experiment(const ExperimentConfig& config) {
   FRUGAL_EXPECT(config.event_count > 0);
   FRUGAL_EXPECT(config.event_validity.us() > 0);
 
+  telemetry::RunTelemetry* const telemetry = config.telemetry;
+  const bool bounded = telemetry != nullptr && telemetry->bounded();
+  // A bounded hub never materializes the per-event records the trace
+  // assembly reads from; the combination cannot work.
+  FRUGAL_EXPECT(!(bounded && config.trace != nullptr));
+
+  // The outermost profile scope: everything not claimed by an inner scope
+  // (scheduler tasks, medium work, telemetry folds, collection) lands here.
+  sim::ProfileScope run_profile{config.profiler, "experiment.orchestrate"};
+
   sim::Simulator simulator{config.seed};
+  simulator.scheduler().set_profiler(config.profiler);
   auto mobility = build_mobility(config.mobility, config.node_count,
                                  simulator.stream("mobility"));
   net::Medium medium{simulator.scheduler(), *mobility, config.medium,
@@ -315,6 +353,19 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  // Telemetry observes the same radio-activity stream the energy model
+  // does; with both attached the tee forwards energy-first so accounting
+  // settles before observation reads it.
+  telemetry::RadioActivityTee radio_tee{nullptr, nullptr};
+  if (telemetry != nullptr) {
+    if (energy_model != nullptr) {
+      radio_tee = telemetry::RadioActivityTee{energy_model.get(), telemetry};
+      medium.set_listener(&radio_tee);
+    } else {
+      medium.set_listener(telemetry);
+    }
+  }
+
   // Draw subscribers: a seeded shuffle, first k nodes subscribe.
   Rng workload = simulator.stream("workload");
   std::vector<NodeId> order(config.node_count);
@@ -336,8 +387,10 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // after the subscriber shuffle on the same stream, so flat runs consume
   // exactly the pre-hierarchy random sequence (golden traces unchanged).
   std::vector<topics::SubscriptionSet> node_subscriptions(config.node_count);
-  std::vector<topics::Topic> event_topics(
-      config.event_count, topics::Topic::parse(".news.local"));
+  // Events reference topics by pool index so telemetry can cache per-topic
+  // eligible counts; flat runs use a one-entry pool.
+  std::vector<topics::Topic> topic_pool{topics::Topic::parse(".news.local")};
+  std::vector<std::uint32_t> event_topic_index(config.event_count, 0);
   if (!config.topic_workload.has_value()) {
     const topics::Topic subscription = topics::Topic::parse(".news");
     for (NodeId id = 0; id < config.node_count; ++id) {
@@ -378,8 +431,10 @@ RunResult run_experiment(const ExperimentConfig& config) {
       }
     }
     for (std::uint32_t i = 0; i < config.event_count; ++i) {
-      event_topics[i] = leaves[workload.weighted_index(popularity)];
+      event_topic_index[i] =
+          static_cast<std::uint32_t>(workload.weighted_index(popularity));
     }
+    topic_pool = leaves;
   }
 
   // Build protocol nodes.
@@ -403,6 +458,22 @@ RunResult run_experiment(const ExperimentConfig& config) {
     for (const topics::Topic& topic : node_subscriptions[id].topics()) {
       nodes.back()->subscribe(topic);
     }
+    if (telemetry != nullptr) {
+      ProtocolNode* node = nodes.back().get();
+      node->set_delivery_callback(
+          [telemetry, id](const Event& event, SimTime at) {
+            telemetry->on_delivery(id, event, at);
+          });
+      node->set_gc_callback(
+          [telemetry, id](SimTime at) { telemetry->on_gc_eviction(id, at); });
+      if (bounded) {
+        // Without per-event records nobody reads delivery times post-run;
+        // let nodes drop records of long-expired events so the delivery
+        // maps stay bounded by the validity window. The slack dwarfs any
+        // airtime + defer chain, keeping the duplicate checks exact.
+        node->enable_delivery_history_pruning(SimDuration::from_seconds(30.0));
+      }
+    }
   }
 
   // The publisher set: the configured (or default-drawn) first publisher,
@@ -422,27 +493,48 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   // Schedule the workload: event i at warmup + i * spacing, published by
   // publishers[i % k]. Each node numbers its own publications, so event i
-  // carries the publishing node's local sequence number.
-  std::vector<PublishedEventRecord> records(config.event_count);
+  // carries the publishing node's local sequence number. The publications
+  // form a chain (each schedules its successor) so a long workload holds
+  // O(1) pending tasks instead of O(event_count); reserving the whole
+  // sequence block up front keeps every task's (when, seq) key — and thus
+  // the global pop order — identical to the old schedule-everything loop.
+  std::vector<PublishedEventRecord> records(bounded ? 0 : config.event_count);
   std::vector<std::uint32_t> next_seq_of(publishers.size(), 0);
-  for (std::uint32_t i = 0; i < config.event_count; ++i) {
+  const std::uint64_t seq_base =
+      simulator.scheduler().reserve_sequence_block(config.event_count);
+  std::function<void(std::uint32_t)> publish_event = [&](std::uint32_t i) {
+    if (i + 1 < config.event_count) {
+      const SimTime next_at =
+          SimTime::zero() + config.warmup +
+          config.publish_spacing * static_cast<std::int64_t>(i + 1);
+      simulator.scheduler().schedule_at_with_sequence(
+          next_at, seq_base + i + 1,
+          [&publish_event, i] { publish_event(i + 1); });
+    }
     const std::size_t slot = i % publishers.size();
     const NodeId publishing_node = publishers[slot];
     const std::uint32_t seq = next_seq_of[slot]++;
-    const SimTime at =
-        SimTime::zero() + config.warmup + config.publish_spacing * static_cast<std::int64_t>(i);
-    simulator.scheduler().schedule_at(at, [&, i, publishing_node, seq] {
-      Event event;
-      event.topic = event_topics[i];
-      event.validity = config.event_validity;
-      event.wire_bytes = config.event_bytes;
-      nodes[publishing_node]->publish(event);
-      // publish() assigned the id; record it for result extraction.
-      records[i] =
-          PublishedEventRecord{EventId{publishing_node, seq}, simulator.now(),
-                               config.event_validity, event_topics[i]};
-    });
-  }
+    Event event;
+    event.topic = topic_pool[event_topic_index[i]];
+    event.validity = config.event_validity;
+    event.wire_bytes = config.event_bytes;
+    if (telemetry != nullptr) {
+      // Before publish(): the node self-delivers synchronously, and the hub
+      // must know the event by then.
+      telemetry->on_publish(i, EventId{publishing_node, seq}, simulator.now(),
+                            event_topic_index[i]);
+    }
+    nodes[publishing_node]->publish(event);
+    // publish() assigned the id; record it for result extraction.
+    if (!bounded) {
+      records[i] = PublishedEventRecord{EventId{publishing_node, seq},
+                                        simulator.now(), config.event_validity,
+                                        topic_pool[event_topic_index[i]]};
+    }
+  };
+  simulator.scheduler().schedule_at_with_sequence(
+      SimTime::zero() + config.warmup, seq_base,
+      [&publish_event] { publish_event(0); });
 
   // Snapshot traffic and frugality counters when measurement starts (the
   // paper's numbers cover the dissemination window, not the warm-up).
@@ -464,6 +556,44 @@ RunResult run_experiment(const ExperimentConfig& config) {
       SimTime::zero() + config.warmup +
       config.publish_spacing * static_cast<std::int64_t>(config.event_count - 1);
   const SimTime run_end = last_publish + config.event_validity;
+
+  if (telemetry != nullptr) {
+    telemetry::RunBinding binding;
+    binding.node_count = config.node_count;
+    binding.event_count = config.event_count;
+    binding.topic_count = topic_pool.size();
+    binding.publishers = publishers;
+    binding.run_validity = config.event_validity;
+    binding.run_end = run_end;
+    // These borrow the experiment-local tables; end_run() runs before the
+    // collection phase moves them into the result.
+    binding.node_eligible = [&subscribed, &node_subscriptions](
+                                NodeId id, const Event& event) {
+      return subscribed[id] && node_subscriptions[id].covers(event.topic);
+    };
+    binding.eligible_count = [&subscribed, &node_subscriptions,
+                              &topic_pool](std::uint32_t topic_index) {
+      std::uint32_t count = 0;
+      for (NodeId id = 0; id < node_subscriptions.size(); ++id) {
+        if (subscribed[id] &&
+            node_subscriptions[id].covers(topic_pool[topic_index])) {
+          ++count;
+        }
+      }
+      return count;
+    };
+    if (energy_model != nullptr) {
+      binding.total_joules_at = [model = energy_model.get()](SimTime t) {
+        double total = 0.0;
+        for (NodeId id = 0; id < model->node_count(); ++id) {
+          total += model->spent_j_at(id, t);
+        }
+        return total;
+      };
+    }
+    binding.profiler = config.profiler;
+    telemetry->begin_run(std::move(binding));
+  }
 
   // Churn: pre-generate each node's crash/recovery timeline (Poisson crash
   // arrivals, uniform downtime) and schedule radio-down/up flips.
@@ -515,8 +645,12 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   simulator.run_until(run_end);
   if (energy_model != nullptr) energy_model->advance_all(run_end);
+  // Drain the hub before collection: its binding borrows tables the
+  // collection phase moves out.
+  if (telemetry != nullptr) telemetry->end_run(run_end);
 
   // Collect results.
+  sim::ProfileScope collect_profile{config.profiler, "experiment.collect"};
   RunResult result;
   result.events = std::move(records);
   result.publisher = publisher;
@@ -547,9 +681,10 @@ RunResult run_experiment(const ExperimentConfig& config) {
     outcome.delivered_at.resize(result.events.size());
     for (std::size_t e = 0; e < result.events.size(); ++e) {
       const auto it = m.deliveries.find(result.events[e].id);
-      if (it != m.deliveries.end()) outcome.delivered_at[e] = it->second;
+      if (it != m.deliveries.end()) outcome.delivered_at[e] = it->second.at;
     }
   }
+  if (telemetry != nullptr) result.aggregates = telemetry->aggregates();
 
   if (config.trace != nullptr) {
     // Assemble the run's records in (time, kind, node) order. Deliveries are

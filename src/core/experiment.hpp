@@ -26,9 +26,18 @@
 #include "mobility/converge.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "net/medium.hpp"
+#include "telemetry/aggregates.hpp"
 
 namespace frugal::trace {
 class TraceRecorder;
+}
+
+namespace frugal::telemetry {
+class RunTelemetry;
+}
+
+namespace frugal::sim {
+class Profiler;
 }
 
 namespace frugal::core {
@@ -138,6 +147,16 @@ struct ExperimentConfig {
   /// in time order after the run completes. Not owned; must outlive the
   /// run_experiment call. The golden-trace regression tests diff this.
   trace::TraceRecorder* trace = nullptr;
+  /// Optional streaming telemetry hub (telemetry/telemetry.hpp): consumes
+  /// the publish/delivery/frame/energy/GC streams live and produces
+  /// RunResult-equivalent aggregates plus time-series / Perfetto artifacts.
+  /// A bounded-memory hub elides the per-event records, so it is mutually
+  /// exclusive with `trace`. Not owned; must outlive the run.
+  telemetry::RunTelemetry* telemetry = nullptr;
+  /// Optional simulator self-profiler: exclusive per-subsystem wall-clock
+  /// and call counts (scheduler tasks, medium, telemetry, experiment
+  /// phases). Not owned; attaching it never affects simulated behaviour.
+  sim::Profiler* profiler = nullptr;
 };
 
 struct PublishedEventRecord {
@@ -194,6 +213,11 @@ struct RunResult {
   /// End of simulated time (last publish + validity); the horizon the
   /// energy lifetime metrics are capped at.
   SimTime run_end;
+  /// Streamed aggregates when the run carried a telemetry hub. Bounded-
+  /// memory runs leave `events` and every `delivered_at` empty and answer
+  /// the delivery metrics from here instead; materialized runs keep both so
+  /// tests can assert the streamed math is bit-equal to the legacy fold.
+  std::optional<telemetry::RunAggregates> aggregates;
 
   /// Fraction of *eligible* subscribers (those whose subscriptions cover
   /// the event's topic) that received each event within `validity` of its

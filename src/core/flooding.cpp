@@ -57,6 +57,7 @@ void FloodingNode::tick() {
   const SimTime now = scheduler_.now();
   std::erase_if(store_,
                 [&](const auto& kv) { return !kv.second.valid_at(now); });
+  if (prune_slack_.has_value()) metrics_.prune_deliveries(now, *prune_slack_);
   if (config_.variant == FloodingVariant::kNeighborInterest) {
     std::erase_if(neighbors_, [&](const auto& kv) {
       return kv.second.heard_at + config_.neighbor_ttl < now;
@@ -154,7 +155,8 @@ void FloodingNode::on_event_bundle(const EventBundle& bundle) {
 
 void FloodingNode::deliver(const Event& event) {
   const SimTime now = scheduler_.now();
-  const auto [it, fresh] = metrics_.deliveries.emplace(event.id, now);
+  const auto [it, fresh] =
+      metrics_.deliveries.emplace(event.id, DeliveryRecord{now, event.expiry()});
   if (!fresh) return;
   if (delivery_callback_) delivery_callback_(event, now);
 }

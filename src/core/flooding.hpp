@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "core/event_table.hpp"
@@ -60,6 +61,9 @@ class FloodingNode final : public ProtocolNode {
   void set_delivery_callback(DeliveryCallback callback) override {
     delivery_callback_ = std::move(callback);
   }
+  void enable_delivery_history_pruning(SimDuration slack) override {
+    prune_slack_ = slack;
+  }
 
   [[nodiscard]] const topics::SubscriptionSet& subscriptions() const {
     return subscriptions_;
@@ -96,6 +100,7 @@ class FloodingNode final : public ProtocolNode {
 
   DeliveryMetrics metrics_;
   DeliveryCallback delivery_callback_;
+  std::optional<SimDuration> prune_slack_;
   std::uint32_t next_seq_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "sim/profiler.hpp"
 #include "util/expect.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -117,6 +118,7 @@ void FrugalNode::send_heartbeat() {
 }
 
 void FrugalNode::on_heartbeat(const Heartbeat& heartbeat) {
+  sim::ProfileScope profile{scheduler_.profiler(), "frugal.heartbeat"};
   const SimTime now = scheduler_.now();
 
   // Admission test: keep only neighbors we share interests with. Subscribers
@@ -140,7 +142,8 @@ void FrugalNode::on_heartbeat(const Heartbeat& heartbeat) {
         stashed != advert_stash_.end()) {
       if (stashed->second.heard_at + hb_delay_ * 2 >= now) {
         for (EventId event_id : stashed->second.ids) {
-          neighborhood_.record_event(heartbeat.sender, event_id);
+          neighborhood_.record_event(heartbeat.sender, event_id,
+                                     known_expiry(event_id));
         }
       }
       advert_stash_.erase(stashed);
@@ -169,6 +172,15 @@ void FrugalNode::on_heartbeat(const Heartbeat& heartbeat) {
   compute_ngc_delay();
 }
 
+std::optional<SimTime> FrugalNode::known_expiry(EventId id) const {
+  // Advertised id lists carry no expiry on the wire; when we hold the event
+  // ourselves the table knows it, otherwise the recording stays unbounded
+  // (SimTime::max()) and is retired only with the whole neighbor row.
+  const StoredEvent* stored = events_.find(id);
+  if (stored == nullptr) return std::nullopt;
+  return stored->event.expiry();
+}
+
 void FrugalNode::advertise_events_to(
     const topics::SubscriptionSet& interests) {
   EventIdList list;
@@ -180,6 +192,7 @@ void FrugalNode::advertise_events_to(
 }
 
 void FrugalNode::on_event_ids(const EventIdList& list) {
+  sim::ProfileScope profile{scheduler_.profiler(), "frugal.event_ids"};
   const SimTime now = scheduler_.now();
   if (!neighborhood_.contains(list.sender)) {
     // Not admitted (yet): the admitting heartbeat may simply not have
@@ -191,13 +204,16 @@ void FrugalNode::on_event_ids(const EventIdList& list) {
     return;
   }
   neighborhood_.touch(list.sender, now);
-  for (EventId id : list.ids) neighborhood_.record_event(list.sender, id);
+  for (EventId id : list.ids) {
+    neighborhood_.record_event(list.sender, id, known_expiry(id));
+  }
   retrieve_events_to_send();
 }
 
 // ---------------------------------------------------------------- Figure 7
 
 void FrugalNode::retrieve_events_to_send() {
+  sim::ProfileScope profile{scheduler_.profiler(), "frugal.retrieve"};
   const SimTime now = scheduler_.now();
   events_to_send_.clear();
   std::unordered_set<EventId, EventIdHash> selected;
@@ -263,6 +279,7 @@ SimDuration FrugalNode::compute_bo_delay(std::size_t events_to_send) const {
 // ---------------------------------------------------------------- Figure 9
 
 void FrugalNode::on_backoff_expired() {
+  sim::ProfileScope profile{scheduler_.profiler(), "frugal.backoff_send"};
   bo_delay_ = std::nullopt;
   backoff_.cancel();
 
@@ -293,7 +310,7 @@ void FrugalNode::send_bundle(std::vector<Event> events) {
   metrics_.events_sent += bundle.events.size();
   for (const Event& event : bundle.events) {
     for (NodeId neighbor : bundle.presumed_receivers) {
-      neighborhood_.record_event(neighbor, event.id);
+      neighborhood_.record_event(neighbor, event.id, event.expiry());
     }
     events_.increment_forward_count(event.id);
   }
@@ -321,7 +338,10 @@ void FrugalNode::publish(Event event) {
     // yet; re-apply after insertion below.
   }
 
-  if (events_.insert(event, now).has_value()) ++metrics_.gc_evictions;
+  if (events_.insert(event, now).has_value()) {
+    ++metrics_.gc_evictions;
+    if (gc_callback_) gc_callback_(now);
+  }
   if (interested) events_.increment_forward_count(event.id);
   deliver(event);
 
@@ -338,14 +358,15 @@ void FrugalNode::publish(Event event) {
 }
 
 void FrugalNode::on_event_bundle(const EventBundle& bundle) {
+  sim::ProfileScope profile{scheduler_.profiler(), "frugal.bundle"};
   const SimTime now = scheduler_.now();
   bool interested = false;
 
   for (const Event& event : bundle.events) {
     // The sender and every presumed receiver now (presumably) hold event.
-    neighborhood_.record_event(bundle.sender, event.id);
+    neighborhood_.record_event(bundle.sender, event.id, event.expiry());
     for (NodeId presumed : bundle.presumed_receivers) {
-      neighborhood_.record_event(presumed, event.id);
+      neighborhood_.record_event(presumed, event.id, event.expiry());
     }
 
     if (!subscriptions_.covers(event.topic)) {
@@ -357,7 +378,10 @@ void FrugalNode::on_event_bundle(const EventBundle& bundle) {
       continue;
     }
     const auto victim = events_.insert(event, now);
-    if (victim.has_value()) ++metrics_.gc_evictions;
+    if (victim.has_value()) {
+      ++metrics_.gc_evictions;
+      if (gc_callback_) gc_callback_(now);
+    }
     if (victim.has_value() && *victim == event.id) {
       // The full table rejected the newcomer (it is the worst GC candidate,
       // e.g. expired on arrival). It cannot be relayed from here, so leave
@@ -382,7 +406,8 @@ void FrugalNode::deliver(const Event& event) {
   // An event can be re-stored after its table entry was collected while the
   // copy kept circulating; the application already saw it, so count it as a
   // duplicate and keep the first delivery time.
-  const auto [it, fresh] = metrics_.deliveries.emplace(event.id, now);
+  const auto [it, fresh] =
+      metrics_.deliveries.emplace(event.id, DeliveryRecord{now, event.expiry()});
   if (!fresh) {
     metrics_.duplicates += 1;
     return;
@@ -393,7 +418,10 @@ void FrugalNode::deliver(const Event& event) {
 // --------------------------------------------------------------- Figure 10
 
 void FrugalNode::run_neighborhood_gc() {
-  neighborhood_.collect(scheduler_.now(), ngc_delay_);
+  sim::ProfileScope profile{scheduler_.profiler(), "frugal.ngc"};
+  const SimTime now = scheduler_.now();
+  neighborhood_.collect(now, ngc_delay_);
+  if (prune_slack_.has_value()) metrics_.prune_deliveries(now, *prune_slack_);
 }
 
 // ----------------------------------------------------------------- plumbing

@@ -83,6 +83,12 @@ class FrugalNode final : public ProtocolNode {
   void set_delivery_callback(DeliveryCallback callback) override {
     delivery_callback_ = std::move(callback);
   }
+  void set_gc_callback(std::function<void(SimTime)> callback) override {
+    gc_callback_ = std::move(callback);
+  }
+  void enable_delivery_history_pruning(SimDuration slack) override {
+    prune_slack_ = slack;
+  }
 
   // -- Introspection (tests, examples) --------------------------------------
   [[nodiscard]] const topics::SubscriptionSet& subscriptions() const {
@@ -111,6 +117,8 @@ class FrugalNode final : public ProtocolNode {
   // Figure 6 helpers.
   void send_heartbeat();
   void advertise_events_to(const topics::SubscriptionSet& interests);
+  /// Expiry of an advertised id when our own table holds the event.
+  [[nodiscard]] std::optional<SimTime> known_expiry(EventId id) const;
 
   // Figure 7: collects events some neighbor needs; arms the back-off.
   void retrieve_events_to_send();
@@ -164,6 +172,8 @@ class FrugalNode final : public ProtocolNode {
 
   DeliveryMetrics metrics_;
   DeliveryCallback delivery_callback_;
+  std::function<void(SimTime)> gc_callback_;
+  std::optional<SimDuration> prune_slack_;
   std::uint32_t next_seq_ = 0;
 
   friend class FrugalNodeTestPeer;

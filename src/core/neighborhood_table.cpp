@@ -24,10 +24,15 @@ bool NeighborhoodTable::upsert(NodeId id,
   return true;
 }
 
-void NeighborhoodTable::record_event(NodeId id, EventId event) {
+void NeighborhoodTable::record_event(NodeId id, EventId event,
+                                     std::optional<SimTime> expiry) {
   const auto it = entries_.find(id);
   if (it == entries_.end()) return;
-  it->second.known_events.insert(event);
+  const SimTime bound = expiry.value_or(SimTime::max());
+  const auto [slot, fresh] = it->second.known_events.emplace(event, bound);
+  // An exact expiry replaces an unknown (max) one; an event's expiry is a
+  // fact of the event, so two exact recordings always agree.
+  if (!fresh && bound < slot->second) slot->second = bound;
 }
 
 void NeighborhoodTable::touch(NodeId id, SimTime now) {
@@ -46,9 +51,16 @@ const NeighborEntry* NeighborhoodTable::find(NodeId id) const {
 }
 
 std::size_t NeighborhoodTable::collect(SimTime now, SimDuration max_age) {
-  return std::erase_if(entries_, [&](const auto& kv) {
+  const std::size_t removed = std::erase_if(entries_, [&](const auto& kv) {
     return kv.second.store_time + max_age < now;
   });
+  // Known-event ids are consulted only for events still valid (expiry > now);
+  // once the recorded expiry passes, the entry is dead weight.
+  for (auto& [id, entry] : entries_) {
+    std::erase_if(entry.known_events,
+                  [&](const auto& kv) { return kv.second <= now; });
+  }
+  return removed;
 }
 
 std::optional<double> NeighborhoodTable::average_speed() const {

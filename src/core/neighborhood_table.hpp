@@ -21,7 +21,14 @@ namespace frugal::core {
 struct NeighborEntry {
   NodeId id = kInvalidNode;
   topics::SubscriptionSet subscriptions;
-  std::unordered_set<EventId, EventIdHash> known_events;
+  /// Events this neighbor presumably received, mapped to the expiry of the
+  /// event when the recorder knew it (SimTime::max() when it did not, e.g.
+  /// an advertised id for an event we never held). The map is consulted only
+  /// for ids of *currently valid* events, so entries whose expiry has passed
+  /// are dropped by collect() — without that pruning a long-lived neighbor
+  /// row grows with every event ever seen, turning a bounded protocol state
+  /// into O(run length) memory and cache-hostile lookups.
+  std::unordered_map<EventId, SimTime, EventIdHash> known_events;
   std::optional<double> speed_mps;
   SimTime store_time;
 };
@@ -46,8 +53,12 @@ class NeighborhoodTable {
               std::optional<double> speed_mps, SimTime now);
 
   /// Marks `event` as (presumably) received by neighbor `id`
-  /// (UPDATENEIGHBOREVENTINFO). No-op for unknown neighbors.
-  void record_event(NodeId id, EventId event);
+  /// (UPDATENEIGHBOREVENTINFO). No-op for unknown neighbors. Pass the
+  /// event's expiry when known so collect() can retire the entry once the
+  /// event can no longer be disseminated; an exact expiry upgrades an
+  /// earlier unknown one, never the reverse.
+  void record_event(NodeId id, EventId event,
+                    std::optional<SimTime> expiry = std::nullopt);
 
   /// Refreshes the store time of a neighbor without touching its data.
   void touch(NodeId id, SimTime now);
@@ -57,7 +68,9 @@ class NeighborhoodTable {
   [[nodiscard]] const NeighborEntry* find(NodeId id) const;
 
   /// Removes every entry whose store time is older than now - max_age
-  /// (the neighborhoodGC task). Returns the number of entries removed.
+  /// (the neighborhoodGC task), and prunes known-event ids whose recorded
+  /// expiry has passed (they can never be consulted again). Returns the
+  /// number of neighbor entries removed.
   std::size_t collect(SimTime now, SimDuration max_age);
 
   void remove(NodeId id) { entries_.erase(id); }

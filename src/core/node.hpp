@@ -15,11 +15,18 @@
 
 namespace frugal::core {
 
+/// One application-level delivery, with the event's expiry retained so
+/// bounded-memory runs can prune records of long-expired events.
+struct DeliveryRecord {
+  SimTime at;       ///< first application-level delivery time
+  SimTime expires;  ///< the event's expiry (published_at + validity)
+};
+
 /// Per-process delivery accounting — the evaluation's four frugality metrics
 /// (events sent, duplicates, parasites) plus delivery times for reliability.
 struct DeliveryMetrics {
   /// Unique events delivered to the application, with delivery time.
-  std::unordered_map<EventId, SimTime, EventIdHash> deliveries;
+  std::unordered_map<EventId, DeliveryRecord, EventIdHash> deliveries;
   /// Receptions of an event already delivered/stored here (interested).
   std::uint64_t duplicates = 0;
   /// Receptions of events whose topic we have not subscribed to.
@@ -35,6 +42,17 @@ struct DeliveryMetrics {
 
   [[nodiscard]] bool delivered(EventId id) const {
     return deliveries.contains(id);
+  }
+
+  /// Drops delivery records whose event expired more than `slack` ago.
+  /// Only safe when nobody will read per-event delivery times afterwards
+  /// (i.e. bounded-memory telemetry runs); the slack keeps `delivered()`
+  /// correct for any frame still in flight, since nodes only transmit
+  /// valid events.
+  void prune_deliveries(SimTime now, SimDuration slack) {
+    std::erase_if(deliveries, [&](const auto& entry) {
+      return entry.second.expires + slack < now;
+    });
   }
 };
 
@@ -58,6 +76,19 @@ class ProtocolNode : public net::MediumClient {
 
   /// Invoked on every application-level delivery (optional).
   virtual void set_delivery_callback(DeliveryCallback callback) = 0;
+
+  /// Invoked on every event-table GC collection (optional). Protocols
+  /// without an event table ignore it.
+  virtual void set_gc_callback(std::function<void(SimTime)> callback) {
+    static_cast<void>(callback);
+  }
+
+  /// Lets the node drop delivery records of events expired more than
+  /// `slack` ago during its periodic housekeeping. Only bounded-memory
+  /// telemetry runs enable this — materialized runs read the full map.
+  virtual void enable_delivery_history_pruning(SimDuration slack) {
+    static_cast<void>(slack);
+  }
 };
 
 }  // namespace frugal::core

@@ -150,6 +150,36 @@ double EnergyModel::spent_j(NodeId node) const {
   return total_j(nodes_[node]);
 }
 
+double EnergyModel::spent_j_at(NodeId node, SimTime t) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  const NodeAccount& account = nodes_[node];
+  const double settled = total_j(account);
+  if (t <= account.accounted_until || account.depleted) return settled;
+
+  // Mirror advance()'s segment walk without touching the account: the flags
+  // are constant over the unaccounted span, only tx/rx deadlines split it.
+  double extra = 0.0;
+  SimTime cursor = account.accounted_until;
+  const double capacity = config_.battery_capacity_j;
+  while (cursor < t) {
+    const RadioState state = state_at(account, cursor);
+    SimTime segment_end = t;
+    if (state == RadioState::kTx) {
+      segment_end = std::min(t, account.tx_until);
+    } else if (state == RadioState::kRx) {
+      segment_end = std::min(t, account.rx_until);
+    }
+    const double draw_w = draw_mw_by_state_[index_of(state)] / 1000.0;
+    const double joules = draw_w * (segment_end - cursor).seconds();
+    if (capacity > 0 && draw_w > 0 && settled + extra + joules >= capacity) {
+      return capacity;  // the battery would empty inside this span
+    }
+    extra += joules;
+    cursor = segment_end;
+  }
+  return settled + extra;
+}
+
 double EnergyModel::spent_in_state_j(NodeId node, RadioState state) const {
   FRUGAL_EXPECT(node < nodes_.size());
   return nodes_[node].spent_by_state_j[index_of(state)];

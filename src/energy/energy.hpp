@@ -99,6 +99,12 @@ class EnergyModel final : public net::RadioActivityListener {
 
   // -- Queries (exact as of the last advance) -------------------------------
   [[nodiscard]] double spent_j(NodeId node) const;
+  /// Projected total spend at `t` without mutating the account or firing the
+  /// depletion callback — walks the same piecewise segments advance() would.
+  /// Telemetry's windowed joules/s peeks here so observing a run cannot
+  /// perturb its depletion schedule. For t <= accounted_until (or a depleted
+  /// node) this is exactly spent_j(node).
+  [[nodiscard]] double spent_j_at(NodeId node, SimTime t) const;
   [[nodiscard]] double spent_in_state_j(NodeId node, RadioState state) const;
   [[nodiscard]] SimDuration time_asleep(NodeId node) const;
   [[nodiscard]] bool depleted(NodeId node) const;

@@ -94,6 +94,7 @@ std::vector<NodeId> Medium::nodes_in_range(NodeId node) const {
 
 void Medium::broadcast(NodeId sender, std::uint32_t size_bytes,
                        std::any payload) {
+  sim::ProfileScope profile{scheduler_.profiler(), "medium.broadcast"};
   FRUGAL_EXPECT(sender < clients_.size());
   FRUGAL_EXPECT(size_bytes > 0);
   if (!up_[sender]) {
@@ -146,6 +147,7 @@ SimTime Medium::sensed_busy_until(NodeId sender, SimTime at) const {
 void Medium::start_transmission(NodeId sender,
                                 const std::shared_ptr<Frame>& frame,
                                 int attempt) {
+  sim::ProfileScope profile{scheduler_.profiler(), "medium.transmission"};
   if (!up_[sender]) {  // crashed while the frame was queued
     counters_[sender].frames_dropped += 1;
     return;

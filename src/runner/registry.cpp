@@ -1,6 +1,7 @@
 #include "runner/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "util/expect.hpp"
@@ -55,6 +56,54 @@ std::vector<const ScenarioSpec*> all_scenarios() {
 }
 
 namespace {
+
+/// Minimal JSON string escaping for project-controlled prose (titles and
+/// descriptions): quotes, backslashes and control characters.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void append_value_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_number(values[i]);
+  }
+  out += ']';
+}
+
 std::string value_set(const Axis& axis, const std::vector<double>& values) {
   std::string out = "{";
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -103,6 +152,73 @@ std::string describe(const ScenarioSpec& spec) {
     out += ')';
   }
   out += '\n';
+  return out;
+}
+
+std::string describe_json(const ScenarioSpec& spec) {
+  std::string out = "{\"name\":\"";
+  out += json_escape(spec.name);
+  out += "\",\"figure\":\"";
+  out += json_escape(spec.figure);
+  out += "\",\"title\":\"";
+  out += json_escape(spec.title);
+  out += "\",\"description\":\"";
+  out += json_escape(spec.description);
+  out += "\",\"default_seeds\":";
+  out += std::to_string(spec.default_seeds);
+  out += ",\"full_seeds\":";
+  out += std::to_string(spec.full_seeds);
+  out += ",\"axes\":[";
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const Axis& axis = spec.axes[a];
+    if (a > 0) out += ',';
+    out += "{\"name\":\"";
+    out += json_escape(axis.name);
+    out += "\",\"aggregate\":";
+    out += axis.aggregate ? "true" : "false";
+    out += ",\"values\":";
+    append_value_array(out, axis.values);
+    out += ",\"full_values\":";
+    append_value_array(out, axis.full_values);
+    if (axis.format) {
+      out += ",\"labels\":[";
+      for (std::size_t v = 0; v < axis.values.size(); ++v) {
+        if (v > 0) out += ',';
+        out += '"';
+        out += json_escape(axis.cell(axis.values[v]));
+        out += '"';
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "],\"metrics\":[";
+  for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+    const MetricSpec& metric = spec.metrics[m];
+    if (m > 0) out += ',';
+    out += "{\"name\":\"";
+    out += json_escape(metric.name);
+    out += "\",\"precision\":";
+    out += std::to_string(metric.precision);
+    if (metric.probe_validity_s.has_value()) {
+      out += ",\"probe_validity_s\":";
+      out += json_number(*metric.probe_validity_s);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string scenarios_json() {
+  const std::vector<const ScenarioSpec*> specs = all_scenarios();
+  std::string out = "[";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '\n';
+    out += describe_json(*specs[i]);
+  }
+  out += "\n]\n";
   return out;
 }
 

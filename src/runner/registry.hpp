@@ -49,4 +49,16 @@ void register_builtin_scenarios();
 /// discoverable without reading scenarios.cpp.
 [[nodiscard]] std::string describe(const ScenarioSpec& spec);
 
+/// Machine-readable description of one spec, as a single-line JSON object:
+/// name, figure, title, description, seed defaults, every axis (values,
+/// full_values, aggregate flag, formatted labels when the axis carries a
+/// formatter) and every metric (name, precision, probe_validity_s when the
+/// metric is a reliability probe). What `experiment_cli --describe-json`
+/// emits — the stable contract scripts discover scenarios through.
+[[nodiscard]] std::string describe_json(const ScenarioSpec& spec);
+
+/// Every registered scenario as a JSON array of describe_json objects, one
+/// per line, sorted by name.
+[[nodiscard]] std::string scenarios_json();
+
 }  // namespace frugal::runner

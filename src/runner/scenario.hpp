@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +60,11 @@ struct MetricSpec {
   std::string name;
   int precision = 3;  ///< decimals in the human-readable table
   std::function<double(const core::RunResult&, const ParamPoint&)> extract;
+  /// Reliability-probe validity (seconds) the extractor reads via
+  /// reliability_within, if any. Telemetry-backed (bounded-memory) sweeps
+  /// register every declared probe with the hub before the run — the only
+  /// validities the streamed aggregates can answer.
+  std::optional<double> probe_validity_s = std::nullopt;
 };
 
 struct ScenarioSpec {

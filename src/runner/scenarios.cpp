@@ -32,7 +32,8 @@ MetricSpec rel_probe(double v_s) {
   return {"rel@" + stats::format_double(v_s, 0) + "s", 3,
           [v_s](const core::RunResult& result, const ParamPoint&) {
             return result.reliability_within(SimDuration::from_seconds(v_s));
-          }};
+          },
+          v_s};
 }
 
 std::vector<MetricSpec> rel_probes(const std::vector<double>& validities) {

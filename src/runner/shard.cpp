@@ -81,6 +81,10 @@ int parse_int(Cursor& cursor) {
 
 ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
                               const SweepOptions& options) {
+  // Time-series / Perfetto artifacts describe one simulation and belong to
+  // single-box single-job sweeps, not to shard slices.
+  FRUGAL_EXPECT(options.timeseries_path.empty() &&
+                options.perfetto_path.empty());
   const SweepPlan plan = plan_sweep(spec, options);
   const JobRange range = shard_range(plan.job_count, options.shard);
 
@@ -96,11 +100,20 @@ ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
     artifact.metrics.push_back(metric.name);
   }
 
+  // Honor --telemetry in shard mode too: every job streams through a
+  // bounded hub, and merge_shards must still reproduce the legacy bytes
+  // (telemetry_test pins a 3-shard merge against the single-box CSV).
+  std::optional<telemetry::TelemetryConfig> hub_config;
+  if (options.telemetry) hub_config = telemetry_config_for(spec, options);
+
   artifact.values.resize(range.size());
   parallel_for(range.begin, range.end, resolve_jobs(options.jobs),
                [&](std::size_t job) {
                  artifact.values[job - range.begin] =
-                     run_sweep_job(spec, plan, job);
+                     run_sweep_job_instrumented(
+                         spec, plan, job,
+                         hub_config.has_value() ? &*hub_config : nullptr,
+                         /*profiler=*/nullptr);
                });
   return artifact;
 }

@@ -1,5 +1,6 @@
 #include "runner/sink.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -135,6 +136,24 @@ std::string sweep_jsonl(const SweepResult& sweep) {
   return out;
 }
 
+std::string profile_json(const sim::Profiler& profile) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, section] : profile.sections()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += checked_cell(name);
+    out += "\":{\"wall_ms\":";
+    out += number(static_cast<double>(section.wall_ns) / 1e6);
+    out += ",\"count\":";
+    out += std::to_string(section.count);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
 void emit(const SweepResult& sweep, Format format,
           const std::string& csv_dir) {
   switch (format) {
@@ -159,6 +178,23 @@ void emit(const SweepResult& sweep, Format format,
         std::printf("# %zu runs x %d seed(s) on %d worker(s) in %.1fs\n",
                     sweep.job_count / static_cast<std::size_t>(sweep.seeds),
                     sweep.seeds, sweep.jobs, sweep.wall_seconds);
+      }
+      // Self-profile provenance (--profile): exclusive per-subsystem wall
+      // time summed over every job, heaviest first. Observability only —
+      // same rule as the timing line above.
+      if (!sweep.profile.sections().empty()) {
+        auto sections = sweep.profile.sections();
+        std::sort(sections.begin(), sections.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.second.wall_ns > b.second.wall_ns;
+                  });
+        std::printf("# profile (exclusive wall time across %zu run(s)):\n",
+                    sweep.job_count);
+        for (const auto& [name, section] : sections) {
+          std::printf("#   %-24s %10.3f ms  %12lld calls\n", name.c_str(),
+                      static_cast<double>(section.wall_ns) / 1e6,
+                      static_cast<long long>(section.count));
+        }
       }
       break;
     }

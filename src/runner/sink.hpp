@@ -39,6 +39,11 @@ enum class Format { kTable, kCsv, kJsonl };
 /// {"scenario":...,"axes":{...},"seeds":N,"metrics":{name:{mean,...}}}.
 [[nodiscard]] std::string sweep_jsonl(const SweepResult& sweep);
 
+/// The merged self-profile as a JSON object:
+/// {"section name":{"wall_ms":...,"count":...},...} in section order.
+/// "{}" when the sweep ran unprofiled. Feeds the CLI's run manifest.
+[[nodiscard]] std::string profile_json(const sim::Profiler& profile);
+
 /// Renders to stdout in `format`. Table mode also prints the expected-shape
 /// note, the post tables and a timing line. When `csv_dir` is non-empty the
 /// long CSV is additionally written to `<csv_dir>/<scenario>.csv`.

@@ -107,12 +107,45 @@ SweepPlan plan_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
 
 std::vector<double> run_sweep_job(const ScenarioSpec& spec,
                                   const SweepPlan& plan, std::size_t job) {
+  return run_sweep_job_instrumented(spec, plan, job,
+                                    /*telemetry_config=*/nullptr,
+                                    /*profiler=*/nullptr);
+}
+
+telemetry::TelemetryConfig telemetry_config_for(const ScenarioSpec& spec,
+                                                const SweepOptions& options) {
+  telemetry::TelemetryConfig config;
+  config.bounded_memory = options.telemetry;
+  config.window_s = options.window_s;
+  config.timeseries_path = options.timeseries_path;
+  config.perfetto_path = options.perfetto_path;
+  for (const MetricSpec& metric : spec.metrics) {
+    if (!metric.probe_validity_s.has_value()) continue;
+    bool seen = false;
+    for (const double v : config.probe_validities_s) {
+      seen = seen || v == *metric.probe_validity_s;
+    }
+    if (!seen) config.probe_validities_s.push_back(*metric.probe_validity_s);
+  }
+  return config;
+}
+
+std::vector<double> run_sweep_job_instrumented(
+    const ScenarioSpec& spec, const SweepPlan& plan, std::size_t job,
+    const telemetry::TelemetryConfig* telemetry_config,
+    sim::Profiler* profiler) {
   FRUGAL_EXPECT(job < plan.job_count);
   const auto seeds = static_cast<std::size_t>(plan.seeds);
   const ParamPoint& point = plan.grid[job / seeds];
   const int seed_index = static_cast<int>(job % seeds);
-  const core::ExperimentConfig config =
+  core::ExperimentConfig config =
       spec.make_config(point, job_seed(plan.seed_base, seed_index));
+  std::optional<telemetry::RunTelemetry> hub;
+  if (telemetry_config != nullptr) {
+    hub.emplace(*telemetry_config);
+    config.telemetry = &*hub;
+  }
+  config.profiler = profiler;
   const core::RunResult result = core::run_experiment(config);
   std::vector<double> values;
   values.reserve(spec.metrics.size());
@@ -159,15 +192,32 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
 
   const SweepPlan plan = plan_sweep(spec, options);
 
+  const bool artifacts =
+      !options.timeseries_path.empty() || !options.perfetto_path.empty();
+  // A time-series / Perfetto artifact describes ONE simulation; demand a
+  // single-job sweep rather than let the grid silently overwrite it.
+  FRUGAL_EXPECT(!artifacts || plan.job_count == 1);
+  std::optional<telemetry::TelemetryConfig> hub_config;
+  if (options.telemetry || artifacts) {
+    hub_config = telemetry_config_for(spec, options);
+  }
+
   // Execute the job grid: job = point-major, seed-minor. Every job writes
   // only its own metric slot, keyed by job index — the one invariant the
-  // whole byte-identical-output guarantee rests on.
+  // whole byte-identical-output guarantee rests on. Profilers follow the
+  // same discipline: one per job, merged serially after the pool drains,
+  // so the merged section order is deterministic too.
   const int jobs = resolve_jobs(options.jobs);
   std::vector<std::vector<double>> job_metrics(plan.job_count);
+  std::vector<sim::Profiler> job_profiles(options.profile ? plan.job_count
+                                                          : 0);
 
   const auto started = std::chrono::steady_clock::now();
   parallel_for(plan.job_count, jobs, [&](std::size_t job) {
-    job_metrics[job] = run_sweep_job(spec, plan, job);
+    job_metrics[job] = run_sweep_job_instrumented(
+        spec, plan, job,
+        hub_config.has_value() ? &*hub_config : nullptr,
+        options.profile ? &job_profiles[job] : nullptr);
   });
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - started;
@@ -175,6 +225,9 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
   SweepResult sweep = aggregate_jobs(spec, plan, job_metrics);
   sweep.jobs = jobs;
   sweep.wall_seconds = elapsed.count();
+  for (const sim::Profiler& job_profile : job_profiles) {
+    sweep.profile.merge(job_profile);
+  }
   return sweep;
 }
 

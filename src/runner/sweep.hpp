@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "runner/scenario.hpp"
+#include "sim/profiler.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace frugal::runner {
 
@@ -67,6 +69,23 @@ struct SweepOptions {
   /// Restrict execution to this shard of the job range (run_sweep_shard
   /// only; run_sweep rejects an active shard — a single box runs it all).
   ShardSpec shard;
+  /// Run every job through the streaming telemetry hub in bounded-memory
+  /// mode: per-event delivery records are never materialized and every
+  /// metric is answered from the streamed aggregates — bit-equal to the
+  /// legacy fold (telemetry_test pins this with byte-compared sink output).
+  bool telemetry = false;
+  /// Attach a simulator self-profiler to every job; the per-job profiles
+  /// merge serially (in job order) into SweepResult::profile.
+  bool profile = false;
+  /// Tumbling-window width for the time-series operators, seconds.
+  double window_s = 10.0;
+  /// When non-empty, stream a windowed time-series JSONL artifact /
+  /// Perfetto trace from the run. Artifacts describe ONE simulation, so
+  /// both require a single-job sweep (one grid point, one seed) — run_sweep
+  /// aborts otherwise. Either implies a (non-bounded unless `telemetry` is
+  /// also set) hub.
+  std::string timeseries_path;
+  std::string perfetto_path;
 };
 
 /// One output row: a point of the *output* grid (aggregate axes collapsed)
@@ -88,6 +107,10 @@ struct SweepResult {
   /// Shard count this result was merged from (merge_shards); 0 for a
   /// single-box run. Like jobs/wall_seconds, never in canonical output.
   int merged_from = 0;
+  /// Merged per-subsystem self-profile of every job, populated when the
+  /// sweep ran with SweepOptions::profile. Wall-clock observability only —
+  /// like wall_seconds, never part of canonical CSV/JSONL output.
+  sim::Profiler profile;
 };
 
 /// The per-job seed derivation: deterministic in (base, index) and
@@ -129,6 +152,21 @@ struct SweepPlan {
 [[nodiscard]] std::vector<double> run_sweep_job(const ScenarioSpec& spec,
                                                 const SweepPlan& plan,
                                                 std::size_t job);
+
+/// The telemetry hub configuration a sweep's options resolve to: bounded
+/// memory iff options.telemetry, the spec's declared reliability-probe
+/// validities (deduplicated), the window width and the artifact paths.
+[[nodiscard]] telemetry::TelemetryConfig telemetry_config_for(
+    const ScenarioSpec& spec, const SweepOptions& options);
+
+/// run_sweep_job with observability attached: when `telemetry_config` is
+/// non-null the job runs through a fresh RunTelemetry hub built from it, and
+/// when `profiler` is non-null the job's self-profile accumulates there.
+/// Both null degrades to exactly run_sweep_job.
+[[nodiscard]] std::vector<double> run_sweep_job_instrumented(
+    const ScenarioSpec& spec, const SweepPlan& plan, std::size_t job,
+    const telemetry::TelemetryConfig* telemetry_config,
+    sim::Profiler* profiler);
 
 /// Serial aggregation of per-job metric vectors in canonical job order:
 /// identical summation order — hence bit-identical floating-point results —

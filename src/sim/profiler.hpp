@@ -1,0 +1,111 @@
+// Lightweight simulator self-profiler.
+//
+// A Profiler accumulates exclusive wall-clock time and invocation counts per
+// named section; ProfileScope is the RAII entry point. Nested scopes charge
+// their parent only for the time the parent itself was on top of the stack
+// (exclusive self-time), so "scheduler.task" measures protocol logic net of
+// the medium and telemetry work nested inside it.
+//
+// Profiling never touches simulated time, RNG streams or scheduler sequence
+// numbers — attaching a profiler cannot perturb a run's outcome, only
+// observe its host-side cost. The profiler is single-threaded by design
+// (one per sweep job); per-job profilers are merged serially afterwards.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace frugal::sim {
+
+class Profiler {
+ public:
+  struct Section {
+    std::int64_t wall_ns = 0;  ///< exclusive self-time
+    std::int64_t count = 0;    ///< scope entries
+  };
+
+  /// Named sections in first-entry order (stable across identical runs).
+  [[nodiscard]] const std::vector<std::pair<std::string, Section>>& sections()
+      const {
+    return sections_;
+  }
+
+  /// Index of `name`, creating the section on first use. Linear scan: the
+  /// section set is a handful of subsystem names.
+  [[nodiscard]] std::size_t section_index(std::string_view name) {
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+      if (sections_[i].first == name) return i;
+    }
+    sections_.emplace_back(std::string{name}, Section{});
+    return sections_.size() - 1;
+  }
+
+  void enter(std::size_t section) {
+    FRUGAL_EXPECT(section < sections_.size());
+    const auto now = Clock::now();
+    if (!stack_.empty()) charge_top(now);
+    stack_.push_back(Active{section, now});
+    sections_[section].second.count += 1;
+  }
+
+  void exit() {
+    FRUGAL_EXPECT(!stack_.empty());
+    const auto now = Clock::now();
+    charge_top(now);
+    stack_.pop_back();
+    if (!stack_.empty()) stack_.back().since = now;
+  }
+
+  /// Folds another profiler's totals into this one (sections matched by
+  /// name; new names are appended in the other's order).
+  void merge(const Profiler& other) {
+    for (const auto& [name, section] : other.sections_) {
+      const std::size_t idx = section_index(name);
+      sections_[idx].second.wall_ns += section.wall_ns;
+      sections_[idx].second.count += section.count;
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Active {
+    std::size_t section;
+    Clock::time_point since;
+  };
+
+  void charge_top(Clock::time_point now) {
+    Active& top = stack_.back();
+    sections_[top.section].second.wall_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - top.since)
+            .count();
+    top.since = now;
+  }
+
+  std::vector<std::pair<std::string, Section>> sections_;
+  std::vector<Active> stack_;
+};
+
+/// RAII section scope; a null profiler makes it a no-op.
+class ProfileScope {
+ public:
+  ProfileScope(Profiler* profiler, std::string_view name)
+      : profiler_{profiler} {
+    if (profiler_) profiler_->enter(profiler_->section_index(name));
+  }
+  ~ProfileScope() {
+    if (profiler_) profiler_->exit();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler* profiler_;
+};
+
+}  // namespace frugal::sim

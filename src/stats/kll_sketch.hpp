@@ -1,0 +1,142 @@
+// KLL streaming quantile sketch (Karnin, Lang & Liberty, FOCS 2016).
+//
+// Bounded-memory rank estimation over a stream: a ladder of buffers whose
+// capacities shrink geometrically with height. A full buffer at height h is
+// sorted and "compacted" — a random half of its items (even or odd ranks,
+// one coin flip per compaction) is promoted to height h+1 with doubled
+// weight, the rest discarded. Memory is O(k / (1 - c)) items regardless of
+// stream length; the expected rank error is O(1/k) (the kll_sketch_test
+// property suite pins it at <= 1% of the stream for the default k on 1e5
+// samples).
+//
+// The coin flips come from an internal xorshift64 stream seeded at
+// construction, so a sketch fed the same values in the same order reports
+// identical quantiles on every run — required for deterministic time-series
+// artifacts. Canonical RunResult aggregates never flow through a sketch
+// (they use exact folds); sketches serve the windowed latency-quantile
+// telemetry series only.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace frugal::stats {
+
+class KllSketch {
+ public:
+  explicit KllSketch(std::size_t k = 256,
+                     std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : k_{k}, rng_state_{seed | 1} {
+    FRUGAL_EXPECT(k >= 8);
+    levels_.emplace_back();
+    levels_.front().reserve(capacity_at(0));
+  }
+
+  void insert(double value) {
+    levels_.front().push_back(value);
+    ++count_;
+    if (levels_.front().size() >= capacity_at(0)) compact_from(0);
+  }
+
+  /// Values inserted since construction/clear().
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// True when no value has been inserted.
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Estimated q-quantile (q in [0, 1]) of everything inserted so far.
+  /// Exact while the stream still fits in the base buffer (no compaction
+  /// has happened); approximate with rank error O(1/k) afterwards.
+  [[nodiscard]] double quantile(double q) const {
+    FRUGAL_EXPECT(count_ > 0);
+    FRUGAL_EXPECT(q >= 0.0 && q <= 1.0);
+    std::vector<Weighted> items;
+    items.reserve(stored_items());
+    for (std::size_t h = 0; h < levels_.size(); ++h) {
+      const std::uint64_t weight = std::uint64_t{1} << h;
+      for (const double v : levels_[h]) items.push_back({v, weight});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Weighted& a, const Weighted& b) {
+                return a.value < b.value;
+              });
+    std::uint64_t total = 0;
+    for (const Weighted& item : items) total += item.weight;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (const Weighted& item : items) {
+      cumulative += item.weight;
+      if (static_cast<double>(cumulative) >= target) return item.value;
+    }
+    return items.back().value;
+  }
+
+  /// Items currently held across all levels (the memory bound).
+  [[nodiscard]] std::size_t stored_items() const {
+    std::size_t n = 0;
+    for (const auto& level : levels_) n += level.size();
+    return n;
+  }
+
+  void clear() {
+    levels_.clear();
+    levels_.emplace_back();
+    levels_.front().reserve(capacity_at(0));
+    count_ = 0;
+  }
+
+ private:
+  struct Weighted {
+    double value;
+    std::uint64_t weight;
+  };
+
+  /// The topmost (heaviest-weight) level gets the full k; capacity decays
+  /// by 2/3 per level downwards with a floor of 8, as in the paper — the
+  /// heavier an item's weight, the more accurately its level must be kept.
+  /// Capacities are relative to the current height, so adding a level
+  /// implicitly tightens everything below it.
+  [[nodiscard]] std::size_t capacity_at(std::size_t height) const {
+    double cap = static_cast<double>(k_);
+    for (std::size_t h = levels_.size() - 1; h > height; --h) cap *= 2.0 / 3.0;
+    const auto floored = static_cast<std::size_t>(cap);
+    return floored < 8 ? std::size_t{8} : floored;
+  }
+
+  bool coin_flip() {
+    // xorshift64: deterministic, independent of every simulator RNG stream.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    return (rng_state_ & 1) != 0;
+  }
+
+  void compact_from(std::size_t height) {
+    for (std::size_t h = height; h < levels_.size(); ++h) {
+      if (levels_[h].size() < capacity_at(h)) break;
+      // Grow first: emplace_back may reallocate and would invalidate any
+      // reference taken into levels_ beforehand.
+      if (h + 1 == levels_.size()) levels_.emplace_back();
+      auto& level = levels_[h];
+      auto& above = levels_[h + 1];
+      std::sort(level.begin(), level.end());
+      const std::size_t offset = coin_flip() ? 1 : 0;
+      for (std::size_t i = offset; i < level.size(); i += 2) {
+        above.push_back(level[i]);
+      }
+      level.clear();
+    }
+  }
+
+  std::size_t k_;
+  std::uint64_t rng_state_;
+  std::size_t count_ = 0;
+  /// levels_[h] holds items of weight 2^h, unsorted between compactions.
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace frugal::stats

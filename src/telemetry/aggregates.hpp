@@ -1,0 +1,77 @@
+// Streaming-computed RunResult aggregates.
+//
+// When an experiment runs with a bounded-memory telemetry hub attached
+// (telemetry/telemetry.hpp), the per-event / per-(node,event) records that
+// RunResult's delivery metrics are normally derived from are never
+// materialized. This struct carries the equivalent aggregates, folded live
+// from the delivery stream in a way that is bit-equal to the materialized
+// math:
+//   - reliability probes accumulate per-event reached/eligible fractions in
+//     publish-index order — the exact double-addition order of
+//     RunResult::reliability_within's event loop;
+//   - the latency sum is an exact int64 microsecond total (order-free), and
+//     both code paths divide it identically.
+// telemetry_test proves the equivalence with sweep-CSV cmp across scenario
+// families.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/time.hpp"
+
+namespace frugal::telemetry {
+
+/// One registered reliability probe: reliability_within(validity) is only
+/// answerable in bounded mode for validities declared before the run.
+struct ProbeAggregate {
+  std::int64_t validity_us = 0;
+  /// Sum of per-event reached/eligible fractions, added in publish-index
+  /// order (events with zero eligible subscribers are skipped, as in the
+  /// materialized fold).
+  double fraction_total = 0.0;
+  std::uint64_t counted_events = 0;
+};
+
+struct RunAggregates {
+  std::vector<ProbeAggregate> probes;
+  std::int64_t run_validity_us = 0;
+  /// Recorded (node, event) deliveries — every fresh application-level
+  /// delivery of a workload event.
+  std::uint64_t delivered = 0;
+  /// Exact sum of delivery latencies in microseconds.
+  std::int64_t latency_sum_us = 0;
+
+  [[nodiscard]] double reliability_within(SimDuration validity) const {
+    for (const ProbeAggregate& probe : probes) {
+      if (probe.validity_us == validity.us()) {
+        return probe.counted_events == 0
+                   ? 0.0
+                   : probe.fraction_total /
+                         static_cast<double>(probe.counted_events);
+      }
+    }
+    // Bounded runs can only answer validities that were registered as
+    // probes before the run (the sweep runner registers every metric's
+    // probe plus the run validity automatically).
+    FRUGAL_EXPECT(false && "unregistered reliability probe validity");
+    return 0.0;
+  }
+
+  [[nodiscard]] double reliability() const {
+    return reliability_within(SimDuration::from_us(run_validity_us));
+  }
+
+  [[nodiscard]] std::size_t delivered_count() const {
+    return static_cast<std::size_t>(delivered);
+  }
+
+  [[nodiscard]] double mean_delivery_latency_s() const {
+    if (delivered == 0) return 0.0;
+    return static_cast<double>(latency_sum_us) /
+           static_cast<double>(delivered) / 1e6;
+  }
+};
+
+}  // namespace frugal::telemetry

@@ -1,0 +1,283 @@
+// Typed operator DAG for streaming metrics.
+//
+// A Graph owns a set of Operators wired into a directed acyclic dataflow:
+// sources are fed samples as simulation events happen, emit() pushes results
+// to downstream operators. Execution is topo-ordered by construction — an
+// edge may only point from an earlier-added operator to a later-added one
+// (asserted at connect time), so a simple forward cascade visits every
+// operator after all of its inputs. All state is O(1) or O(sketch) per
+// operator: the DAG holds bounded history regardless of stream length,
+// which is what lets million-event runs compute RunResult aggregates
+// without materializing per-event records.
+//
+// Window semantics: the tumbling TimeWindow driver watches the (monotone)
+// stream clock and closes every elapsed window boundary before the sample
+// that crossed it is processed. On close, Graph::close_window runs every
+// operator's on_window_close in topo order — windowed operators (rates,
+// per-window sketches) emit their aggregate downstream and reset.
+//
+// Determinism: operators do nothing but arithmetic on the values pushed
+// through them, in push order. Feeding the same stream reproduces every
+// output bit-for-bit; a Sum fed per-event values in publish-index order
+// reproduces the exact double-addition order of the materialized folds it
+// replaces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "stats/kll_sketch.hpp"
+#include "util/expect.hpp"
+#include "util/time.hpp"
+
+namespace frugal::telemetry {
+
+class Graph;
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Receives one input sample (from Graph::feed or an upstream emit).
+  virtual void on_sample(SimTime at, double value) = 0;
+
+  /// A tumbling window ending at `window_end` closed. Windowed operators
+  /// emit their aggregate and reset; stateless/cumulative ones ignore it.
+  virtual void on_window_close(SimTime window_end) {
+    static_cast<void>(window_end);
+  }
+
+  /// Current output value (aggregate so far, or last windowed emission).
+  [[nodiscard]] virtual double value() const = 0;
+
+ protected:
+  /// Pushes a result to every connected downstream operator.
+  void emit(SimTime at, double value);
+
+ private:
+  friend class Graph;
+  Graph* graph_ = nullptr;
+  std::size_t index_ = 0;
+  std::vector<std::size_t> downstream_;
+};
+
+class Graph {
+ public:
+  /// Constructs an operator inside the graph; insertion order is the
+  /// topological order.
+  template <typename Op, typename... Args>
+  Op* add(Args&&... args) {
+    auto op = std::make_unique<Op>(std::forward<Args>(args)...);
+    Op* raw = op.get();
+    raw->graph_ = this;
+    raw->index_ = ops_.size();
+    ops_.push_back(std::move(op));
+    return raw;
+  }
+
+  /// Wires `from` -> `to`. Inputs must precede consumers in insertion
+  /// order, which keeps the forward cascade a valid topological execution.
+  void connect(Operator* from, Operator* to) {
+    FRUGAL_EXPECT(from != nullptr && to != nullptr);
+    FRUGAL_EXPECT(from->graph_ == this && to->graph_ == this);
+    FRUGAL_EXPECT(from->index_ < to->index_);
+    from->downstream_.push_back(to->index_);
+  }
+
+  /// Feeds a sample into a source operator.
+  void feed(Operator* source, SimTime at, double value) {
+    FRUGAL_EXPECT(source != nullptr && source->graph_ == this);
+    source->on_sample(at, value);
+  }
+
+  /// Closes a tumbling window across the whole graph, in topo order.
+  void close_window(SimTime window_end) {
+    for (const auto& op : ops_) op->on_window_close(window_end);
+  }
+
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+
+ private:
+  friend class Operator;
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+inline void Operator::emit(SimTime at, double value) {
+  for (const std::size_t idx : downstream_) {
+    graph_->ops_[idx]->on_sample(at, value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+/// Cumulative sample count.
+class Count final : public Operator {
+ public:
+  void on_sample(SimTime, double) override { count_ += 1; }
+  [[nodiscard]] double value() const override {
+    return static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Exact integer accumulator (microsecond latencies, byte counts): immune
+/// to floating-point rounding, so its total is order-independent.
+class IntSum final : public Operator {
+ public:
+  void on_sample(SimTime, double value) override {
+    total_ += static_cast<std::int64_t>(value);
+    count_ += 1;
+  }
+  /// Exact entry point for callers holding the integer (no double round
+  /// trip).
+  void add(std::int64_t value) {
+    total_ += value;
+    count_ += 1;
+  }
+  [[nodiscard]] double value() const override {
+    return static_cast<double>(total_);
+  }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  std::int64_t total_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Double accumulator in push order — the bit-equality carrier for folds
+/// whose materialized counterpart added the same values in the same order.
+class Sum final : public Operator {
+ public:
+  void on_sample(SimTime, double value) override {
+    total_ += value;
+    count_ += 1;
+  }
+  [[nodiscard]] double value() const override { return total_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Running mean of everything pushed through it.
+class Mean final : public Operator {
+ public:
+  void on_sample(SimTime, double value) override {
+    total_ += value;
+    count_ += 1;
+  }
+  [[nodiscard]] double value() const override {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Last-value gauge (live node count, battery level, ...).
+class Gauge final : public Operator {
+ public:
+  explicit Gauge(double initial = 0.0) : value_{initial} {}
+  void on_sample(SimTime, double value) override { value_ = value; }
+  [[nodiscard]] double value() const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Per-window event rate: counts samples inside the current tumbling
+/// window; on close, emits count/window_seconds downstream and resets.
+class WindowedRate final : public Operator {
+ public:
+  explicit WindowedRate(SimDuration window) : window_{window} {
+    FRUGAL_EXPECT(window.us() > 0);
+  }
+  void on_sample(SimTime, double) override { in_window_ += 1; }
+  void on_window_close(SimTime window_end) override {
+    rate_ = static_cast<double>(in_window_) / window_.seconds();
+    in_window_ = 0;
+    emit(window_end, rate_);
+  }
+  [[nodiscard]] double value() const override { return rate_; }
+  [[nodiscard]] std::uint64_t in_window() const { return in_window_; }
+
+ private:
+  SimDuration window_;
+  std::uint64_t in_window_ = 0;
+  double rate_ = 0.0;
+};
+
+/// Per-window quantile sketch (KLL): bounded memory, deterministic. On
+/// window close it emits the median downstream and resets; callers needing
+/// several quantiles read them via quantile() just before the close.
+class QuantileSketchOp final : public Operator {
+ public:
+  explicit QuantileSketchOp(std::size_t k = 256) : sketch_{k} {}
+  void on_sample(SimTime, double value) override { sketch_.insert(value); }
+  void on_window_close(SimTime window_end) override {
+    if (!sketch_.empty()) emit(window_end, sketch_.quantile(0.5));
+    sketch_.clear();
+  }
+  [[nodiscard]] double value() const override {
+    return sketch_.empty() ? 0.0 : sketch_.quantile(0.5);
+  }
+  [[nodiscard]] const stats::KllSketch& sketch() const { return sketch_; }
+
+ private:
+  stats::KllSketch sketch_;
+};
+
+/// Tumbling-window driver: watches the monotone stream clock and closes
+/// every elapsed window before the crossing sample is processed. Not an
+/// Operator — it drives Graph::close_window and reports each closed
+/// window's end to the owner (which is where time-series rows are written).
+class TimeWindow {
+ public:
+  TimeWindow(Graph* graph, SimTime start, SimDuration width)
+      : graph_{graph}, next_end_{start + width}, width_{width} {
+    FRUGAL_EXPECT(graph != nullptr);
+    FRUGAL_EXPECT(width.us() > 0);
+  }
+
+  /// Advances the stream clock to `at`, closing every window whose end is
+  /// <= at. `on_closed` (may be null) runs after each graph-wide close.
+  template <typename OnClosed>
+  void advance(SimTime at, OnClosed&& on_closed) {
+    while (next_end_ <= at) {
+      graph_->close_window(next_end_);
+      on_closed(next_end_);
+      next_end_ = next_end_ + width_;
+    }
+  }
+
+  /// Closes the final (partial) window unconditionally at end of run.
+  template <typename OnClosed>
+  void finish(SimTime run_end, OnClosed&& on_closed) {
+    advance(run_end, on_closed);
+    if (run_end + width_ > next_end_) {
+      // A partial tail window remains open; close it at the run horizon.
+      graph_->close_window(run_end);
+      on_closed(run_end);
+      next_end_ = run_end + width_;
+    }
+  }
+
+  [[nodiscard]] SimTime next_end() const { return next_end_; }
+
+ private:
+  Graph* graph_;
+  SimTime next_end_;
+  SimDuration width_;
+};
+
+}  // namespace frugal::telemetry

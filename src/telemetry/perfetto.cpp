@@ -1,0 +1,80 @@
+#include "telemetry/perfetto.hpp"
+
+#include <cinttypes>
+
+namespace frugal::telemetry {
+
+namespace {
+// Track ids: pid 1 holds every node track; tid 0 is reserved so node n maps
+// to tid n + 1 (trace viewers hide tid 0 counters oddly otherwise).
+constexpr unsigned kPid = 1;
+
+[[nodiscard]] unsigned long tid_of(NodeId node) {
+  return static_cast<unsigned long>(node) + 1;
+}
+}  // namespace
+
+PerfettoWriter::PerfettoWriter(const std::string& path,
+                               std::size_t node_count) {
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) return;
+  std::fputs("{\"traceEvents\":[\n", out_);
+  std::fprintf(out_,
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+               "\"args\":{\"name\":\"frugal-sim\"}}",
+               kPid);
+  first_ = false;
+  for (std::size_t node = 0; node < node_count; ++node) {
+    begin_event();
+    std::fprintf(out_,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                 "\"tid\":%lu,\"args\":{\"name\":\"node %zu\"}}",
+                 kPid, tid_of(static_cast<NodeId>(node)), node);
+  }
+}
+
+PerfettoWriter::~PerfettoWriter() { finish(); }
+
+void PerfettoWriter::begin_event() {
+  if (!first_) std::fputs(",\n", out_);
+  first_ = false;
+}
+
+void PerfettoWriter::span(NodeId node, const char* name, const char* category,
+                          SimTime start, SimTime end) {
+  if (out_ == nullptr) return;
+  begin_event();
+  std::fprintf(out_,
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%u,"
+               "\"tid\":%lu,\"ts\":%" PRId64 ",\"dur\":%" PRId64 "}",
+               name, category, kPid, tid_of(node), start.us(),
+               end.us() - start.us());
+}
+
+void PerfettoWriter::instant(NodeId node, const char* name,
+                             const char* category, SimTime at) {
+  if (out_ == nullptr) return;
+  begin_event();
+  std::fprintf(out_,
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"pid\":%u,"
+               "\"tid\":%lu,\"ts\":%" PRId64 ",\"s\":\"t\"}",
+               name, category, kPid, tid_of(node), at.us());
+}
+
+void PerfettoWriter::counter(const char* name, SimTime at, double value) {
+  if (out_ == nullptr) return;
+  begin_event();
+  std::fprintf(out_,
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%u,\"ts\":%" PRId64
+               ",\"args\":{\"value\":%.10g}}",
+               name, kPid, at.us(), value);
+}
+
+void PerfettoWriter::finish() {
+  if (out_ == nullptr) return;
+  std::fputs("\n]}\n", out_);
+  std::fclose(out_);
+  out_ = nullptr;
+}
+
+}  // namespace frugal::telemetry

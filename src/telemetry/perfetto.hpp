@@ -1,0 +1,57 @@
+// Chrome/Perfetto trace-event JSON writer.
+//
+// Emits the legacy Chrome trace-event format ({"traceEvents": [...]}) that
+// ui.perfetto.dev and chrome://tracing both load directly. One track (tid)
+// per simulated node under a single process: complete spans ("X") for radio
+// TX/RX bursts and down/sleep stretches, instant events ("i") for publishes,
+// deliveries and GC evictions, and counter tracks ("C") for the windowed
+// series (reliability, frames/s, joules/s, ...). Timestamps are simulated
+// microseconds, which the trace viewers display natively.
+//
+// The writer streams: each event goes straight to the file, so trace size
+// never accumulates in memory. finish() closes the JSON arrays; the
+// destructor calls it if the caller forgot.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace frugal::telemetry {
+
+class PerfettoWriter {
+ public:
+  /// Opens `path` and writes the preamble plus per-node thread-name
+  /// metadata. ok() reports whether the file opened.
+  PerfettoWriter(const std::string& path, std::size_t node_count);
+  ~PerfettoWriter();
+
+  PerfettoWriter(const PerfettoWriter&) = delete;
+  PerfettoWriter& operator=(const PerfettoWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return out_ != nullptr; }
+
+  /// Complete span ("X") on `node`'s track over [start, end).
+  void span(NodeId node, const char* name, const char* category, SimTime start,
+            SimTime end);
+
+  /// Instant event ("i") on `node`'s track.
+  void instant(NodeId node, const char* name, const char* category,
+               SimTime at);
+
+  /// Counter sample ("C") on a process-level counter track.
+  void counter(const char* name, SimTime at, double value);
+
+  /// Closes the JSON document and the file. Idempotent.
+  void finish();
+
+ private:
+  void begin_event();
+
+  std::FILE* out_ = nullptr;
+  bool first_ = true;
+};
+
+}  // namespace frugal::telemetry

@@ -1,0 +1,119 @@
+// Property tests for the KLL quantile sketch: rank error against exact
+// quantiles on 1e5-sample random streams, exactness below the compaction
+// threshold, determinism, and memory boundedness.
+
+#include "stats/kll_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace frugal::stats {
+namespace {
+
+constexpr std::size_t kSamples = 100000;
+constexpr double kMaxRankError = 0.01;  // satellite contract: <= 1%
+
+/// Fraction of `sorted` at or below `value` — the empirical rank.
+double rank_of(const std::vector<double>& sorted, double value) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+void expect_rank_error_bounded(const std::vector<double>& samples) {
+  KllSketch sketch;
+  for (const double v : samples) sketch.insert(v);
+  ASSERT_EQ(sketch.count(), samples.size());
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const double q :
+       {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double estimate = sketch.quantile(q);
+    const double rank = rank_of(sorted, estimate);
+    EXPECT_LE(std::abs(rank - q), kMaxRankError)
+        << "q=" << q << " estimate=" << estimate << " true rank=" << rank;
+  }
+}
+
+TEST(KllSketchTest, RankErrorWithinOnePercentOnUniformStream) {
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    Rng rng{seed};
+    std::vector<double> samples;
+    samples.reserve(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      samples.push_back(rng.uniform(0.0, 1000.0));
+    }
+    expect_rank_error_bounded(samples);
+  }
+}
+
+TEST(KllSketchTest, RankErrorWithinOnePercentOnSkewedStream) {
+  // Heavy-tailed latency-like distribution: exp(uniform) spans orders of
+  // magnitude, the regime the latency-quantile operator actually sees.
+  for (const std::uint64_t seed : {3u, 11u}) {
+    Rng rng{seed};
+    std::vector<double> samples;
+    samples.reserve(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      samples.push_back(std::exp(rng.uniform(0.0, 10.0)));
+    }
+    expect_rank_error_bounded(samples);
+  }
+}
+
+TEST(KllSketchTest, ExactBelowCompactionThreshold) {
+  // While the stream fits in the base buffer no compaction has happened and
+  // every quantile is exact.
+  KllSketch sketch{64};
+  for (int i = 1; i <= 50; ++i) sketch.insert(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 50.0);
+}
+
+TEST(KllSketchTest, DeterministicAcrossIdenticalStreams) {
+  Rng rng_a{99};
+  Rng rng_b{99};
+  KllSketch a;
+  KllSketch b;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    a.insert(rng_a.uniform());
+    b.insert(rng_b.uniform());
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+  }
+}
+
+TEST(KllSketchTest, MemoryBoundedRegardlessOfStreamLength) {
+  KllSketch sketch;
+  Rng rng{5};
+  std::size_t high_water = 0;
+  for (std::size_t i = 0; i < 500000; ++i) {
+    sketch.insert(rng.uniform());
+    high_water = std::max(high_water, sketch.stored_items());
+  }
+  // Sum of the geometric capacity ladder: ~3k for k=256, nowhere near the
+  // 5e5 stream length.
+  EXPECT_LT(high_water, std::size_t{4000});
+}
+
+TEST(KllSketchTest, ClearResets) {
+  KllSketch sketch;
+  for (int i = 0; i < 1000; ++i) sketch.insert(static_cast<double>(i));
+  sketch.clear();
+  EXPECT_TRUE(sketch.empty());
+  sketch.insert(7.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 7.0);
+}
+
+}  // namespace
+}  // namespace frugal::stats

@@ -1,0 +1,259 @@
+// A deliberately small recursive-descent JSON parser for tests.
+//
+// The telemetry artifacts (time-series JSONL, Perfetto traces, --describe-json
+// listings, run manifests) are consumed by external tools, so their tests must
+// check real JSON well-formedness rather than substring-match the writer's own
+// output. This parser accepts standard JSON (no comments, no trailing commas)
+// and fails loudly via gtest-friendly exceptions; it is test-only and makes no
+// attempt at speed.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace minijson {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_{Type::kBool}, bool_{b} {}
+  explicit Value(double d) : type_{Type::kNumber}, number_{d} {}
+  explicit Value(std::string s) : type_{Type::kString}, string_{std::move(s)} {}
+  explicit Value(Array a)
+      : type_{Type::kArray}, array_{std::make_shared<Array>(std::move(a))} {}
+  explicit Value(Object o)
+      : type_{Type::kObject}, object_{std::make_shared<Object>(std::move(o))} {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const {
+    require(Type::kBool);
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    require(Type::kNumber);
+    return number_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    require(Type::kString);
+    return string_;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    require(Type::kArray);
+    return *array_;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    require(Type::kObject);
+    return *object_;
+  }
+
+  /// Object member access; throws when absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const Object& object = as_object();
+    const auto it = object.find(key);
+    if (it == object.end()) {
+      throw std::runtime_error("minijson: missing key \"" + key + "\"");
+    }
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    const Object& object = as_object();
+    return object.find(key) != object.end();
+  }
+
+ private:
+  void require(Type type) const {
+    if (type_ != type) throw std::runtime_error("minijson: wrong value type");
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+namespace detail {
+
+struct Parser {
+  const char* at;
+  const char* end;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(std::string("minijson: ") + what);
+  }
+
+  void skip_ws() {
+    while (at != end && (*at == ' ' || *at == '\t' || *at == '\n' ||
+                         *at == '\r')) {
+      ++at;
+    }
+  }
+
+  char peek() const {
+    if (at == end) throw std::runtime_error("minijson: truncated input");
+    return *at;
+  }
+
+  void expect(char c) {
+    if (at == end || *at != c) fail("unexpected character");
+    ++at;
+  }
+
+  bool consume_literal(const char* literal) {
+    const char* cursor = at;
+    for (const char* l = literal; *l != '\0'; ++l, ++cursor) {
+      if (cursor == end || *cursor != *l) return false;
+    }
+    at = cursor;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (at == end) fail("unterminated string");
+      const char c = *at++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at == end) fail("unterminated escape");
+      const char esc = *at++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end - at < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *at++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Tests only feed ASCII payloads; reject anything needing real
+          // UTF-8/surrogate handling rather than mis-decode it.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const char* start = at;
+    if (at != end && *at == '-') ++at;
+    while (at != end && (std::isdigit(static_cast<unsigned char>(*at)) != 0 ||
+                         *at == '.' || *at == 'e' || *at == 'E' ||
+                         *at == '+' || *at == '-')) {
+      ++at;
+    }
+    char* parsed_end = nullptr;
+    const std::string text{start, at};
+    const double value = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end != text.c_str() + text.size() || text.empty()) {
+      fail("bad number");
+    }
+    return Value{value};
+  }
+
+  Value parse_value() {
+    skip_ws();
+    if (at == end) fail("truncated input");
+    const char c = peek();
+    if (c == '{') {
+      ++at;
+      Object object;
+      skip_ws();
+      if (peek() == '}') {
+        ++at;
+        return Value{std::move(object)};
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        if (!object.emplace(std::move(key), parse_value()).second) {
+          fail("duplicate object key");
+        }
+        skip_ws();
+        if (peek() == ',') {
+          ++at;
+          continue;
+        }
+        expect('}');
+        return Value{std::move(object)};
+      }
+    }
+    if (c == '[') {
+      ++at;
+      Array array;
+      skip_ws();
+      if (peek() == ']') {
+        ++at;
+        return Value{std::move(array)};
+      }
+      for (;;) {
+        array.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++at;
+          continue;
+        }
+        expect(']');
+        return Value{std::move(array)};
+      }
+    }
+    if (c == '"') return Value{parse_string()};
+    if (consume_literal("true")) return Value{true};
+    if (consume_literal("false")) return Value{false};
+    if (consume_literal("null")) return Value{};
+    return parse_number();
+  }
+};
+
+}  // namespace detail
+
+/// Parses exactly one JSON document; throws std::runtime_error on any
+/// deviation (trailing garbage included).
+[[nodiscard]] inline Value parse(const std::string& text) {
+  detail::Parser parser{text.data(), text.data() + text.size()};
+  Value value = parser.parse_value();
+  parser.skip_ws();
+  if (parser.at != parser.end) parser.fail("trailing data");
+  return value;
+}
+
+}  // namespace minijson

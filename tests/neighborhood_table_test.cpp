@@ -97,6 +97,37 @@ TEST(NeighborhoodTableTest, CollectBoundaryIsInclusive) {
             1u);
 }
 
+TEST(NeighborhoodTableTest, CollectPrunesExpiredKnownEvents) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::from_seconds(10));
+  table.record_event(1, EventId{2, 1}, SimTime::from_seconds(4));  // expired
+  table.record_event(1, EventId{2, 2}, SimTime::from_seconds(20));  // valid
+  table.record_event(1, EventId{2, 3});  // expiry unknown: kept forever
+  table.collect(SimTime::from_seconds(10), SimDuration::from_seconds(60));
+  EXPECT_FALSE(table.neighbor_knows(1, EventId{2, 1}));
+  EXPECT_TRUE(table.neighbor_knows(1, EventId{2, 2}));
+  EXPECT_TRUE(table.neighbor_knows(1, EventId{2, 3}));
+}
+
+TEST(NeighborhoodTableTest, ExactExpiryUpgradesUnknown) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::from_seconds(10));
+  table.record_event(1, EventId{2, 1});  // advert id, expiry unknown
+  table.record_event(1, EventId{2, 1}, SimTime::from_seconds(15));  // exact
+  table.collect(SimTime::from_seconds(20), SimDuration::from_seconds(60));
+  EXPECT_FALSE(table.neighbor_knows(1, EventId{2, 1}));
+}
+
+TEST(NeighborhoodTableTest, PruneBoundaryMatchesValidity) {
+  NeighborhoodTable table;
+  table.upsert(1, subs(".a"), {}, SimTime::zero());
+  table.record_event(1, EventId{2, 1}, SimTime::from_seconds(10));
+  // expiry == now: the event is no longer valid (valid_at requires
+  // expiry > now), so the recording is dead and goes.
+  table.collect(SimTime::from_seconds(10), SimDuration::from_seconds(60));
+  EXPECT_FALSE(table.neighbor_knows(1, EventId{2, 1}));
+}
+
 TEST(NeighborhoodTableTest, AverageSpeedOverReportingNeighbors) {
   NeighborhoodTable table;
   EXPECT_FALSE(table.average_speed().has_value());

@@ -7,6 +7,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "minijson.hpp"
+
 #include "runner/pool.hpp"
 #include "runner/registry.hpp"
 #include "runner/sink.hpp"
@@ -452,6 +454,81 @@ TEST(MultiPublisher, SinglePublisherBehavesExactlyAsBefore) {
     EXPECT_EQ(a.events[e].published_at.us(), b.events[e].published_at.us());
   }
   EXPECT_DOUBLE_EQ(a.reliability(), b.reliability());
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable scenario listing (--describe-json).
+
+TEST(DescribeJson, SingleScenarioParsesWithExpectedShape) {
+  const ScenarioSpec* spec = find_scenario("fig11_rwp_reliability");
+  ASSERT_NE(spec, nullptr);
+
+  const minijson::Value doc = minijson::parse(describe_json(*spec));
+  EXPECT_EQ(doc.at("name").as_string(), "fig11_rwp_reliability");
+  EXPECT_EQ(doc.at("figure").as_string(), "Figure 11");
+  EXPECT_FALSE(doc.at("description").as_string().empty());
+  EXPECT_EQ(doc.at("default_seeds").as_number(),
+            static_cast<double>(spec->default_seeds));
+
+  const minijson::Array& axes = doc.at("axes").as_array();
+  ASSERT_EQ(axes.size(), spec->axes.size());
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    EXPECT_EQ(axes[a].at("name").as_string(), spec->axes[a].name);
+    const minijson::Array& values = axes[a].at("values").as_array();
+    ASSERT_EQ(values.size(), spec->axes[a].values.size());
+    for (std::size_t v = 0; v < values.size(); ++v) {
+      EXPECT_EQ(values[v].as_number(), spec->axes[a].values[v]);
+    }
+    EXPECT_EQ(axes[a].at("full_values").as_array().size(),
+              spec->axes[a].full_values.size());
+  }
+
+  const minijson::Array& metrics = doc.at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), spec->metrics.size());
+  bool saw_probe = false;
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    EXPECT_EQ(metrics[m].at("name").as_string(), spec->metrics[m].name);
+    EXPECT_EQ(metrics[m].at("precision").as_number(),
+              static_cast<double>(spec->metrics[m].precision));
+    // The reliability probes carry their validity so telemetry-backed
+    // tooling knows which validities a bounded run can answer.
+    if (metrics[m].has("probe_validity_s")) {
+      saw_probe = true;
+      ASSERT_TRUE(spec->metrics[m].probe_validity_s.has_value());
+      EXPECT_EQ(metrics[m].at("probe_validity_s").as_number(),
+                *spec->metrics[m].probe_validity_s);
+    }
+  }
+  EXPECT_TRUE(saw_probe);  // fig11 reports rel@Ns probes
+}
+
+TEST(DescribeJson, ProtocolAxisCarriesFormattedLabels) {
+  const ScenarioSpec* spec = find_scenario("energy_lifetime");
+  ASSERT_NE(spec, nullptr);
+  const minijson::Value doc = minijson::parse(describe_json(*spec));
+  bool saw_labels = false;
+  for (const minijson::Value& axis : doc.at("axes").as_array()) {
+    if (axis.at("name").as_string() != "protocol") continue;
+    const minijson::Array& labels = axis.at("labels").as_array();
+    ASSERT_EQ(labels.size(), axis.at("values").as_array().size());
+    EXPECT_EQ(labels[0].as_string(), "frugal");
+    saw_labels = true;
+  }
+  EXPECT_TRUE(saw_labels);
+}
+
+TEST(DescribeJson, FullListingCoversEveryScenarioSorted) {
+  const minijson::Value doc = minijson::parse(scenarios_json());
+  const minijson::Array& listed = doc.as_array();
+  const std::vector<const ScenarioSpec*> specs = all_scenarios();
+  ASSERT_EQ(listed.size(), specs.size());
+  std::string previous;
+  for (std::size_t i = 0; i < listed.size(); ++i) {
+    const std::string& name = listed[i].at("name").as_string();
+    EXPECT_EQ(name, specs[i]->name);
+    EXPECT_LT(previous, name);  // sorted, so stable for consumers
+    previous = name;
+  }
 }
 
 }  // namespace

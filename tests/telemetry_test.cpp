@@ -1,0 +1,426 @@
+// Streaming-telemetry equivalence and artifact tests.
+//
+// The load-bearing claims: (1) attaching a telemetry hub never perturbs a
+// simulation — sweep CSVs stay byte-identical with the hub on or off, across
+// worker counts, and through a shard/merge round trip; (2) the streamed
+// aggregates are bit-equal to the materialized RunResult folds they replace;
+// (3) bounded-memory runs really elide the per-event records; (4) the
+// time-series and Perfetto artifacts are well-formed JSON with the documented
+// schema. Plus unit coverage of the operator DAG the hub is built from.
+
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "minijson.hpp"
+#include "runner/registry.hpp"
+#include "runner/shard.hpp"
+#include "runner/sink.hpp"
+#include "runner/sweep.hpp"
+#include "telemetry/dag.hpp"
+
+namespace frugal::telemetry {
+namespace {
+
+using runner::Axis;
+using runner::ScenarioSpec;
+using runner::SweepOptions;
+using runner::SweepResult;
+
+// ---------------------------------------------------------------------------
+// Operator DAG units.
+
+TEST(DagTest, CountSumMeanGaugeBasics) {
+  Graph graph;
+  Count* count = graph.add<Count>();
+  Sum* sum = graph.add<Sum>();
+  Mean* mean = graph.add<Mean>();
+  Gauge* gauge = graph.add<Gauge>(7.0);
+
+  EXPECT_EQ(gauge->value(), 7.0);
+  for (int i = 1; i <= 4; ++i) {
+    const SimTime at = SimTime::zero() + SimDuration::from_seconds(i);
+    graph.feed(count, at, static_cast<double>(i));
+    graph.feed(sum, at, static_cast<double>(i));
+    graph.feed(mean, at, static_cast<double>(i));
+    graph.feed(gauge, at, static_cast<double>(i));
+  }
+  EXPECT_EQ(count->count(), 4u);
+  EXPECT_EQ(sum->value(), 10.0);
+  EXPECT_EQ(mean->value(), 2.5);
+  EXPECT_EQ(gauge->value(), 4.0);
+}
+
+TEST(DagTest, IntSumIsExactAtMicrosecondScale) {
+  Graph graph;
+  IntSum* sum = graph.add<IntSum>();
+  // Values chosen so naive double accumulation of seconds would round.
+  sum->add(1);
+  sum->add(180'000'000);
+  sum->add(33);
+  EXPECT_EQ(sum->total(), 180'000'034);
+  EXPECT_EQ(sum->count(), 3u);
+}
+
+TEST(DagTest, EmitCascadesDownstreamInTopoOrder) {
+  Graph graph;
+  WindowedRate* rate = graph.add<WindowedRate>(SimDuration::from_seconds(10));
+  Mean* mean_rate = graph.add<Mean>();
+  graph.connect(rate, mean_rate);
+
+  const SimTime start = SimTime::zero();
+  for (int i = 0; i < 30; ++i) {
+    graph.feed(rate, start + SimDuration::from_seconds(i * 0.1), 1.0);
+  }
+  graph.close_window(start + SimDuration::from_seconds(10));
+  EXPECT_EQ(rate->value(), 3.0);  // 30 samples / 10 s
+  EXPECT_EQ(mean_rate->value(), 3.0);
+
+  graph.close_window(start + SimDuration::from_seconds(20));
+  EXPECT_EQ(rate->value(), 0.0);       // window reset
+  EXPECT_EQ(mean_rate->value(), 1.5);  // mean of {3, 0}
+}
+
+TEST(DagTest, QuantileSketchResetsPerWindow) {
+  Graph graph;
+  QuantileSketchOp* sketch = graph.add<QuantileSketchOp>();
+  for (int i = 1; i <= 100; ++i) {
+    graph.feed(sketch, SimTime::zero(), static_cast<double>(i));
+  }
+  const double p50 = sketch->sketch().quantile(0.5);
+  EXPECT_GE(p50, 40.0);
+  EXPECT_LE(p50, 60.0);
+  graph.close_window(SimTime::zero() + SimDuration::from_seconds(10));
+  EXPECT_TRUE(sketch->sketch().empty());
+}
+
+TEST(DagTest, TimeWindowClosesElapsedBoundariesBeforeSample) {
+  Graph graph;
+  WindowedRate* rate = graph.add<WindowedRate>(SimDuration::from_seconds(10));
+  TimeWindow window{&graph, SimTime::zero(), SimDuration::from_seconds(10)};
+
+  std::vector<double> closes;
+  const auto on_closed = [&](SimTime end) { closes.push_back(end.seconds()); };
+
+  // Advancing to 25 s closes the [0,10) and [10,20) windows, not [20,30).
+  window.advance(SimTime::zero() + SimDuration::from_seconds(25), on_closed);
+  EXPECT_EQ(closes, (std::vector<double>{10, 20}));
+
+  // A sample landing exactly on a boundary belongs to the *next* window:
+  // the boundary closes first.
+  graph.feed(rate, SimTime::zero() + SimDuration::from_seconds(30), 1.0);
+  window.advance(SimTime::zero() + SimDuration::from_seconds(30), on_closed);
+  EXPECT_EQ(closes.back(), 30.0);
+
+  // finish() closes the partial tail window at the run horizon.
+  window.finish(SimTime::zero() + SimDuration::from_seconds(34), on_closed);
+  EXPECT_EQ(closes.back(), 34.0);
+  EXPECT_EQ(rate->in_window(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Streamed aggregates vs the materialized folds, on one run.
+
+core::ExperimentConfig small_rwp(std::uint64_t seed = 1) {
+  core::ExperimentConfig config;
+  config.node_count = 40;
+  config.interest_fraction = 0.8;
+  core::RandomWaypointSetup rwp;
+  rwp.config.width_m = 1500;
+  rwp.config.height_m = 1500;
+  rwp.config.speed_min_mps = 10;
+  rwp.config.speed_max_mps = 10;
+  config.mobility = rwp;
+  config.warmup = SimDuration::from_seconds(30);
+  config.event_validity = SimDuration::from_seconds(60);
+  config.event_count = 4;
+  config.publish_spacing = SimDuration::from_seconds(2);
+  config.seed = seed;
+  return config;
+}
+
+TEST(TelemetryEquivalence, AggregatesBitEqualToMaterializedFolds) {
+  TelemetryConfig telemetry_config;
+  telemetry_config.bounded_memory = false;  // keep both representations
+  telemetry_config.probe_validities_s = {20.0, 40.0};
+  RunTelemetry hub{telemetry_config};
+
+  core::ExperimentConfig config = small_rwp();
+  config.telemetry = &hub;
+  const core::RunResult result = core::run_experiment(config);
+
+  // The run materialized records, so the RunResult methods below answer
+  // from the legacy fold; the streamed numbers must match bit for bit.
+  ASSERT_FALSE(result.events.empty());
+  ASSERT_TRUE(result.aggregates.has_value());
+  const RunAggregates& streamed = *result.aggregates;
+
+  for (const double v_s : {20.0, 40.0, 60.0}) {
+    const SimDuration validity = SimDuration::from_seconds(v_s);
+    EXPECT_EQ(streamed.reliability_within(validity),
+              result.reliability_within(validity))
+        << "probe " << v_s;
+  }
+  EXPECT_EQ(streamed.delivered, result.delivered_count());
+  EXPECT_EQ(streamed.mean_delivery_latency_s(),
+            result.mean_delivery_latency_s());
+}
+
+TEST(TelemetryEquivalence, AttachingHubDoesNotPerturbTheRun) {
+  const core::RunResult bare = core::run_experiment(small_rwp());
+
+  TelemetryConfig telemetry_config;
+  telemetry_config.probe_validities_s = {20.0};
+  RunTelemetry hub{telemetry_config};
+  core::ExperimentConfig config = small_rwp();
+  config.telemetry = &hub;
+  const core::RunResult observed = core::run_experiment(config);
+
+  ASSERT_EQ(bare.events.size(), observed.events.size());
+  ASSERT_EQ(bare.nodes.size(), observed.nodes.size());
+  for (std::size_t n = 0; n < bare.nodes.size(); ++n) {
+    EXPECT_EQ(bare.nodes[n].delivered_at, observed.nodes[n].delivered_at)
+        << "node " << n;
+    EXPECT_EQ(bare.nodes[n].events_sent, observed.nodes[n].events_sent);
+    EXPECT_EQ(bare.nodes[n].traffic.bytes_sent,
+              observed.nodes[n].traffic.bytes_sent);
+  }
+}
+
+TEST(TelemetryEquivalence, BoundedRunElidesRecordsButKeepsTheNumbers) {
+  TelemetryConfig reference_config;
+  reference_config.probe_validities_s = {20.0, 40.0};
+  RunTelemetry reference_hub{reference_config};
+  core::ExperimentConfig config = small_rwp();
+  config.telemetry = &reference_hub;
+  const core::RunResult reference = core::run_experiment(config);
+
+  TelemetryConfig bounded_config = reference_config;
+  bounded_config.bounded_memory = true;
+  RunTelemetry bounded_hub{bounded_config};
+  config.telemetry = &bounded_hub;
+  const core::RunResult bounded = core::run_experiment(config);
+
+  // Structural: no per-event or per-(node,event) records were materialized.
+  EXPECT_TRUE(bounded.events.empty());
+  for (const core::NodeOutcome& node : bounded.nodes) {
+    EXPECT_TRUE(node.delivered_at.empty());
+  }
+  ASSERT_TRUE(bounded.aggregates.has_value());
+
+  // Metric routing answers from the aggregates — bit-equal to the
+  // materialized run's legacy fold.
+  for (const double v_s : {20.0, 40.0, 60.0}) {
+    const SimDuration validity = SimDuration::from_seconds(v_s);
+    EXPECT_EQ(bounded.reliability_within(validity),
+              reference.reliability_within(validity));
+  }
+  EXPECT_EQ(bounded.reliability(), reference.reliability());
+  EXPECT_EQ(bounded.delivered_count(), reference.delivered_count());
+  EXPECT_EQ(bounded.mean_delivery_latency_s(),
+            reference.mean_delivery_latency_s());
+
+  // The hub's live-event ring stayed bounded by validity/spacing, not by
+  // event count: 60 s validity / 2 s spacing caps simultaneous live events.
+  EXPECT_LE(bounded_hub.live_event_high_water(), 31u);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-level equivalence: hub on vs off, worker counts, shard/merge.
+
+/// Shrinks a scenario to a fast grid: every axis keeps its first value
+/// except the first axis, which keeps up to two — still multi-point, but
+/// test-sized. One seed unless the caller raises it.
+SweepOptions reduced_options(const ScenarioSpec& spec, int seeds = 1) {
+  SweepOptions options;
+  options.seeds = seeds;
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    Axis override_axis;
+    override_axis.name = spec.axes[a].name;
+    override_axis.values = {spec.axes[a].values.front()};
+    if (a == 0 && spec.axes[a].values.size() > 1) {
+      override_axis.values.push_back(spec.axes[a].values[1]);
+    }
+    options.overrides.push_back(override_axis);
+  }
+  return options;
+}
+
+class SweepEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SweepEquivalence, TelemetryCsvByteIdenticalToLegacy) {
+  const ScenarioSpec* spec = runner::find_scenario(GetParam());
+  ASSERT_NE(spec, nullptr);
+
+  SweepOptions legacy = reduced_options(*spec);
+  legacy.jobs = 2;
+  const std::string legacy_csv =
+      runner::sweep_csv(runner::run_sweep(*spec, legacy));
+
+  SweepOptions streamed = legacy;
+  streamed.telemetry = true;
+  const std::string streamed_csv =
+      runner::sweep_csv(runner::run_sweep(*spec, streamed));
+
+  EXPECT_EQ(legacy_csv, streamed_csv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SweepEquivalence,
+                         ::testing::Values("fig11_rwp_reliability",
+                                           "topic_fanout", "energy_lifetime",
+                                           "memory_pressure"),
+                         [](const auto& param_info) {
+                           return std::string{param_info.param};
+                         });
+
+TEST(SweepEquivalence, WorkerCountInvariantUnderTelemetry) {
+  const ScenarioSpec* spec = runner::find_scenario("fig11_rwp_reliability");
+  ASSERT_NE(spec, nullptr);
+
+  SweepOptions options = reduced_options(*spec, /*seeds=*/2);
+  options.telemetry = true;
+  options.jobs = 1;
+  const std::string serial =
+      runner::sweep_csv(runner::run_sweep(*spec, options));
+  options.jobs = 8;
+  const std::string parallel =
+      runner::sweep_csv(runner::run_sweep(*spec, options));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepEquivalence, ThreeShardMergeMatchesSingleBoxUnderTelemetry) {
+  const ScenarioSpec* spec = runner::find_scenario("fig11_rwp_reliability");
+  ASSERT_NE(spec, nullptr);
+
+  SweepOptions single = reduced_options(*spec, /*seeds=*/3);
+  single.jobs = 2;
+  const std::string single_csv =
+      runner::sweep_csv(runner::run_sweep(*spec, single));
+
+  std::vector<runner::ShardArtifact> artifacts;
+  for (int i = 0; i < 3; ++i) {
+    SweepOptions shard = single;
+    shard.telemetry = true;
+    shard.shard = runner::ShardSpec{i, 3};
+    // Serialize/parse round trip: exactly what the CLI interchange does.
+    artifacts.push_back(runner::parse_shard(
+        runner::serialize_shard(runner::run_sweep_shard(*spec, shard))));
+  }
+  const std::string merged_csv =
+      runner::sweep_csv(runner::merge_shards(*spec, std::move(artifacts)));
+  EXPECT_EQ(single_csv, merged_csv);
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts: time-series JSONL and Perfetto trace.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TelemetryArtifacts, TimeSeriesRowsFollowTheSchema) {
+  const std::string path = ::testing::TempDir() + "telemetry_ts.jsonl";
+  TelemetryConfig telemetry_config;
+  telemetry_config.probe_validities_s = {20.0};
+  telemetry_config.window_s = 10.0;
+  telemetry_config.timeseries_path = path;
+  RunTelemetry hub{telemetry_config};
+
+  core::ExperimentConfig config = small_rwp();
+  config.telemetry = &hub;
+  const core::RunResult result = core::run_experiment(config);
+
+  std::istringstream lines{read_file(path)};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const minijson::Value header = minijson::parse(line);
+  EXPECT_EQ(header.at("artifact").as_string(), "timeseries");
+  EXPECT_EQ(header.at("window_s").as_number(), 10.0);
+  EXPECT_EQ(header.at("node_count").as_number(), 40.0);
+  EXPECT_EQ(header.at("event_count").as_number(), 4.0);
+  EXPECT_EQ(header.at("run_end_s").as_number(), result.run_end.seconds());
+
+  std::size_t rows = 0;
+  double previous_t = 0.0;
+  bool saw_reliability = false;
+  while (std::getline(lines, line)) {
+    const minijson::Value row = minijson::parse(line);
+    ++rows;
+    const double t = row.at("t_s").as_number();
+    EXPECT_GT(t, previous_t);
+    previous_t = t;
+    for (const char* field :
+         {"reliability", "latency_p50_s", "latency_p95_s", "latency_p99_s",
+          "deliveries_per_s", "frames_per_s", "gc_per_s", "live_nodes",
+          "joules_per_s"}) {
+      const minijson::Value& value = row.at(field);
+      EXPECT_TRUE(value.is_null() || value.is_number()) << field;
+    }
+    const minijson::Value& reliability = row.at("reliability");
+    if (reliability.is_number()) {
+      saw_reliability = true;
+      EXPECT_GE(reliability.as_number(), 0.0);
+      EXPECT_LE(reliability.as_number(), 1.0);
+    }
+    EXPECT_LE(row.at("live_nodes").as_number(), 40.0);
+  }
+  // One row per closed window including the tail; the run spans warmup(30)
+  // + 3 spacings + validity(60) = 96 s -> 10 windows.
+  EXPECT_GE(rows, 9u);
+  // Probe deadlines elapse inside the run, so some window carried windowed
+  // reliability.
+  EXPECT_TRUE(saw_reliability);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryArtifacts, PerfettoTraceIsValidChromeTraceJson) {
+  const std::string path = ::testing::TempDir() + "telemetry_trace.json";
+  TelemetryConfig telemetry_config;
+  telemetry_config.perfetto_path = path;
+  RunTelemetry hub{telemetry_config};
+
+  core::ExperimentConfig config = small_rwp();
+  config.telemetry = &hub;
+  (void)core::run_experiment(config);
+
+  const minijson::Value trace = minijson::parse(read_file(path));
+  const minijson::Array& events = trace.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_complete_span = false;
+  bool saw_publish_instant = false;
+  bool saw_counter = false;
+  for (const minijson::Value& event : events) {
+    const std::string& phase = event.at("ph").as_string();
+    EXPECT_TRUE(phase == "X" || phase == "i" || phase == "C" || phase == "M")
+        << phase;
+    EXPECT_TRUE(event.at("pid").is_number());
+    if (phase == "X") {
+      EXPECT_TRUE(event.at("ts").is_number());
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+      saw_complete_span = true;
+    }
+    if (phase == "i" && event.at("name").as_string() == "publish") {
+      saw_publish_instant = true;
+    }
+    if (phase == "C") saw_counter = true;
+  }
+  EXPECT_TRUE(saw_complete_span);
+  EXPECT_TRUE(saw_publish_instant);
+  EXPECT_TRUE(saw_counter);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace frugal::telemetry
