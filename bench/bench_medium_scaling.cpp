@@ -79,9 +79,11 @@ RunTotals run_world(std::size_t nodes, bool use_index, std::uint64_t seed) {
                           [&medium, sender] { medium.broadcast(sender, 125, 0); });
   }
 
+  // detlint: wall-clock-ok(bench harness wall-time; never fed back into sim)
   const auto start = std::chrono::steady_clock::now();
   scheduler.run_until(SimTime::from_seconds(15.0));
   scheduler.run_all();
+  // detlint: wall-clock-ok(bench harness wall-time measurement)
   const auto end = std::chrono::steady_clock::now();
 
   RunTotals totals;

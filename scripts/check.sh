@@ -2,7 +2,13 @@
 # Tier-1 verification: configure, build everything, run the full ctest
 # suite. This is the exact command sequence CI and the roadmap gate on.
 #
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [--lint] [build-dir]
+#
+#   --lint   additionally run the determinism guardrails: detlint over the
+#            tree plus its fixture self-tests, and — when a clang-tidy
+#            binary is on PATH (it is in CI's lint job; it need not be
+#            installed locally) — the clang-tidy baseline over
+#            compile_commands.json.
 #
 # Environment:
 #   FRUGAL_SANITIZE=1        configure with -DFRUGAL_SANITIZE=ON (ASan+UBSan)
@@ -11,7 +17,16 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-build_dir="${1:-build}"
+
+run_lint=0
+args=()
+for arg in "$@"; do
+  case "$arg" in
+    --lint) run_lint=1 ;;
+    *) args+=("$arg") ;;
+  esac
+done
+build_dir="${args[0]:-build}"
 
 configure_args=()
 case "${FRUGAL_SANITIZE:-0}" in
@@ -23,6 +38,20 @@ esac
 cmake -B "$build_dir" -S . "${configure_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$run_lint" == "1" ]]; then
+  echo "== detlint self-tests =="
+  python3 tools/detlint/test_detlint.py
+  echo "== detlint (tree) =="
+  python3 tools/detlint/detlint.py
+  if command -v run-clang-tidy > /dev/null; then
+    echo "== clang-tidy baseline =="
+    run-clang-tidy -quiet -p "$build_dir" \
+      "$(pwd)/(src|tests|bench|examples)/.*\.cpp$"
+  else
+    echo "== clang-tidy not on PATH; skipped (CI's lint job runs it) =="
+  fi
+fi
 
 if [[ "${FRUGAL_SMOKE:-0}" == "1" ]]; then
   echo "== bench smoke (FRUGAL_SEEDS=1 bench_headline) =="

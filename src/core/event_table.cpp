@@ -17,28 +17,26 @@ std::optional<EventId> EventTable::insert(Event event, SimTime now) {
   if (full()) {
     victim = pick_victim(event, now);
     if (*victim == event.id) return victim;  // the newcomer lost: not stored
-    const auto it = events_.find(*victim);
-    index_.remove(it->second.event.topic,
-                  IndexedEvent{*victim, it->second.event.expiry()});
-    events_.erase(it);
+    const StoredEvent* evicted = events_.find(*victim);
+    index_.remove(evicted->event.topic,
+                  IndexedEvent{*victim, evicted->event.expiry()});
+    events_.erase(*victim);
   }
   StoredEvent stored;
   stored.stored_at = now;
   const EventId id = event.id;
   index_.insert(event.topic, IndexedEvent{id, event.expiry()});
   stored.event = std::move(event);
-  events_.emplace(id, std::move(stored));
+  events_.try_emplace(id, std::move(stored));
   return victim;
 }
 
 const StoredEvent* EventTable::find(EventId id) const {
-  const auto it = events_.find(id);
-  return it != events_.end() ? &it->second : nullptr;
+  return events_.find(id);
 }
 
 void EventTable::increment_forward_count(EventId id) {
-  const auto it = events_.find(id);
-  if (it != events_.end()) ++it->second.forward_count;
+  if (StoredEvent* stored = events_.find(id)) ++stored->forward_count;
 }
 
 std::vector<EventId> EventTable::ids_matching(
@@ -72,27 +70,23 @@ bool EventTable::has_match(const topics::SubscriptionSet& interests,
 std::vector<const StoredEvent*> EventTable::events_by_id() const {
   std::vector<const StoredEvent*> out;
   out.reserve(events_.size());
-  for (const auto& [id, stored] : events_) out.push_back(&stored);
-  std::sort(out.begin(), out.end(),
-            [](const StoredEvent* a, const StoredEvent* b) {
-              return a->event.id < b->event.id;
-            });
+  // Ascending-key order; the key is the event id, so no re-sort needed.
+  events_.for_each_sorted(
+      [&](const EventId&, const StoredEvent& stored) { out.push_back(&stored); });
   return out;
 }
 
 std::size_t EventTable::drop_expired(SimTime now) {
-  std::size_t dropped = 0;
-  for (auto it = events_.begin(); it != events_.end();) {
-    if (!it->second.event.valid_at(now)) {
-      index_.remove(it->second.event.topic,
-                    IndexedEvent{it->first, it->second.event.expiry()});
-      it = events_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
-    }
+  std::vector<EventId> expired;
+  events_.for_each_sorted([&](const EventId& id, const StoredEvent& stored) {
+    if (!stored.event.valid_at(now)) expired.push_back(id);
+  });
+  for (const EventId id : expired) {
+    const StoredEvent* stored = events_.find(id);
+    index_.remove(stored->event.topic, IndexedEvent{id, stored->event.expiry()});
+    events_.erase(id);
   }
-  return dropped;
+  return expired.size();
 }
 
 EventId EventTable::pick_victim(const Event& incoming, SimTime now) const {
@@ -114,7 +108,10 @@ EventId EventTable::pick_victim(const Event& incoming, SimTime now) const {
   const StoredEvent* best = nullptr;
   bool best_expired = false;
   double best_key = 0;
-  for (const auto& [id, stored] : events_) {
+  // The winner is a minimum under a total order (expired-first, key, id), so
+  // any visit order yields it; ascending ids keep the scan reproducible to
+  // read in a debugger too.
+  events_.for_each_sorted([&](const EventId& id, const StoredEvent& stored) {
     const bool expired = !stored.event.valid_at(now);
     const double k = key(stored.event, stored.forward_count,
                          stored.stored_at);
@@ -129,7 +126,7 @@ EventId EventTable::pick_victim(const Event& incoming, SimTime now) const {
       best_expired = expired;
       best_key = k;
     }
-  }
+  });
 
   // The incoming event (fwd = 0, stored now) competes: it is collected
   // instead of the stored victim only when *strictly* worse — in practice

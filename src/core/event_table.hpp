@@ -27,12 +27,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/event.hpp"
 #include "topics/subscription_set.hpp"
 #include "topics/topic_tree.hpp"
+#include "util/stable_map.hpp"
 #include "util/time.hpp"
 
 namespace frugal::core {
@@ -135,7 +135,7 @@ class EventTable {
 
   std::size_t capacity_;
   GcPolicy policy_;
-  std::unordered_map<EventId, StoredEvent, EventIdHash> events_;
+  det::hash_map<EventId, StoredEvent, EventIdHash> events_;
   /// Stored ids filed under their event's topic; always consistent with
   /// events_ (the class invariant the property tests assert).
   topics::TopicTree<IndexedEvent> index_;

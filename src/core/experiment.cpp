@@ -680,8 +680,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
     outcome.delivered_at.resize(result.events.size());
     for (std::size_t e = 0; e < result.events.size(); ++e) {
-      const auto it = m.deliveries.find(result.events[e].id);
-      if (it != m.deliveries.end()) outcome.delivered_at[e] = it->second.at;
+      const DeliveryRecord* record = m.deliveries.find(result.events[e].id);
+      if (record != nullptr) outcome.delivered_at[e] = record->at;
     }
   }
   if (telemetry != nullptr) result.aggregates = telemetry->aggregates();

@@ -55,21 +55,19 @@ void FloodingNode::publish(Event event) {
 
 void FloodingNode::tick() {
   const SimTime now = scheduler_.now();
-  std::erase_if(store_,
-                [&](const auto& kv) { return !kv.second.valid_at(now); });
+  store_.erase_if([&](const auto& kv) { return !kv.second.valid_at(now); });
   if (prune_slack_.has_value()) metrics_.prune_deliveries(now, *prune_slack_);
   if (config_.variant == FloodingVariant::kNeighborInterest) {
-    std::erase_if(neighbors_, [&](const auto& kv) {
+    neighbors_.erase_if([&](const auto& kv) {
       return kv.second.heard_at + config_.neighbor_ttl < now;
     });
   }
 
-  // Deterministic order for reproducibility.
+  // Ascending-id order for reproducibility (the store's key is the id).
   std::vector<const Event*> events;
   events.reserve(store_.size());
-  for (const auto& [id, event] : store_) events.push_back(&event);
-  std::sort(events.begin(), events.end(),
-            [](const Event* a, const Event* b) { return a->id < b->id; });
+  store_.for_each_sorted(
+      [&](const EventId&, const Event& event) { events.push_back(&event); });
 
   for (const Event* event : events) transmit_event(*event);
 }
@@ -98,10 +96,12 @@ void FloodingNode::transmit_event(const Event& event) {
     case FloodingVariant::kNeighborInterest: {
       // One transmission per currently-known interested neighbor: the sender
       // addresses each neighbor separately (no multicast below us), which is
-      // what makes this variant the most bandwidth-hungry.
-      for (const auto& [nid, neighbor] : neighbors_) {
+      // what makes this variant the most bandwidth-hungry. Ascending-id
+      // order; the frames are identical, so only the *count* is observable,
+      // but the jitter draws pair up with neighbors reproducibly this way.
+      neighbors_.for_each_sorted([&](NodeId, const Neighbor& neighbor) {
         if (neighbor.subscriptions.covers(event.topic)) send_once();
-      }
+      });
       return;
     }
   }
@@ -155,8 +155,10 @@ void FloodingNode::on_event_bundle(const EventBundle& bundle) {
 
 void FloodingNode::deliver(const Event& event) {
   const SimTime now = scheduler_.now();
-  const auto [it, fresh] =
-      metrics_.deliveries.emplace(event.id, DeliveryRecord{now, event.expiry()});
+  const bool fresh = metrics_.deliveries
+                         .try_emplace(event.id,
+                                      DeliveryRecord{now, event.expiry()})
+                         .inserted;
   if (!fresh) return;
   if (delivery_callback_) delivery_callback_(event, now);
 }

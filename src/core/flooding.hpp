@@ -14,7 +14,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "core/event_table.hpp"
 #include "core/messages.hpp"
@@ -23,6 +22,7 @@
 #include "net/medium.hpp"
 #include "sim/simulator.hpp"
 #include "topics/subscription_set.hpp"
+#include "util/stable_map.hpp"
 
 namespace frugal::core {
 
@@ -92,8 +92,8 @@ class FloodingNode final : public ProtocolNode {
   FloodingConfig config_;
 
   topics::SubscriptionSet subscriptions_;
-  std::unordered_map<EventId, Event, EventIdHash> store_;
-  std::unordered_map<NodeId, Neighbor> neighbors_;  // variant 3 only
+  det::hash_map<EventId, Event, EventIdHash> store_;
+  det::hash_map<NodeId, Neighbor> neighbors_;  // variant 3 only
 
   sim::PeriodicTask ticker_;
   std::unique_ptr<sim::PeriodicTask> heartbeat_;

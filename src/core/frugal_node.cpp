@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_set>
 
 #include "sim/profiler.hpp"
 #include "util/expect.hpp"
@@ -138,15 +137,14 @@ void FrugalNode::on_heartbeat(const Heartbeat& heartbeat) {
     neighborhood_.upsert(heartbeat.sender, heartbeat.subscriptions,
                          heartbeat.speed_mps, now);
     // Merge an id advert that raced ahead of this admitting heartbeat.
-    if (const auto stashed = advert_stash_.find(heartbeat.sender);
-        stashed != advert_stash_.end()) {
-      if (stashed->second.heard_at + hb_delay_ * 2 >= now) {
-        for (EventId event_id : stashed->second.ids) {
+    if (const StashedAdvert* stashed = advert_stash_.find(heartbeat.sender)) {
+      if (stashed->heard_at + hb_delay_ * 2 >= now) {
+        for (EventId event_id : stashed->ids) {
           neighborhood_.record_event(heartbeat.sender, event_id,
                                      known_expiry(event_id));
         }
       }
-      advert_stash_.erase(stashed);
+      advert_stash_.erase(heartbeat.sender);
     }
     // "new neighborEvent": advertise the ids of the valid events we hold
     // matching the neighbor's interests. The paper raises this on detection;
@@ -197,7 +195,7 @@ void FrugalNode::on_event_ids(const EventIdList& list) {
   if (!neighborhood_.contains(list.sender)) {
     // Not admitted (yet): the admitting heartbeat may simply not have
     // arrived. Stash the advert; on_heartbeat merges it at admission.
-    std::erase_if(advert_stash_, [&](const auto& kv) {
+    advert_stash_.erase_if([&](const auto& kv) {
       return kv.second.heard_at + hb_delay_ * 2 < now;
     });
     advert_stash_[list.sender] = StashedAdvert{list.ids, now};
@@ -216,14 +214,14 @@ void FrugalNode::retrieve_events_to_send() {
   sim::ProfileScope profile{scheduler_.profiler(), "frugal.retrieve"};
   const SimTime now = scheduler_.now();
   events_to_send_.clear();
-  std::unordered_set<EventId, EventIdHash> selected;
+  det::hash_set<EventId, EventIdHash> selected;
   for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
     // The topic index resolves each neighbor's interests in O(matching
     // subtree); the ids come back valid, covered and ascending — the same
     // order the flat scan produced.
     for (EventId id : events_.ids_matching(neighbor->subscriptions, now)) {
       if (neighbor->known_events.contains(id)) continue;
-      if (selected.insert(id).second) events_to_send_.push_back(id);
+      if (selected.insert(id)) events_to_send_.push_back(id);
     }
   }
   if (events_to_send_.empty()) return;
@@ -287,11 +285,11 @@ void FrugalNode::on_backoff_expired() {
   // the back-off (id lists heard, bundles overheard, validity expirations).
   const SimTime now = scheduler_.now();
   std::vector<Event> bundle;
-  std::unordered_set<EventId, EventIdHash> selected;
+  det::hash_set<EventId, EventIdHash> selected;
   for (const NeighborEntry* neighbor : neighborhood_.entries_by_id()) {
     for (EventId id : events_.ids_matching(neighbor->subscriptions, now)) {
       if (neighbor->known_events.contains(id)) continue;
-      if (selected.insert(id).second) {
+      if (selected.insert(id)) {
         bundle.push_back(events_.find(id)->event);
       }
     }
@@ -406,8 +404,10 @@ void FrugalNode::deliver(const Event& event) {
   // An event can be re-stored after its table entry was collected while the
   // copy kept circulating; the application already saw it, so count it as a
   // duplicate and keep the first delivery time.
-  const auto [it, fresh] =
-      metrics_.deliveries.emplace(event.id, DeliveryRecord{now, event.expiry()});
+  const bool fresh = metrics_.deliveries
+                         .try_emplace(event.id,
+                                      DeliveryRecord{now, event.expiry()})
+                         .inserted;
   if (!fresh) {
     metrics_.duplicates += 1;
     return;

@@ -21,7 +21,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/event_table.hpp"
@@ -32,6 +31,7 @@
 #include "net/medium.hpp"
 #include "sim/simulator.hpp"
 #include "topics/subscription_set.hpp"
+#include "util/stable_map.hpp"
 
 namespace frugal::core {
 
@@ -159,7 +159,7 @@ class FrugalNode final : public ProtocolNode {
     std::vector<EventId> ids;
     SimTime heard_at;
   };
-  std::unordered_map<NodeId, StashedAdvert> advert_stash_;
+  det::hash_map<NodeId, StashedAdvert> advert_stash_;
 
   SimDuration hb_delay_;
   SimDuration ngc_delay_;

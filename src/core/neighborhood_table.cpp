@@ -7,11 +7,10 @@ namespace frugal::core {
 bool NeighborhoodTable::upsert(NodeId id,
                                topics::SubscriptionSet subscriptions,
                                std::optional<double> speed_mps, SimTime now) {
-  const auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    it->second.subscriptions = std::move(subscriptions);
-    it->second.speed_mps = speed_mps;
-    it->second.store_time = now;
+  if (NeighborEntry* existing = entries_.find(id)) {
+    existing->subscriptions = std::move(subscriptions);
+    existing->speed_mps = speed_mps;
+    existing->store_time = now;
     return true;
   }
   if (capacity_ != 0 && entries_.size() >= capacity_) return false;
@@ -20,58 +19,59 @@ bool NeighborhoodTable::upsert(NodeId id,
   entry.subscriptions = std::move(subscriptions);
   entry.speed_mps = speed_mps;
   entry.store_time = now;
-  entries_.emplace(id, std::move(entry));
+  entries_.try_emplace(id, std::move(entry));
   return true;
 }
 
 void NeighborhoodTable::record_event(NodeId id, EventId event,
                                      std::optional<SimTime> expiry) {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return;
+  NeighborEntry* entry = entries_.find(id);
+  if (entry == nullptr) return;
   const SimTime bound = expiry.value_or(SimTime::max());
-  const auto [slot, fresh] = it->second.known_events.emplace(event, bound);
+  const auto [slot, fresh] = entry->known_events.try_emplace(event, bound);
   // An exact expiry replaces an unknown (max) one; an event's expiry is a
   // fact of the event, so two exact recordings always agree.
-  if (!fresh && bound < slot->second) slot->second = bound;
+  if (!fresh && bound < *slot) *slot = bound;
 }
 
 void NeighborhoodTable::touch(NodeId id, SimTime now) {
-  const auto it = entries_.find(id);
-  if (it != entries_.end()) it->second.store_time = now;
+  if (NeighborEntry* entry = entries_.find(id)) entry->store_time = now;
 }
 
 bool NeighborhoodTable::neighbor_knows(NodeId id, EventId event) const {
-  const auto it = entries_.find(id);
-  return it != entries_.end() && it->second.known_events.contains(event);
+  const NeighborEntry* entry = entries_.find(id);
+  return entry != nullptr && entry->known_events.contains(event);
 }
 
 const NeighborEntry* NeighborhoodTable::find(NodeId id) const {
-  const auto it = entries_.find(id);
-  return it != entries_.end() ? &it->second : nullptr;
+  return entries_.find(id);
 }
 
 std::size_t NeighborhoodTable::collect(SimTime now, SimDuration max_age) {
-  const std::size_t removed = std::erase_if(entries_, [&](const auto& kv) {
+  const std::size_t removed = entries_.erase_if([&](const auto& kv) {
     return kv.second.store_time + max_age < now;
   });
   // Known-event ids are consulted only for events still valid (expiry > now);
   // once the recorded expiry passes, the entry is dead weight.
-  for (auto& [id, entry] : entries_) {
-    std::erase_if(entry.known_events,
-                  [&](const auto& kv) { return kv.second <= now; });
-  }
+  entries_.for_each_sorted([&](NodeId, NeighborEntry& entry) {
+    entry.known_events.erase_if(
+        [&](const auto& kv) { return kv.second <= now; });
+  });
   return removed;
 }
 
 std::optional<double> NeighborhoodTable::average_speed() const {
   double total = 0;
   std::size_t reporting = 0;
-  for (const auto& [id, entry] : entries_) {
+  // Summed in ascending-id order: the FP rounding of `total`, and hence the
+  // adaptive heartbeat period derived from it, must not depend on hash
+  // layout.
+  entries_.for_each_sorted([&](NodeId, const NeighborEntry& entry) {
     if (entry.speed_mps) {
       total += *entry.speed_mps;
       ++reporting;
     }
-  }
+  });
   if (reporting == 0) return std::nullopt;
   return total / static_cast<double>(reporting);
 }
@@ -79,20 +79,13 @@ std::optional<double> NeighborhoodTable::average_speed() const {
 std::vector<const NeighborEntry*> NeighborhoodTable::entries_by_id() const {
   std::vector<const NeighborEntry*> out;
   out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) out.push_back(&entry);
-  std::sort(out.begin(), out.end(),
-            [](const NeighborEntry* a, const NeighborEntry* b) {
-              return a->id < b->id;
-            });
+  entries_.for_each_sorted(
+      [&](NodeId, const NeighborEntry& entry) { out.push_back(&entry); });
   return out;
 }
 
 std::vector<NodeId> NeighborhoodTable::neighbor_ids() const {
-  std::vector<NodeId> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
+  return entries_.sorted_keys();
 }
 
 }  // namespace frugal::core

@@ -7,12 +7,11 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/event.hpp"
 #include "topics/subscription_set.hpp"
+#include "util/stable_map.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -28,7 +27,7 @@ struct NeighborEntry {
   /// are dropped by collect() — without that pruning a long-lived neighbor
   /// row grows with every event ever seen, turning a bounded protocol state
   /// into O(run length) memory and cache-hostile lookups.
-  std::unordered_map<EventId, SimTime, EventIdHash> known_events;
+  det::hash_map<EventId, SimTime, EventIdHash> known_events;
   std::optional<double> speed_mps;
   SimTime store_time;
 };
@@ -88,7 +87,7 @@ class NeighborhoodTable {
 
  private:
   std::size_t capacity_;
-  std::unordered_map<NodeId, NeighborEntry> entries_;
+  det::hash_map<NodeId, NeighborEntry> entries_;
 };
 
 }  // namespace frugal::core

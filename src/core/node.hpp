@@ -5,11 +5,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "core/event.hpp"
 #include "net/medium.hpp"
 #include "topics/topic.hpp"
+#include "util/stable_map.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -26,7 +26,9 @@ struct DeliveryRecord {
 /// (events sent, duplicates, parasites) plus delivery times for reliability.
 struct DeliveryMetrics {
   /// Unique events delivered to the application, with delivery time.
-  std::unordered_map<EventId, DeliveryRecord, EventIdHash> deliveries;
+  /// Point-lookup only by construction (det::hash_map): per-event delivery
+  /// times are read by id, never folded in hash order.
+  det::hash_map<EventId, DeliveryRecord, EventIdHash> deliveries;
   /// Receptions of an event already delivered/stored here (interested).
   std::uint64_t duplicates = 0;
   /// Receptions of events whose topic we have not subscribed to.
@@ -50,7 +52,7 @@ struct DeliveryMetrics {
   /// correct for any frame still in flight, since nodes only transmit
   /// valid events.
   void prune_deliveries(SimTime now, SimDuration slack) {
-    std::erase_if(deliveries, [&](const auto& entry) {
+    deliveries.erase_if([&](const auto& entry) {
       return entry.second.expires + slack < now;
     });
   }

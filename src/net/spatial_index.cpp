@@ -33,6 +33,7 @@ double SpatialIndex::drift_m(SimTime now) const {
 }
 
 void SpatialIndex::rebuild(SimTime now) {
+  // detlint: unordered-iter-ok(clears every bucket; order unobservable)
   for (auto& [unused_key, bucket] : cells_) bucket.clear();
   const std::size_t n = mobility_.node_count();
   for (NodeId node = 0; node < n; ++node) {

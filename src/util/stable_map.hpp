@@ -1,0 +1,183 @@
+// Deterministic-by-construction hash containers (the detlint fix path).
+//
+// det::hash_map / det::hash_set wrap the std unordered containers with
+// iteration *removed*: there is no begin()/end(), so range-for loops,
+// std:: algorithms and hash-order folds over the contents do not compile.
+// The byte-identical contract (golden traces, shard merges, --jobs N
+// equality) dies the moment anything order-sensitive — an FP sum, a
+// broadcast, a trace line — happens in hash order, and hash order is
+// exactly what plain unordered iteration hands out. These wrappers make
+// the safe thing the only thing that compiles:
+//
+//   * point lookups and mutations forward to the unordered container
+//     (O(1), same as before);
+//   * order-sensitive consumers go through the explicit sorted accessors
+//     (sorted_keys / sorted_values / for_each_sorted), which materialize
+//     an ascending-key view;
+//   * order-insensitive bulk removal goes through erase_if, whose result
+//     (the surviving key set) is independent of visit order by
+//     construction — the predicate sees one entry at a time and must not
+//     accumulate across calls.
+//
+// The internal implementation necessarily iterates the unordered storage;
+// this file is the single allowlisted site for that in tools/detlint.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace frugal::det {
+
+/// Result of hash_map::try_emplace / emplace: the slot (always valid) and
+/// whether this call created it.
+template <class V>
+struct InsertResult {
+  V* value;
+  bool inserted;
+};
+
+template <class K, class V, class Hash = std::hash<K>,
+          class Eq = std::equal_to<K>>
+class hash_map {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] bool contains(const K& key) const {
+    return map_.contains(key);
+  }
+  [[nodiscard]] std::size_t count(const K& key) const {
+    return map_.count(key);
+  }
+
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  [[nodiscard]] V* find(const K& key) {
+    const auto it = map_.find(key);
+    return it != map_.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] const V* find(const K& key) const {
+    const auto it = map_.find(key);
+    return it != map_.end() ? &it->second : nullptr;
+  }
+
+  V& operator[](const K& key) { return map_[key]; }
+  [[nodiscard]] V& at(const K& key) { return map_.at(key); }
+  [[nodiscard]] const V& at(const K& key) const { return map_.at(key); }
+
+  /// Inserts `key` mapped to V(args...) unless present. Never overwrites.
+  template <class... Args>
+  InsertResult<V> try_emplace(const K& key, Args&&... args) {
+    const auto [it, inserted] =
+        map_.try_emplace(key, std::forward<Args>(args)...);
+    return {&it->second, inserted};
+  }
+  /// Alias of try_emplace, so ported call sites keep their shape.
+  template <class... Args>
+  InsertResult<V> emplace(const K& key, Args&&... args) {
+    return try_emplace(key, std::forward<Args>(args)...);
+  }
+
+  std::size_t erase(const K& key) { return map_.erase(key); }
+
+  /// Removes every entry matching `pred(const std::pair<const K, V>&)`.
+  /// The surviving key set is visit-order independent as long as the
+  /// predicate is pure per entry — do not accumulate across calls.
+  template <class Pred>
+  std::size_t erase_if(Pred pred) {
+    return std::erase_if(map_, pred);
+  }
+
+  /// Set-semantics equality (element-wise, order-free).
+  [[nodiscard]] bool operator==(const hash_map& other) const {
+    return map_ == other.map_;
+  }
+
+  /// All keys, ascending. Requires operator< on K.
+  [[nodiscard]] std::vector<K> sorted_keys() const {
+    std::vector<K> keys;
+    keys.reserve(map_.size());
+    for (const auto& [key, value] : map_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  /// Invokes `fn(const K&, V&)` for every entry in ascending key order.
+  template <class Fn>
+  void for_each_sorted(Fn fn) {
+    for (auto* entry : sorted_entries()) fn(entry->first, entry->second);
+  }
+  /// Invokes `fn(const K&, const V&)` for every entry in ascending key
+  /// order.
+  template <class Fn>
+  void for_each_sorted(Fn fn) const {
+    std::vector<const std::pair<const K, V>*> entries;
+    entries.reserve(map_.size());
+    for (const auto& entry : map_) entries.push_back(&entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* entry : entries) fn(entry->first, entry->second);
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::pair<const K, V>*> sorted_entries() {
+    std::vector<std::pair<const K, V>*> entries;
+    entries.reserve(map_.size());
+    for (auto& entry : map_) entries.push_back(&entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    return entries;
+  }
+
+  std::unordered_map<K, V, Hash, Eq> map_;
+};
+
+template <class K, class Hash = std::hash<K>, class Eq = std::equal_to<K>>
+class hash_set {
+ public:
+  using key_type = K;
+
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+  [[nodiscard]] bool empty() const { return set_.empty(); }
+  [[nodiscard]] bool contains(const K& key) const {
+    return set_.contains(key);
+  }
+
+  void clear() { set_.clear(); }
+  void reserve(std::size_t n) { set_.reserve(n); }
+
+  /// Returns true when `key` was newly inserted.
+  bool insert(const K& key) { return set_.insert(key).second; }
+  std::size_t erase(const K& key) { return set_.erase(key); }
+
+  template <class Pred>
+  std::size_t erase_if(Pred pred) {
+    return std::erase_if(set_, pred);
+  }
+
+  [[nodiscard]] bool operator==(const hash_set& other) const {
+    return set_ == other.set_;
+  }
+
+  /// All values, ascending. Requires operator< on K.
+  [[nodiscard]] std::vector<K> sorted_values() const {
+    std::vector<K> values;
+    values.reserve(set_.size());
+    for (const K& value : set_) values.push_back(value);
+    std::sort(values.begin(), values.end());
+    return values;
+  }
+
+ private:
+  std::unordered_set<K, Hash, Eq> set_;
+};
+
+}  // namespace frugal::det

@@ -30,6 +30,7 @@ std::optional<std::string> read_file(const std::string& path) {
 }
 
 bool regen_requested() {
+  // detlint: env-read-ok(test-harness regen knob; never read by simulation)
   const char* value = std::getenv("FRUGAL_REGEN_GOLDEN");
   return value != nullptr && value[0] != '\0' && value[0] != '0';
 }

@@ -1,0 +1,150 @@
+// Unit tests for det::hash_map / det::hash_set (util/stable_map.hpp): the
+// deterministic-by-construction containers the detlint unordered-iter rule
+// points to. Point operations must behave like the std containers they
+// wrap; the sorted accessors must produce ascending-key views regardless of
+// insertion order or intervening erases (which perturb bucket layout).
+#include "util/stable_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace frugal {
+namespace {
+
+TEST(StableHashMap, PointOperations) {
+  det::hash_map<int, std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+
+  map[7] = "seven";
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(7));
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), "seven");
+  EXPECT_EQ(map.at(7), "seven");
+
+  EXPECT_EQ(map.erase(7), 1u);
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_FALSE(map.contains(7));
+}
+
+TEST(StableHashMap, TryEmplaceNeverOverwrites) {
+  det::hash_map<int, std::string> map;
+  const auto first = map.try_emplace(1, "one");
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(*first.value, "one");
+
+  const auto second = map.try_emplace(1, "uno");
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(*second.value, "one");  // incumbent kept
+  EXPECT_EQ(second.value, first.value);
+
+  // emplace is an alias with identical semantics.
+  EXPECT_FALSE(map.emplace(1, "eins").inserted);
+  EXPECT_EQ(map.at(1), "one");
+}
+
+TEST(StableHashMap, SortedKeysAscendingRegardlessOfInsertionOrder) {
+  det::hash_map<std::uint32_t, int> map;
+  for (const std::uint32_t key : {9u, 2u, 40u, 0u, 17u}) {
+    map[key] = static_cast<int>(key) * 10;
+  }
+  EXPECT_EQ(map.sorted_keys(),
+            (std::vector<std::uint32_t>{0u, 2u, 9u, 17u, 40u}));
+}
+
+TEST(StableHashMap, ForEachSortedVisitsAscendingAndMutates) {
+  det::hash_map<int, int> map;
+  for (const int key : {5, 1, 3, 2, 4}) map[key] = 0;
+
+  std::vector<int> visited;
+  map.for_each_sorted([&](const int& key, int& value) {
+    visited.push_back(key);
+    value = key * key;  // mutable overload writes through
+  });
+  EXPECT_EQ(visited, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(map.at(4), 16);
+
+  const auto& cmap = map;
+  visited.clear();
+  cmap.for_each_sorted(
+      [&](const int&, const int& value) { visited.push_back(value); });
+  EXPECT_EQ(visited, (std::vector<int>{1, 4, 9, 16, 25}));
+}
+
+TEST(StableHashMap, SortedViewStableUnderChurn) {
+  // Erase/re-insert churn perturbs the unordered bucket layout; the sorted
+  // view must not care.
+  det::hash_map<int, int> map;
+  for (int i = 0; i < 64; ++i) map[i] = i;
+  for (int i = 0; i < 64; i += 2) map.erase(i);
+  for (int i = 64; i < 96; ++i) map[i] = i;
+
+  const std::vector<int> keys = map.sorted_keys();
+  ASSERT_FALSE(keys.empty());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST(StableHashMap, EraseIfReturnsCountAndKeepsSurvivors) {
+  det::hash_map<int, int> map;
+  for (int i = 0; i < 10; ++i) map[i] = i;
+  const std::size_t removed =
+      map.erase_if([](const auto& kv) { return kv.first % 2 == 0; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(map.sorted_keys(), (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(StableHashMap, SetSemanticsEquality) {
+  det::hash_map<int, int> a;
+  det::hash_map<int, int> b;
+  for (const int key : {1, 2, 3}) a[key] = key;
+  for (const int key : {3, 1, 2}) b[key] = key;  // different insertion order
+  EXPECT_EQ(a, b);
+  b[4] = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(StableHashMap, CustomHashKeys) {
+  // The protocol tables key on EventId with EventIdHash — the exact shape
+  // ported in core/.
+  det::hash_map<core::EventId, int, core::EventIdHash> map;
+  const core::EventId late{2, 1};
+  const core::EventId early{1, 9};
+  map[late] = 20;
+  map[early] = 10;
+  const std::vector<core::EventId> keys = map.sorted_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], early);  // publisher-major ordering via operator<=>
+  EXPECT_EQ(keys[1], late);
+}
+
+TEST(StableHashSet, InsertReportsFreshness) {
+  det::hash_set<int> set;
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(3));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(StableHashSet, SortedValuesAndEraseIf) {
+  det::hash_set<int> set;
+  for (const int value : {8, 1, 6, 3}) set.insert(value);
+  EXPECT_EQ(set.sorted_values(), (std::vector<int>{1, 3, 6, 8}));
+
+  EXPECT_EQ(set.erase_if([](int value) { return value > 5; }), 2u);
+  EXPECT_EQ(set.sorted_values(), (std::vector<int>{1, 3}));
+
+  EXPECT_EQ(set.erase(1), 1u);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace frugal

@@ -1,0 +1,732 @@
+#!/usr/bin/env python3
+"""detlint — the repo's determinism linter.
+
+Every headline claim this repository makes (golden traces byte-for-byte,
+shard merges cmp-equal to single-box runs, --jobs 1 == --jobs 8 CSVs)
+rests on one discipline: nothing order- or environment-sensitive may
+depend on hash layout, wall clocks, or ambient randomness. detlint turns
+that discipline into machinery. It enforces:
+
+  R1  unordered-iter   Range-for / begin()/end() / std::erase_if traversal
+                       of std::unordered_map/set outside allowlisted sites.
+                       Hash order is not part of any contract; iterate a
+                       sorted view (det::hash_map in util/stable_map.hpp)
+                       or annotate with a justification.
+  R2  nondet-source    Banned nondeterminism sources: std::random_device,
+                       rand()/srand(), std::chrono::system_clock, and
+                       default-constructed standard RNG engines (their
+                       default seed invites later "fixes" to time seeds).
+                       All simulator randomness flows from util/rng.hpp.
+  R2' env-read         getenv outside util/env — ambient configuration must
+                       go through the typed env_* helpers so runs are
+                       reproducible from their recorded configuration.
+  R3  wall-clock       std::chrono::steady_clock outside the wall-clock
+                       provenance whitelist (the self-profiler and the sweep
+                       runner's wall_seconds field). Wall time must never
+                       reach canonical outputs.
+  R4  fp-accumulate    Floating-point += / -= accumulation inside an
+                       unordered iteration: hash-order FP sums round
+                       differently per layout, silently changing results.
+  R5  ptr-order        Ordered containers keyed on raw pointer values, or
+                       comparators that compare raw pointers: pointer order
+                       is ASLR order, different every process.
+
+Escape hatch: a finding on line N is suppressed by the annotation
+
+    // detlint: <rule>-ok(<non-empty reason>)
+
+on line N or line N-1. The reason is mandatory; an empty one is an error.
+
+Engines:
+  * token  — a comment/string-aware lexical pass. No dependencies; this is
+             the fallback (and self-test reference) everywhere.
+  * clang  — libclang (clang.cindex) over build/compile_commands.json for
+             type-accurate detection through typedefs and auto.
+  * auto   — clang when importable and loadable, token otherwise.
+
+Exit status: 0 when no unsuppressed findings, 1 otherwise, 2 on usage or
+environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+# Directories scanned by a default (no-path) invocation, relative to the
+# repository root.
+DEFAULT_ROOTS = ["src", "tests", "bench", "examples"]
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+RULES = {
+    "unordered-iter": "traversal of std::unordered_map/set (hash order)",
+    "nondet-source": "banned nondeterminism source",
+    "env-read": "getenv outside util/env",
+    "wall-clock": "steady_clock outside the wall-clock whitelist",
+    "fp-accumulate": "floating-point accumulation inside unordered iteration",
+    "ptr-order": "ordering keyed on raw pointer values (ASLR order)",
+}
+
+# Per-rule allowlists (repo-root-relative paths). These are the sites whose
+# whole job is the thing the rule bans: the det:: wrappers must iterate the
+# unordered storage to build their sorted views, the profiler and the sweep
+# runner own wall-clock provenance, and util/env is the one sanctioned
+# getenv call.
+ALLOWLIST = {
+    "unordered-iter": {"src/util/stable_map.hpp"},
+    "wall-clock": {"src/sim/profiler.hpp", "src/runner/sweep.cpp"},
+    "env-read": {"src/util/env.cpp"},
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    file: str  # repo-root-relative, POSIX separators
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+# --------------------------------------------------------------------------
+# Lexing: strip comments and literals (preserving offsets), harvest
+# `// detlint: <rule>-ok(reason)` annotations.
+
+ANNOTATION_RE = re.compile(r"detlint:\s*([\w-]+?)-ok\(([^)]*)\)")
+
+
+def lex(text: str):
+    """Returns (code, annotations, errors): `code` is `text` with comment
+    and string/char-literal *contents* replaced by spaces (newlines kept, so
+    offsets and line numbers survive); `annotations` maps line -> set of
+    rule ids suppressed there; `errors` lists (line, message) for malformed
+    annotations."""
+    out = []
+    annotations: dict[int, set[str]] = {}
+    errors: list[tuple[int, str]] = []
+    i, n = 0, len(text)
+    line = 1
+
+    def blank(segment: str) -> str:
+        return "".join(c if c == "\n" else " " for c in segment)
+
+    def harvest(comment: str, start_line: int) -> None:
+        for match in ANNOTATION_RE.finditer(comment):
+            rule, reason = match.group(1), match.group(2).strip()
+            at = start_line + comment[: match.start()].count("\n")
+            if rule not in RULES:
+                errors.append((at, f"annotation names unknown rule '{rule}'"))
+            elif not reason:
+                errors.append(
+                    (at, f"annotation '{rule}-ok' needs a non-empty reason"))
+            else:
+                annotations.setdefault(at, set()).add(rule)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            harvest(text[i:end], line)
+            out.append(blank(text[i:end]))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            harvest(text[i:end + 2], line)
+            segment = text[i:end + 2]
+            out.append(blank(segment))
+            line += segment.count("\n")
+            i = end + 2
+        elif c == '"' and text[max(0, i - 1):i + 1] in ('R"', 'R"'):
+            # Raw string literal R"delim( ... )delim".
+            m = re.match(r'"([^(\s]*)\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            delim = m.group(1)
+            close = text.find(")" + delim + '"', i)
+            close = n if close == -1 else close + len(delim) + 2
+            segment = text[i:close]
+            out.append('"' + blank(segment[1:-1]) + '"'
+                       if len(segment) >= 2 else blank(segment))
+            line += segment.count("\n")
+            i = close
+        elif c in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + blank(text[i + 1:j - 1]) + (text[j - 1:j] or ""))
+            line += text[i:j].count("\n")
+            i = j
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+    return "".join(out), annotations, errors
+
+
+# --------------------------------------------------------------------------
+# Token engine.
+
+UNORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set)\s*<")
+USING_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std\s*::\s*unordered_(?:map|set)\s*<")
+FP_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:[;,=({]|$)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+MEMBER_ITER_RE_TEMPLATE = r"\b({names})\s*\.\s*c?r?(?:begin|end)\s*\("
+ERASE_IF_RE = re.compile(r"\bstd\s*::\s*erase_if\s*\(\s*([^,]+),")
+ENGINE_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(mt19937(?:_64)?|default_random_engine|minstd_rand0?|ranlux24|ranlux48|"
+    r"knuth_b)\s+\w+\s*;")
+PTR_CMP_RE = re.compile(
+    r"\[[^\]\n]*\]\s*\(\s*(?:const\s+)?[\w:]+\s*\*+\s*(?:const\s+)?(\w+)\s*,"
+    r"\s*(?:const\s+)?[\w:]+\s*\*+\s*(?:const\s+)?(\w+)\s*\)"
+    r"\s*(?:->\s*[\w:]+\s*)?\{\s*return\s+(\w+)\s*[<>]\s*(\w+)\s*;")
+ORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<")
+
+BANNED_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*random_device\b|\brandom_device\b"),
+     "nondet-source", "std::random_device is nondeterministic by design; "
+     "derive streams from the run seed via util/rng.hpp"),
+    (re.compile(r"\bsrand\s*\("), "nondet-source",
+     "srand() seeds hidden global state; use util/rng.hpp"),
+    (re.compile(r"\brand\s*\("), "nondet-source",
+     "rand() draws from hidden global state; use util/rng.hpp"),
+    (re.compile(r"\bsystem_clock\b"), "nondet-source",
+     "system_clock reads wall time; simulation time comes from the "
+     "scheduler, wall provenance from the profiler/sweep runner"),
+    (re.compile(r"\bgetenv\s*\("), "env-read",
+     "read the environment through util/env's typed helpers"),
+]
+
+
+def line_of(code: str, offset: int) -> int:
+    return code.count("\n", 0, offset) + 1
+
+
+def match_angles(code: str, open_idx: int) -> int:
+    """Given index of '<', returns index one past its matching '>', or -1."""
+    depth = 0
+    i = open_idx
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            # Ignore '->' and '>>' handled naturally: '>>' closes two.
+            if i > 0 and code[i - 1] == "-":
+                i += 1
+                continue
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            return -1  # not a template argument list after all
+        i += 1
+    return -1
+
+
+def declared_unordered(code: str, aliases: set[str]) -> set[str]:
+    """Names declared in `code` with std::unordered_map/set type (or an
+    alias of one)."""
+    names: set[str] = set()
+    for match in UNORDERED_DECL_RE.finditer(code):
+        close = match_angles(code, match.end() - 1)
+        if close == -1:
+            continue
+        after = re.match(r"\s*&?\s*(\w+)\s*[;={(,)]", code[close:])
+        if after:
+            names.add(after.group(1))
+    for alias in aliases:
+        for match in re.finditer(
+                r"\b" + re.escape(alias) + r"\s+(\w+)\s*[;={(]", code):
+            names.add(match.group(1))
+    return names
+
+
+def unordered_symbols(files: dict[str, str]) -> dict[str, set[str]]:
+    """Per-file sets of names known to be std::unordered_map/set.
+
+    Scoping keeps the name-based heuristic honest: a file sees names it
+    declares itself, names declared in its paired header/source (same stem —
+    the member-field case: declared in foo.hpp, iterated in foo.cpp), and,
+    tree-wide, names following the trailing-underscore member convention
+    (`table_`) declared in any header. A local `events` vector in one file
+    is never poisoned by an unordered `events` in another; the clang engine
+    in CI resolves the remaining cross-file cases by type."""
+    aliases: set[str] = set()
+    for code in files.values():
+        for match in USING_ALIAS_RE.finditer(code):
+            aliases.add(match.group(1))
+    own: dict[str, set[str]] = {
+        rel: declared_unordered(code, aliases) for rel, code in files.items()}
+    header_members: set[str] = set()
+    for rel, names in own.items():
+        if Path(rel).suffix in (".hpp", ".hh", ".h"):
+            header_members.update(n for n in names if n.endswith("_"))
+    by_stem: dict[str, set[str]] = {}
+    for rel, names in own.items():
+        path = Path(rel)
+        by_stem.setdefault(str(path.parent / path.stem), set()).update(names)
+    scoped: dict[str, set[str]] = {}
+    for rel in files:
+        path = Path(rel)
+        scoped[rel] = (own[rel]
+                       | by_stem.get(str(path.parent / path.stem), set())
+                       | header_members)
+    return scoped
+
+
+def terminal_name(expr: str) -> str | None:
+    """The identifier an expression like `table_`, `this->entries_` or
+    `node.events_` ultimately names; None for calls, indexing, etc."""
+    expr = expr.strip()
+    if not expr or expr[-1] in ")]":
+        return None
+    match = re.search(r"(\w+)\s*$", expr)
+    return match.group(1) if match else None
+
+
+def find_block(code: str, start: int) -> tuple[int, int]:
+    """(open, close) offsets of the next {...} block at/after `start`; for a
+    braceless statement, the span up to the next ';'."""
+    n = len(code)
+    i = start
+    while i < n and code[i] not in "{;":
+        i += 1
+    if i >= n:
+        return (n, n)
+    if code[i] == ";":
+        return (start, i)
+    depth = 0
+    j = i
+    while j < n:
+        if code[j] == "{":
+            depth += 1
+        elif code[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return (i, j)
+        j += 1
+    return (i, n)
+
+
+def token_lint_file(rel: str, code: str, names: set[str],
+                    findings: list[Finding]) -> None:
+    fp_vars = {m.group(1) for m in FP_DECL_RE.finditer(code)}
+
+    def add(offset: int, rule: str, message: str) -> None:
+        findings.append(Finding(rel, line_of(code, offset), rule, message))
+
+    # R1: range-for over an unordered container (+ R4 inside its body).
+    for match in RANGE_FOR_RE.finditer(code):
+        open_paren = match.end() - 1
+        depth = 0
+        close_paren = -1
+        for i in range(open_paren, len(code)):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close_paren = i
+                    break
+        if close_paren == -1:
+            continue
+        header = code[open_paren + 1:close_paren]
+        if ":" not in header:
+            continue
+        # The range expression: after the last top-level ':' that is not
+        # part of '::'.
+        parts = re.split(r"(?<!:):(?!:)", header)
+        if len(parts) < 2:
+            continue
+        range_expr = parts[-1]
+        name = terminal_name(range_expr)
+        if name is None or name not in names:
+            continue
+        add(match.start(), "unordered-iter",
+            f"range-for over unordered container '{name}': hash order is "
+            "not deterministic across layouts; iterate a sorted view "
+            "(det::hash_map/hash_set in util/stable_map.hpp)")
+        body_open, body_close = find_block(code, close_paren + 1)
+        body = code[body_open:body_close]
+        for acc in re.finditer(r"([\w]+)(?:\.\w+|->\w+|\[[^\]]*\])*\s*[+\-]=",
+                               body):
+            root = acc.group(1)
+            if root in fp_vars:
+                add(body_open + acc.start(), "fp-accumulate",
+                    f"floating-point accumulation into '{root}' inside "
+                    "unordered iteration: hash-order FP sums round "
+                    "differently per layout")
+
+    # R1: explicit iterator traversal.
+    if names:
+        member_iter_re = re.compile(MEMBER_ITER_RE_TEMPLATE.format(
+            names="|".join(re.escape(n) for n in sorted(names))))
+        for match in member_iter_re.finditer(code):
+            # `it == m.end()` / `it != m.end()` is the find-membership
+            # idiom, not a traversal.
+            before = code[:match.start()].rstrip()
+            if before.endswith("==") or before.endswith("!="):
+                continue
+            add(match.start(), "unordered-iter",
+                f"iterator traversal of unordered container "
+                f"'{match.group(1)}'")
+        for match in ERASE_IF_RE.finditer(code):
+            name = terminal_name(match.group(1))
+            if name in names:
+                add(match.start(), "unordered-iter",
+                    f"std::erase_if over unordered container '{name}': "
+                    "the visit order leaks to any side effect in the "
+                    "predicate; use det::hash_map::erase_if (pure "
+                    "per-entry predicates only) or a sorted sweep")
+
+    # R2 / R2' / R3.
+    for pattern, rule, message in BANNED_PATTERNS:
+        for match in pattern.finditer(code):
+            add(match.start(), rule, message)
+    for match in ENGINE_DECL_RE.finditer(code):
+        add(match.start(), "nondet-source",
+            f"default-constructed std::{match.group(1)}: the default seed "
+            "is a constant today and a time-seed refactor tomorrow; seed "
+            "explicitly from the run seed (util/rng.hpp)")
+    for match in re.finditer(r"\bsteady_clock\b", code):
+        add(match.start(), "wall-clock",
+            "steady_clock outside the wall-clock whitelist "
+            "(sim/profiler.hpp, runner/sweep.cpp): wall time must never "
+            "influence simulation state or canonical outputs")
+
+    # R5: ordered containers keyed on raw pointers.
+    for match in ORDERED_DECL_RE.finditer(code):
+        close = match_angles(code, match.end() - 1)
+        if close == -1:
+            continue
+        args = code[match.end():close - 1]
+        depth = 0
+        first = args
+        for i, c in enumerate(args):
+            if c == "<":
+                depth += 1
+            elif c == ">":
+                depth -= 1
+            elif c == "," and depth == 0:
+                first = args[:i]
+                break
+        if first.strip().endswith("*"):
+            add(match.start(), "ptr-order",
+                f"ordered container keyed on raw pointer "
+                f"'{first.strip()}': pointer order is allocation (ASLR) "
+                "order — key on a stable id instead")
+    for match in PTR_CMP_RE.finditer(code):
+        params = {match.group(1), match.group(2)}
+        if match.group(3) in params and match.group(4) in params:
+            add(match.start(), "ptr-order",
+                "comparator orders by raw pointer value (ASLR order); "
+                "compare a stable field instead")
+
+
+def run_token_engine(paths: list[Path]) -> tuple[list[Finding],
+                                                 dict[str, dict[int, set[str]]],
+                                                 list[Finding]]:
+    files: dict[str, str] = {}
+    annotations: dict[str, dict[int, set[str]]] = {}
+    errors: list[Finding] = []
+    for path in paths:
+        rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        code, notes, note_errors = lex(path.read_text(encoding="utf-8"))
+        files[rel] = code
+        annotations[rel] = notes
+        for line, message in note_errors:
+            errors.append(Finding(rel, line, "annotation", message))
+    scoped = unordered_symbols(files)
+    findings: list[Finding] = []
+    for rel, code in sorted(files.items()):
+        token_lint_file(rel, code, scoped[rel], findings)
+    return findings, annotations, errors
+
+
+# --------------------------------------------------------------------------
+# libclang engine.
+
+def run_clang_engine(paths: list[Path], compile_commands: Path):
+    import clang.cindex as ci  # noqa: deferred, optional dependency
+
+    if not compile_commands.is_file():
+        raise RuntimeError(
+            f"no compile_commands.json at {compile_commands}; configure "
+            "the default CMake preset first (cmake --preset default)")
+
+    wanted = {p.resolve() for p in paths}
+    findings: list[Finding] = []
+    annotations: dict[str, dict[int, set[str]]] = {}
+    errors: list[Finding] = []
+    seen: set[tuple[str, int, str, str]] = set()
+
+    def rel_of(location) -> str | None:
+        if location.file is None:
+            return None
+        path = Path(location.file.name).resolve()
+        if path not in wanted:
+            return None
+        return path.relative_to(REPO_ROOT).as_posix()
+
+    def add(cursor, rule: str, message: str) -> None:
+        rel = rel_of(cursor.location)
+        if rel is None:
+            return
+        key = (rel, cursor.location.line, rule, message)
+        if key not in seen:
+            seen.add(key)
+            findings.append(Finding(rel, cursor.location.line, rule, message))
+
+    def is_unordered(ctype) -> bool:
+        spelling = ctype.get_canonical().spelling
+        return ("unordered_map<" in spelling or "unordered_set<" in spelling)
+
+    def is_fp(ctype) -> bool:
+        return ctype.get_canonical().spelling in ("float", "double",
+                                                  "long double")
+
+    def first_template_arg_is_pointer(ctype) -> bool:
+        canonical = ctype.get_canonical()
+        if canonical.get_num_template_arguments() < 1:
+            return False
+        arg = canonical.get_template_argument_type(0)
+        return arg.get_canonical().kind == ci.TypeKind.POINTER
+
+    def walk(cursor, unordered_loop_extents):
+        for child in cursor.get_children():
+            kind = child.kind
+            if kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(child.get_children())
+                flagged = False
+                # The range initializer is the first expression child.
+                for sub in children:
+                    if sub.kind.is_expression() and is_unordered(sub.type):
+                        add(child, "unordered-iter",
+                            "range-for over unordered container: iterate a "
+                            "sorted view (det::hash_map/hash_set)")
+                        flagged = True
+                        break
+                if flagged:
+                    extent = child.extent
+                    unordered_loop_extents = unordered_loop_extents + [
+                        (extent.start.offset, extent.end.offset,
+                         extent.start.file.name if extent.start.file else "")]
+            elif kind == ci.CursorKind.CALL_EXPR:
+                if child.spelling in ("begin", "end", "cbegin", "cend",
+                                      "rbegin", "rend"):
+                    args = list(child.get_children())
+                    if args and is_unordered(args[0].type):
+                        add(child, "unordered-iter",
+                            f"{child.spelling}() on unordered container")
+                elif child.spelling == "erase_if":
+                    args = [a for a in child.get_children()
+                            if a.kind.is_expression()]
+                    if args and is_unordered(args[0].type):
+                        add(child, "unordered-iter",
+                            "std::erase_if over unordered container")
+                elif child.spelling in ("rand", "srand"):
+                    add(child, "nondet-source",
+                        f"{child.spelling}() draws from hidden global "
+                        "state; use util/rng.hpp")
+                elif child.spelling == "getenv":
+                    add(child, "env-read",
+                        "read the environment through util/env")
+            elif kind in (ci.CursorKind.TYPE_REF, ci.CursorKind.DECL_REF_EXPR,
+                          ci.CursorKind.TEMPLATE_REF):
+                spelling = child.spelling
+                if "random_device" in spelling:
+                    add(child, "nondet-source", "std::random_device is "
+                        "nondeterministic by design; use util/rng.hpp")
+                elif "system_clock" in spelling:
+                    add(child, "nondet-source",
+                        "system_clock reads wall time")
+                elif "steady_clock" in spelling:
+                    add(child, "wall-clock",
+                        "steady_clock outside the wall-clock whitelist")
+            elif kind in (ci.CursorKind.VAR_DECL, ci.CursorKind.FIELD_DECL):
+                canonical = child.type.get_canonical().spelling
+                engine = re.match(
+                    r"std::(?:__\w+::)?(mersenne_twister_engine|"
+                    r"linear_congruential_engine|subtract_with_carry_engine|"
+                    r"shuffle_order_engine|discard_block_engine)<", canonical)
+                if engine and not any(
+                        sub.kind.is_expression()
+                        for sub in child.get_children()):
+                    add(child, "nondet-source",
+                        "default-constructed standard RNG engine; seed "
+                        "explicitly from the run seed (util/rng.hpp)")
+                base = re.match(r"std::(?:__\w+::)?(?:multi)?(map|set)<",
+                                canonical)
+                if base and first_template_arg_is_pointer(child.type):
+                    add(child, "ptr-order",
+                        "ordered container keyed on raw pointer (ASLR "
+                        "order); key on a stable id instead")
+            elif kind == ci.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+                loc = child.location
+                if is_fp(child.type) and loc.file is not None:
+                    for start, end, fname in unordered_loop_extents:
+                        if (fname == loc.file.name
+                                and start <= loc.offset <= end):
+                            add(child, "fp-accumulate",
+                                "floating-point accumulation inside "
+                                "unordered iteration")
+                            break
+            walk(child, unordered_loop_extents)
+
+    db = ci.CompilationDatabase.fromDirectory(str(compile_commands.parent))
+    index = ci.Index.create()
+    parsed: set[Path] = set()
+    for command in db.getAllCompileCommands():
+        source = Path(command.directory, command.filename).resolve()
+        if source not in wanted or source in parsed:
+            continue
+        parsed.add(source)
+        args = [a for a in list(command.arguments)[1:]
+                if a not in ("-c", "-o", str(command.filename))]
+        # Drop the object-file operand that follows -o (already filtered).
+        tu = index.parse(str(source), args=args,
+                         options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+        walk(tu.cursor, [])
+    # Headers and files outside the compilation database (tests not built,
+    # fixtures): parse standalone with the project's include root.
+    for path in sorted(wanted - parsed):
+        tu = index.parse(str(path),
+                         args=["-std=c++20", f"-I{REPO_ROOT}/src", "-xc++"])
+        walk(tu.cursor, [])
+
+    # Annotations still come from the lexical pass (libclang drops comments
+    # unless every TU re-parses with comment retention per file).
+    for path in sorted(wanted):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        _, notes, note_errors = lex(path.read_text(encoding="utf-8"))
+        annotations[rel] = notes
+        for line, message in note_errors:
+            errors.append(Finding(rel, line, "annotation", message))
+    return findings, annotations, errors
+
+
+# --------------------------------------------------------------------------
+# Driver.
+
+def collect_paths(arguments: list[str]) -> list[Path]:
+    roots = ([Path(a) for a in arguments] if arguments
+             else [REPO_ROOT / r for r in DEFAULT_ROOTS])
+    paths: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            paths.append(root)
+        elif root.is_dir():
+            paths.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES)
+        else:
+            print(f"detlint: no such path: {root}", file=sys.stderr)
+            sys.exit(2)
+    return paths
+
+
+def clang_available() -> bool:
+    try:
+        import clang.cindex as ci
+        ci.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="detlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: "
+                             + " ".join(DEFAULT_ROOTS) + " under the repo "
+                             "root)")
+    parser.add_argument("--engine", choices=["auto", "token", "clang"],
+                        default="auto")
+    parser.add_argument("--compile-commands",
+                        default=str(REPO_ROOT / "build"
+                                    / "compile_commands.json"),
+                        help="compilation database for the clang engine")
+    parser.add_argument("--no-allow", action="store_true",
+                        help="ignore the built-in per-rule allowlists "
+                             "(fixture self-tests)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule:16} {description}")
+        return 0
+
+    paths = collect_paths(args.paths)
+    engine = args.engine
+    if engine == "auto":
+        engine = "clang" if clang_available() else "token"
+        if engine == "token":
+            print("detlint: libclang unavailable, using the token engine",
+                  file=sys.stderr)
+
+    if engine == "clang":
+        try:
+            findings, annotations, errors = run_clang_engine(
+                paths, Path(args.compile_commands))
+        except ImportError as error:
+            print(f"detlint: clang engine unavailable: {error}",
+                  file=sys.stderr)
+            return 2
+        except RuntimeError as error:
+            print(f"detlint: {error}", file=sys.stderr)
+            return 2
+    else:
+        findings, annotations, errors = run_token_engine(paths)
+
+    reported: list[Finding] = []
+    for finding in findings:
+        notes = annotations.get(finding.file, {})
+        if (finding.rule in notes.get(finding.line, ())
+                or finding.rule in notes.get(finding.line - 1, ())):
+            continue
+        if not args.no_allow and finding.file in ALLOWLIST.get(
+                finding.rule, ()):
+            continue
+        reported.append(finding)
+    reported.extend(errors)
+    reported.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    if args.json:
+        print(json.dumps([f.__dict__ for f in reported], indent=2))
+    else:
+        for finding in reported:
+            print(f"{finding.file}:{finding.line}: [{finding.rule}] "
+                  f"{finding.message}")
+    if reported:
+        print(f"detlint ({engine} engine): {len(reported)} finding(s); "
+              "fix, port to det:: wrappers, or annotate with "
+              "`// detlint: <rule>-ok(reason)`", file=sys.stderr)
+        return 1
+    print(f"detlint ({engine} engine): clean ({len(paths)} files)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// Fixture: a justified annotation suppresses R1 — on the same line or the
+// line directly above. Zero findings expected.
+#include <cstddef>
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, std::size_t> buckets_;
+
+  void clear_buckets() {
+    // detlint: unordered-iter-ok(clears every bucket; order unobservable)
+    for (auto& [key, bucket] : buckets_) bucket = 0;
+  }
+
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& [key, bucket] : buckets_) n += bucket;  // detlint: unordered-iter-ok(size_t sum is order-independent)
+    return n;
+  }
+};

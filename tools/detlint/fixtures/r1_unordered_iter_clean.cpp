@@ -1,0 +1,26 @@
+// Fixture: R1 must stay silent on point lookups, the find/end membership
+// idiom, and iteration over ordered/sequence containers.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Table {
+  std::unordered_map<int, double> entries_;
+  std::map<int, double> ordered_;
+  std::vector<int> ids_;
+
+  bool knows(int id) const { return entries_.find(id) != entries_.end(); }
+
+  double get_or_zero(int id) const {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return 0.0;
+    return it->second;
+  }
+
+  double sum_sorted() const {
+    double total = 0;
+    for (const auto& [id, value] : ordered_) total += value;
+    for (const int id : ids_) total += static_cast<double>(id);
+    return total;
+  }
+};

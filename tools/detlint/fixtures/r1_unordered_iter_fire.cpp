@@ -1,0 +1,28 @@
+// Fixture: R1 unordered-iter must fire on every traversal shape.
+// `// EXPECT[<rule>]` marks each line the linter must flag.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Table {
+  std::unordered_map<int, double> entries_;
+  std::unordered_set<int> seen_;
+
+  std::size_t count_positive() const {
+    std::size_t n = 0;
+    for (const auto& [id, value] : entries_) {  // EXPECT[unordered-iter]
+      if (value > 0) ++n;
+    }
+    return n;
+  }
+
+  void drain() {
+    for (auto it = entries_.begin(); it != entries_.end();) {  // EXPECT[unordered-iter]
+      it = entries_.erase(it);
+    }
+  }
+
+  void prune() {
+    std::erase_if(seen_, [](int id) { return id < 0; });  // EXPECT[unordered-iter]
+  }
+};

@@ -1,0 +1,8 @@
+// Fixture: an annotated getenv (e.g. a test-harness knob) is accepted.
+#include <cstdlib>
+
+bool regen_requested() {
+  // detlint: env-read-ok(test-harness knob; never read by simulation)
+  const char* value = std::getenv("FRUGAL_REGEN");
+  return value != nullptr && value[0] == '1';
+}

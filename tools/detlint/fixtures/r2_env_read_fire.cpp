@@ -1,0 +1,7 @@
+// Fixture: R2' env-read must fire on raw getenv outside util/env.
+#include <cstdlib>
+
+bool flag_enabled() {
+  const char* value = std::getenv("FRUGAL_FLAG");  // EXPECT[env-read]
+  return value != nullptr && value[0] == '1';
+}

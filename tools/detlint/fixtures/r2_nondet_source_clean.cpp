@@ -1,0 +1,12 @@
+// Fixture: R2 stays silent on the sanctioned pattern — every stream derived
+// from an explicit run seed (util/rng.hpp's discipline).
+#include <cstdint>
+#include <random>
+
+std::uint64_t splitmix(std::uint64_t& state);
+
+int draw(std::uint64_t run_seed) {
+  std::mt19937_64 engine{run_seed};  // explicitly seeded: allowed
+  std::uniform_int_distribution<int> dist{0, 9};
+  return dist(engine);
+}

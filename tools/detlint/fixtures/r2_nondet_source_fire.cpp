@@ -1,0 +1,16 @@
+// Fixture: R2 nondet-source must fire on every banned randomness / wall-time
+// source.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device device;  // EXPECT[nondet-source]
+  std::mt19937 engine;        // EXPECT[nondet-source]
+  srand(42);                  // EXPECT[nondet-source]
+  return rand() + static_cast<int>(device() + engine());  // EXPECT[nondet-source]
+}
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // EXPECT[nondet-source]
+}

@@ -1,0 +1,9 @@
+// Fixture: annotated wall-clock reads (bench harness timing) are accepted.
+#include <chrono>
+
+double bench_seconds() {
+  // detlint: wall-clock-ok(bench harness wall-time; never fed back into sim)
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // detlint: wall-clock-ok(bench harness wall-time)
+  return std::chrono::duration<double>(end - start).count();
+}

@@ -1,0 +1,8 @@
+// Fixture: R3 wall-clock must fire on steady_clock outside the whitelist.
+#include <chrono>
+
+double elapsed_seconds() {
+  const auto start = std::chrono::steady_clock::now();  // EXPECT[wall-clock]
+  const auto end = std::chrono::steady_clock::now();    // EXPECT[wall-clock]
+  return std::chrono::duration<double>(end - start).count();
+}

@@ -1,0 +1,23 @@
+// Fixture: R4 stays silent on FP accumulation over deterministic order and
+// on integral accumulation inside (annotated) unordered iteration.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+struct Table {
+  std::unordered_map<int, std::size_t> counts_;
+  std::vector<double> speeds_;
+
+  double sum_speeds() const {
+    double total = 0;
+    for (const double speed : speeds_) total += speed;  // ordered: fine
+    return total;
+  }
+
+  std::size_t total_count() const {
+    std::size_t n = 0;
+    // detlint: unordered-iter-ok(size_t sum is order-independent)
+    for (const auto& [id, count] : counts_) n += count;
+    return n;
+  }
+};

@@ -1,0 +1,17 @@
+// Fixture: R4 fp-accumulate must fire on floating-point += inside an
+// unordered iteration — *in addition to* R1 on the loop itself, because FP
+// rounding makes the hash order observable in the sum even when the loop
+// was annotated for some other reason.
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, double> speeds_;
+
+  double average() const {
+    double total = 0;
+    for (const auto& [id, speed] : speeds_) {  // EXPECT[unordered-iter]
+      total += speed;  // EXPECT[fp-accumulate]
+    }
+    return speeds_.empty() ? 0.0 : total / static_cast<double>(speeds_.size());
+  }
+};

@@ -1,0 +1,18 @@
+// Fixture: R5 stays silent on stable-id keys and field-based comparators.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Node {
+  std::uint32_t id = 0;
+};
+
+std::map<std::uint32_t, int> rank_;
+std::set<std::uint32_t> live_;
+
+void sort_nodes(std::vector<const Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}

@@ -1,0 +1,19 @@
+// Fixture: R5 ptr-order must fire on ordered containers keyed on raw
+// pointer values and on compare-by-pointer comparators: pointer order is
+// allocation (ASLR) order, different every process.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<const Node*, int> rank_;  // EXPECT[ptr-order]
+std::set<Node*> live_;             // EXPECT[ptr-order]
+
+void sort_nodes(std::vector<const Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });  // EXPECT[ptr-order]
+}

@@ -1,0 +1,39 @@
+// Fixture: the seeded regression. This is the shape neighborhood_table.cpp
+// had before the det::hash_map port — an unordered member walked by
+// range-for, with the compensating std::sort deleted and an FP average
+// summed in hash order. Re-introducing any of it must fail the lint.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+using NodeId = std::uint32_t;
+
+struct NeighborEntry {
+  double speed_mps = 0;
+  bool stale = false;
+};
+
+struct NeighborhoodTable {
+  std::unordered_map<NodeId, NeighborEntry> entries_;
+
+  // Pre-port collect(): hash-order walk, and the caller's sort is gone, so
+  // the pruned-neighbor order leaks straight into the trace.
+  std::vector<NodeId> collect_stale() {
+    std::vector<NodeId> pruned;
+    for (const auto& [id, entry] : entries_) {  // EXPECT[unordered-iter]
+      if (entry.stale) pruned.push_back(id);
+    }
+    return pruned;  // no std::sort: hash order escapes
+  }
+
+  // Pre-port average_speed(): FP sum in hash order — byte-identical traces
+  // break as soon as the bucket layout shifts.
+  double average_speed() const {
+    double total = 0;
+    for (const auto& [id, entry] : entries_) {  // EXPECT[unordered-iter]
+      total += entry.speed_mps;  // EXPECT[fp-accumulate]
+    }
+    return entries_.empty() ? 0.0
+                            : total / static_cast<double>(entries_.size());
+  }
+};

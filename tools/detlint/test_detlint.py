@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""detlint self-tests.
+
+Every fixture under fixtures/ is linted with --no-allow and its findings
+compared against the `// EXPECT[<rule>]` markers inside the fixture itself:
+*_fire fixtures must produce exactly the marked (line, rule) set, clean and
+annotated fixtures must produce none. A final test asserts the real tree is
+clean, so the ctest target is also the gate a developer runs locally.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DETLINT = HERE / "detlint.py"
+FIXTURES = HERE / "fixtures"
+EXPECT_RE = re.compile(r"//\s*EXPECT\[([\w-]+)\]")
+
+
+def run_detlint(*args: str) -> tuple[int, list[dict]]:
+    proc = subprocess.run(
+        [sys.executable, str(DETLINT), "--json", *args],
+        capture_output=True, text=True, check=False)
+    if proc.returncode not in (0, 1):
+        raise AssertionError(
+            f"detlint crashed ({proc.returncode}): {proc.stderr}")
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def expected_markers(fixture: Path) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(
+            fixture.read_text(encoding="utf-8").splitlines(), start=1):
+        for match in EXPECT_RE.finditer(line):
+            expected.add((lineno, match.group(1)))
+    return expected
+
+
+class FixtureTests(unittest.TestCase):
+    """One subtest per fixture: findings == EXPECT markers, exactly."""
+
+    def test_fixtures_match_expect_markers(self):
+        fixtures = sorted(FIXTURES.glob("*.cpp"))
+        self.assertGreaterEqual(len(fixtures), 13, "fixture set went missing")
+        for fixture in fixtures:
+            with self.subTest(fixture=fixture.name):
+                expected = expected_markers(fixture)
+                code, findings = run_detlint(
+                    "--engine", "token", "--no-allow", str(fixture))
+                got = {(f["line"], f["rule"]) for f in findings}
+                self.assertEqual(got, expected)
+                self.assertEqual(code, 1 if expected else 0)
+
+    def test_fire_and_clean_both_represented_per_rule(self):
+        """The suite must hold, for every rule, at least one fixture that
+        fires it and at least one clean/annotated fixture that exercises the
+        same shape without firing."""
+        fired = set()
+        for fixture in FIXTURES.glob("*_fire.cpp"):
+            fired.update(rule for _, rule in expected_markers(fixture))
+        self.assertEqual(
+            fired, {"unordered-iter", "nondet-source", "env-read",
+                    "wall-clock", "fp-accumulate", "ptr-order"})
+        stems = {p.stem for p in FIXTURES.glob("*.cpp")}
+        for prefix in ("r1_unordered_iter", "r2_nondet_source", "r2_env_read",
+                       "r3_wall_clock", "r4_fp_accumulate", "r5_ptr_order"):
+            self.assertTrue(
+                any(s.startswith(prefix) and not s.endswith("_fire")
+                    for s in stems),
+                f"no clean/annotated fixture for {prefix}")
+
+    def test_seeded_regression_is_caught(self):
+        """The acceptance demo: the pre-port neighborhood_table shape (hash-
+        order walk with the compensating sort deleted, FP sum in hash order)
+        must fail the lint on both rules."""
+        code, findings = run_detlint(
+            "--engine", "token", "--no-allow",
+            str(FIXTURES / "regression_neighborhood_fire.cpp"))
+        self.assertEqual(code, 1)
+        rules = {f["rule"] for f in findings}
+        self.assertIn("unordered-iter", rules)
+        self.assertIn("fp-accumulate", rules)
+
+
+class AnnotationTests(unittest.TestCase):
+    def test_empty_reason_is_an_error(self):
+        bad = FIXTURES / "_tmp_bad_annotation.cpp"
+        bad.write_text(
+            "#include <cstdlib>\n"
+            "// detlint: env-read-ok()\n"
+            "const char* v = std::getenv(\"X\");\n", encoding="utf-8")
+        try:
+            code, findings = run_detlint("--engine", "token", str(bad))
+            self.assertEqual(code, 1)
+            rules = {f["rule"] for f in findings}
+            # The reasonless annotation is itself reported and suppresses
+            # nothing.
+            self.assertIn("annotation", rules)
+            self.assertIn("env-read", rules)
+        finally:
+            bad.unlink()
+
+    def test_unknown_rule_is_an_error(self):
+        bad = FIXTURES / "_tmp_unknown_rule.cpp"
+        bad.write_text("// detlint: no-such-rule-ok(reason)\nint x = 0;\n",
+                       encoding="utf-8")
+        try:
+            code, findings = run_detlint("--engine", "token", str(bad))
+            self.assertEqual(code, 1)
+            self.assertEqual({f["rule"] for f in findings}, {"annotation"})
+        finally:
+            bad.unlink()
+
+
+class TreeTests(unittest.TestCase):
+    def test_default_tree_is_clean(self):
+        code, findings = run_detlint("--engine", "token")
+        self.assertEqual(
+            findings, [],
+            "the tree must lint clean; fix, port to det:: wrappers, or "
+            "annotate with // detlint: <rule>-ok(reason)")
+        self.assertEqual(code, 0)
+
+    def test_allowlisted_wrapper_fires_without_allowlist(self):
+        """util/stable_map.hpp iterates unordered storage by design — the
+        allowlist (not silence) is what keeps it clean, proving the linter
+        sees through the wrapper file too."""
+        target = HERE.parent.parent / "src" / "util" / "stable_map.hpp"
+        code, findings = run_detlint(
+            "--engine", "token", "--no-allow", str(target))
+        self.assertEqual(code, 1)
+        self.assertTrue(
+            any(f["rule"] == "unordered-iter" for f in findings))
+
+
+@unittest.skipUnless(importlib.util.find_spec("clang") is not None,
+                     "python3-clang not installed")
+class ClangEngineParityTests(unittest.TestCase):
+    """When libclang is importable (the CI lint job), the clang engine must
+    agree with the token engine on the fixtures' rule sets."""
+
+    def test_clang_engine_on_fixtures(self):
+        for fixture in sorted(FIXTURES.glob("*_fire.cpp")):
+            with self.subTest(fixture=fixture.name):
+                expected_rules = {r for _, r in expected_markers(fixture)}
+                try:
+                    code, findings = run_detlint(
+                        "--engine", "clang", "--no-allow", str(fixture))
+                except AssertionError as error:
+                    if "clang engine unavailable" in str(error):
+                        self.skipTest("libclang present but not loadable")
+                    raise
+                self.assertEqual(code, 1)
+                self.assertEqual({f["rule"] for f in findings},
+                                 expected_rules)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
