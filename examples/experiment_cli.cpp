@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "protocol/registry.hpp"
 #include "runner/pool.hpp"
 #include "runner/registry.hpp"
 #include "runner/shard.hpp"
@@ -50,6 +51,7 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s --list\n"
+      "       %s --protocols\n"
       "       %s --describe-json [--scenario NAME]\n"
       "       %s --scenario NAME [--jobs N] [--seeds N] [--seed-base N]\n"
       "          [--full] [--grid axis=v1,v2,...]...\n"
@@ -74,9 +76,12 @@ namespace {
       "--merge recombines a complete shard set into output byte-identical\n"
       "to the unsharded run and takes no sweep-shaping flags (the\n"
       "artifacts fix the grid, seeds and seed base).\n"
+      "--protocols lists every registered dissemination protocol with its\n"
+      "declared knobs; label-valued axes (e.g. the protocol axis) accept\n"
+      "those names in --grid: --grid protocol=frugal,gossip.\n"
       "Defaults honour FRUGAL_JOBS, FRUGAL_SEEDS, FRUGAL_FULL and\n"
       "FRUGAL_CSV_DIR; flags win over the environment.\n",
-      argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -114,32 +119,50 @@ double parse_positive_double(const char* text, const char* flag,
   return value;
 }
 
-/// Parses "axis=v1,v2,..." into an override Axis.
-Axis parse_grid_override(const char* text, const char* argv0) {
+/// One --grid override before resolution: numeric tokens land in
+/// axis.values directly; label tokens (e.g. protocol names) are kept
+/// verbatim and resolved against the scenario's axis parser once the spec
+/// is known.
+struct GridOverride {
+  Axis axis;
+  /// Parallel to axis.values; non-empty entries are unresolved labels.
+  std::vector<std::string> labels;
+};
+
+/// Parses "axis=v1,v2,..." — values may be numbers or axis labels.
+GridOverride parse_grid_override(const char* text, const char* argv0) {
   const char* equals = std::strchr(text, '=');
   if (equals == nullptr || equals == text || equals[1] == '\0') {
     std::fprintf(stderr, "bad --grid \"%s\" (want axis=v1,v2,...)\n", text);
     usage(argv0);
   }
-  Axis axis;
-  axis.name.assign(text, static_cast<std::size_t>(equals - text));
+  GridOverride override_;
+  override_.axis.name.assign(text, static_cast<std::size_t>(equals - text));
   const char* cursor = equals + 1;
   while (*cursor != '\0') {
-    char* end = nullptr;
-    const double value = std::strtod(cursor, &end);
-    if (end == cursor) {
+    const char* comma = std::strchr(cursor, ',');
+    const std::string token =
+        comma != nullptr ? std::string(cursor, comma) : std::string(cursor);
+    if (token.empty()) {
       std::fprintf(stderr, "bad --grid value in \"%s\"\n", text);
       usage(argv0);
     }
-    axis.values.push_back(value);
-    cursor = end;
-    if (*cursor == ',') ++cursor;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() + token.size()) {
+      override_.axis.values.push_back(value);
+      override_.labels.emplace_back();
+    } else {
+      override_.axis.values.push_back(0.0);  // resolved against the spec
+      override_.labels.push_back(token);
+    }
+    cursor = comma != nullptr ? comma + 1 : cursor + token.size();
   }
-  if (axis.values.empty()) {
+  if (override_.axis.values.empty()) {
     std::fprintf(stderr, "empty --grid \"%s\"\n", text);
     usage(argv0);
   }
-  return axis;
+  return override_;
 }
 
 /// JSON string literal (quotes included) for manifest fields the user
@@ -174,12 +197,14 @@ int main(int argc, char** argv) {
   Format format = Format::kTable;
   std::string csv_dir = env_string("FRUGAL_CSV_DIR").value_or("");
   bool list_requested = false;
+  bool protocols_requested = false;
   bool describe_json_requested = false;
   bool shard_requested = false;
   bool sweep_flags_used = false;   // --merge takes no sweep-shaping flags
   bool output_flags_used = false;  // --shard takes no output-shaping flags
   std::string manifest_path;
   std::vector<std::string> merge_paths;
+  std::vector<GridOverride> grid_overrides;
 
   for (int i = 1; i < argc; ++i) {
     const auto is = [&](const char* flag) {
@@ -191,6 +216,8 @@ int main(int argc, char** argv) {
     };
     if (is("--list")) {
       list_requested = true;
+    } else if (is("--protocols")) {
+      protocols_requested = true;
     } else if (is("--describe-json")) {
       describe_json_requested = true;
     } else if (is("--telemetry")) {
@@ -227,7 +254,7 @@ int main(int argc, char** argv) {
       options.full = true;
       sweep_flags_used = true;
     } else if (is("--grid")) {
-      options.overrides.push_back(parse_grid_override(value(), argv[0]));
+      grid_overrides.push_back(parse_grid_override(value(), argv[0]));
       sweep_flags_used = true;
     } else if (is("--shard")) {
       const char* text = value();
@@ -259,6 +286,11 @@ int main(int argc, char** argv) {
 
   if (list_requested) {
     list_scenarios();
+    return 0;
+  }
+
+  if (protocols_requested) {
+    std::fputs(frugal::protocol::describe_protocols().c_str(), stdout);
     return 0;
   }
 
@@ -316,14 +348,40 @@ int main(int argc, char** argv) {
                  scenario_name.c_str());
     return 2;
   }
-  for (const Axis& override_axis : options.overrides) {
-    bool found = false;
-    for (const Axis& axis : spec->axes) found |= axis.name == override_axis.name;
-    if (!found) {
+  for (GridOverride& override_ : grid_overrides) {
+    const Axis* spec_axis = nullptr;
+    for (const Axis& axis : spec->axes) {
+      if (axis.name == override_.axis.name) spec_axis = &axis;
+    }
+    if (spec_axis == nullptr) {
       std::fprintf(stderr, "scenario %s has no axis \"%s\"\n",
-                   spec->name.c_str(), override_axis.name.c_str());
+                   spec->name.c_str(), override_.axis.name.c_str());
       return 2;
     }
+    // Resolve label tokens (e.g. protocol names) through the axis's parser;
+    // a label nobody registered is a hard error, not a silent fallback.
+    for (std::size_t v = 0; v < override_.labels.size(); ++v) {
+      if (override_.labels[v].empty()) continue;
+      if (!spec_axis->parse) {
+        std::fprintf(stderr,
+                     "axis \"%s\" takes numeric values, got \"%s\"\n",
+                     spec_axis->name.c_str(), override_.labels[v].c_str());
+        return 2;
+      }
+      const std::optional<double> resolved =
+          spec_axis->parse(override_.labels[v]);
+      if (!resolved.has_value()) {
+        std::fprintf(stderr, "unknown value \"%s\" for axis \"%s\"\n",
+                     override_.labels[v].c_str(), spec_axis->name.c_str());
+        if (spec_axis->name == "protocol") {
+          std::fprintf(stderr, "registered protocols:\n%s",
+                       frugal::protocol::describe_protocols().c_str());
+        }
+        return 2;
+      }
+      override_.axis.values[v] = *resolved;
+    }
+    options.overrides.push_back(std::move(override_.axis));
   }
 
   if (shard_requested) {

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "mobility/static_mobility.hpp"
+#include "protocol/registry.hpp"
 #include "sim/profiler.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -14,20 +15,6 @@
 #include "util/expect.hpp"
 
 namespace frugal::core {
-
-const char* to_string(Protocol protocol) {
-  switch (protocol) {
-    case Protocol::kFrugal:
-      return "frugal";
-    case Protocol::kFloodSimple:
-      return "simple-flooding";
-    case Protocol::kFloodInterestAware:
-      return "interests-aware-flooding";
-    case Protocol::kFloodNeighborInterest:
-      return "neighbors-interests-flooding";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -78,21 +65,6 @@ std::unique_ptr<mobility::MobilityModel> build_mobility(
       node_count, rng.split(0x30B11EULL));
 }
 
-FloodingVariant flooding_variant(Protocol protocol) {
-  switch (protocol) {
-    case Protocol::kFloodSimple:
-      return FloodingVariant::kSimple;
-    case Protocol::kFloodInterestAware:
-      return FloodingVariant::kInterestAware;
-    case Protocol::kFloodNeighborInterest:
-      return FloodingVariant::kNeighborInterest;
-    case Protocol::kFrugal:
-      break;
-  }
-  FRUGAL_ASSERT(false);
-  return FloodingVariant::kSimple;
-}
-
 struct MetricsSnapshot {
   std::uint64_t bytes_sent = 0;
   std::uint64_t events_sent = 0;
@@ -101,6 +73,10 @@ struct MetricsSnapshot {
   std::uint64_t gc_evictions = 0;
   double energy_j = 0.0;
   double asleep_s = 0.0;
+  double tx_j = 0.0;
+  double rx_j = 0.0;
+  double idle_j = 0.0;
+  double sleep_j = 0.0;
 };
 
 }  // namespace
@@ -271,6 +247,13 @@ RunResult run_experiment(const ExperimentConfig& config) {
   FRUGAL_EXPECT(config.event_count > 0);
   FRUGAL_EXPECT(config.event_validity.us() > 0);
 
+  // Resolve the protocol by registered name before any state is built:
+  // an unknown name or an undeclared knob key aborts with a listing.
+  protocol::register_builtin_protocols();
+  const protocol::ProtocolSpec& proto =
+      protocol::require_protocol(config.protocol);
+  protocol::validate_params(proto, config);
+
   telemetry::RunTelemetry* const telemetry = config.telemetry;
   const bool bounded = telemetry != nullptr && telemetry->bounded();
   // A bounded hub never materializes the per-event records the trace
@@ -315,7 +298,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
             {simulator.now(), trace::TraceKind::kNodeDown, id, {}, {}});
       }
     });
-    if (config.energy->battery_capacity_j > 0) {
+    if (energy::any_finite_battery(*config.energy)) {
       // Sample batteries so a depleted radio goes dark within a bounded
       // delay even while completely silent.
       battery_sampler = std::make_unique<sim::PeriodicTask>(
@@ -437,24 +420,32 @@ RunResult run_experiment(const ExperimentConfig& config) {
     topic_pool = leaves;
   }
 
-  // Build protocol nodes.
+  // Build protocol nodes through the registered module's factory. The
+  // context exposes only narrow seams: per-node speed (the heartbeat
+  // tachometer), per-node remaining charge fraction (present only with a
+  // finite battery), and named RNG streams.
+  protocol::BuildContext build_context{
+      simulator.scheduler(),
+      medium,
+      config,
+      [model = mobility.get(), sched = &simulator.scheduler()](NodeId id) {
+        return model->speed(id, sched->now());
+      },
+      energy_model != nullptr && energy::any_finite_battery(*config.energy)
+          ? std::function<double(NodeId)>(
+                [model = energy_model.get(),
+                 sched = &simulator.scheduler()](NodeId id) {
+                  return model->charge_fraction_at(id, sched->now());
+                })
+          : nullptr,
+      [&simulator](std::string_view name, std::uint64_t index) {
+        return simulator.stream(name, index);
+      }};
   std::vector<std::unique_ptr<ProtocolNode>> nodes;
   nodes.reserve(config.node_count);
   for (NodeId id = 0; id < config.node_count; ++id) {
-    if (config.protocol == Protocol::kFrugal) {
-      auto speed_provider = [model = mobility.get(), id,
-                             sched = &simulator.scheduler()] {
-        return model->speed(id, sched->now());
-      };
-      nodes.push_back(std::make_unique<FrugalNode>(
-          id, simulator.scheduler(), medium, config.frugal,
-          std::move(speed_provider)));
-    } else {
-      FloodingConfig flooding = config.flooding;
-      flooding.variant = flooding_variant(config.protocol);
-      nodes.push_back(std::make_unique<FloodingNode>(
-          id, simulator.scheduler(), medium, flooding));
-    }
+    nodes.push_back(proto.make_node(id, build_context));
+    FRUGAL_ENSURE(nodes.back() != nullptr);
     for (const topics::Topic& topic : node_subscriptions[id].topics()) {
       nodes.back()->subscribe(topic);
     }
@@ -549,6 +540,17 @@ RunResult run_experiment(const ExperimentConfig& config) {
           energy_model != nullptr ? energy_model->spent_j(id) : 0.0,
           energy_model != nullptr ? energy_model->time_asleep(id).seconds()
                                   : 0.0};
+      if (energy_model != nullptr) {
+        using energy::RadioState;
+        baseline[id].tx_j =
+            energy_model->spent_in_state_j(id, RadioState::kTx);
+        baseline[id].rx_j =
+            energy_model->spent_in_state_j(id, RadioState::kRx);
+        baseline[id].idle_j =
+            energy_model->spent_in_state_j(id, RadioState::kIdle);
+        baseline[id].sleep_j =
+            energy_model->spent_in_state_j(id, RadioState::kSleep);
+      }
     }
   });
 
@@ -670,9 +672,22 @@ RunResult run_experiment(const ExperimentConfig& config) {
     outcome.parasites = m.parasites - baseline[id].parasites;
     outcome.gc_evictions = m.gc_evictions - baseline[id].gc_evictions;
     if (energy_model != nullptr) {
+      using energy::RadioState;
       outcome.energy_spent_total_j = energy_model->spent_j(id);
       outcome.energy_spent_j =
           outcome.energy_spent_total_j - baseline[id].energy_j;
+      outcome.energy_tx_j =
+          energy_model->spent_in_state_j(id, RadioState::kTx) -
+          baseline[id].tx_j;
+      outcome.energy_rx_j =
+          energy_model->spent_in_state_j(id, RadioState::kRx) -
+          baseline[id].rx_j;
+      outcome.energy_idle_j =
+          energy_model->spent_in_state_j(id, RadioState::kIdle) -
+          baseline[id].idle_j;
+      outcome.energy_sleep_j =
+          energy_model->spent_in_state_j(id, RadioState::kSleep) -
+          baseline[id].sleep_j;
       outcome.time_asleep_s =
           energy_model->time_asleep(id).seconds() - baseline[id].asleep_s;
       outcome.died_of_depletion = energy_model->depleted(id);

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -41,15 +43,6 @@ class Profiler;
 }
 
 namespace frugal::core {
-
-enum class Protocol : std::uint8_t {
-  kFrugal,
-  kFloodSimple,
-  kFloodInterestAware,
-  kFloodNeighborInterest,
-};
-
-[[nodiscard]] const char* to_string(Protocol protocol);
 
 /// Static placement over a rectangle (the speed-0 points of Fig. 11).
 struct StaticSetup {
@@ -107,7 +100,16 @@ struct TopicHierarchyWorkload {
 };
 
 struct ExperimentConfig {
-  Protocol protocol = Protocol::kFrugal;
+  /// Registered name of the dissemination protocol to run (see
+  /// protocol/registry.hpp; `register_builtin_protocols()` provides
+  /// "frugal", the three flooding variants and the adaptive/gossip
+  /// variants). Unregistered names abort with a listing.
+  std::string protocol = "frugal";
+  /// Opaque per-protocol knobs, keyed by the ProtocolParam names the
+  /// chosen protocol declares (e.g. "hb_stretch" for
+  /// battery-adaptive-frugal). Keys no protocol declared abort. Ordered
+  /// map: iteration order is deterministic for serialization.
+  std::map<std::string, double> protocol_params;
   std::size_t node_count = 150;  ///< paper: 150 (RWP), 15 (city)
   /// Fraction of processes subscribed to the event topic ("interest"/
   /// "subscribers" axis of the figures). Non-subscribed processes run no
@@ -116,7 +118,7 @@ struct ExperimentConfig {
   MobilitySetup mobility = RandomWaypointSetup{};
   net::MediumConfig medium;
   FrugalConfig frugal;
-  FloodingConfig flooding;  ///< variant is overridden from `protocol`
+  FloodingConfig flooding;  ///< flooding protocols override `variant`
   /// Simulated time before the first publication (paper: 600 s for random
   /// waypoint, to let the node distribution stabilize).
   SimDuration warmup = SimDuration::from_seconds(600.0);
@@ -191,6 +193,14 @@ struct NodeOutcome {
   /// charges (a network that spent its batteries warming up must not rank
   /// as frugal). 0 unless the run carried an EnergyConfig.
   double energy_spent_total_j = 0.0;
+  /// Measurement-window joules broken down by radio power state (transmit /
+  /// receive / idle listening / power-save sleep). The four sum to
+  /// `energy_spent_j` up to floating-point addition order; the off state
+  /// draws nothing. All 0 unless the run carried an EnergyConfig.
+  double energy_tx_j = 0.0;
+  double energy_rx_j = 0.0;
+  double energy_idle_j = 0.0;
+  double energy_sleep_j = 0.0;
   /// Time spent in power-save sleep during the measurement window, seconds.
   double time_asleep_s = 0.0;
   /// The node's battery emptied and its radio was switched off for good.

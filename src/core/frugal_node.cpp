@@ -16,6 +16,14 @@ SimDuration clamp(SimDuration value, SimDuration lo, SimDuration hi) {
   return std::min(std::max(value, lo), hi);
 }
 
+/// The heartbeat upper bound in force right now: the dynamic override when
+/// configured (floored at hb_lower so a pathological provider cannot
+/// invert the clamp window), else the static hb_upper.
+SimDuration effective_hb_upper(const FrugalConfig& config) {
+  if (!config.hb_upper_dynamic) return config.hb_upper;
+  return std::max(config.hb_upper_dynamic(), config.hb_lower);
+}
+
 /// Deterministic per-node phase in [0, period): spreads out the first
 /// heartbeat of each process so they do not all fire in the same slot.
 SimDuration initial_phase(NodeId id, SimDuration period) {
@@ -40,7 +48,8 @@ FrugalNode::FrugalNode(NodeId id, sim::Scheduler& scheduler,
       // Fig. 4 initializes HBDelay to its default; we additionally clamp it
       // into [hb_lower, hb_upper] up front so a process is discoverable from
       // its first subscription instead of after one 15 s default period.
-      hb_delay_{clamp(config.hb_default, config.hb_lower, config.hb_upper)},
+      hb_delay_{clamp(config.hb_default, config.hb_lower,
+                      effective_hb_upper(config))},
       ngc_delay_{hb_delay_ * config.hb2ngc} {
   FRUGAL_EXPECT(config.hb_lower.us() > 0);
   FRUGAL_EXPECT(config.hb_lower <= config.hb_upper);
@@ -65,7 +74,10 @@ void FrugalNode::subscribe(const topics::Topic& topic) {
 }
 
 void FrugalNode::unsubscribe(const topics::Topic& topic) {
-  subscriptions_.remove(topic);
+  // A topic we never subscribed to must be a no-op: falling through on an
+  // already-empty subscription set would tear down the armed publisher-side
+  // machinery (back-off, deferred retrieve) a pure publisher relies on.
+  if (!subscriptions_.remove(topic)) return;
   if (subscriptions_.empty()) {
     stop_tasks();
     // Cancel the armed dissemination work too: a back-off or deferred
@@ -107,6 +119,12 @@ void FrugalNode::stop_tasks() {
 // ---------------------------------------------------------------- Figure 6
 
 void FrugalNode::send_heartbeat() {
+  if (config_.hb_upper_dynamic) {
+    // The bound may have drifted (battery drained, speed changed) with no
+    // heartbeat received in between; refresh the delays on our own beat.
+    compute_hb_delay();
+    compute_ngc_delay();
+  }
   Heartbeat hb;
   hb.sender = id_;
   hb.subscriptions = subscriptions_;
@@ -251,14 +269,15 @@ void FrugalNode::retrieve_events_to_send() {
 // ---------------------------------------------------------------- Figure 8
 
 void FrugalNode::compute_hb_delay() {
+  const SimDuration upper = effective_hb_upper(config_);
   if (!config_.adaptive_heartbeat) {
-    hb_delay_ = config_.hb_upper;
+    hb_delay_ = upper;
   } else {
     const std::optional<double> average = neighborhood_.average_speed();
     if (average.has_value() && *average > 1e-3) {
       hb_delay_ = SimDuration::from_seconds(config_.x / *average);
     }
-    hb_delay_ = clamp(hb_delay_, config_.hb_lower, config_.hb_upper);
+    hb_delay_ = clamp(hb_delay_, config_.hb_lower, upper);
   }
   if (heartbeat_) heartbeat_->set_period(hb_delay_);
 }

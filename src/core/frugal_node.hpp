@@ -44,6 +44,12 @@ struct FrugalConfig {
   /// The evaluation's "heartbeat upper bound period" (1 s in the random
   /// waypoint runs; swept 1-5 s in Fig. 13).
   SimDuration hb_upper = SimDuration::from_seconds(1.0);
+  /// Optional dynamic override of the heartbeat upper bound, re-evaluated on
+  /// every heartbeat send and every delay recomputation (adaptive protocol
+  /// variants plug charge- or speed-dependent bounds in here; results are
+  /// floored at hb_lower). Null = the static hb_upper above, exactly the
+  /// paper's behaviour.
+  std::function<SimDuration()> hb_upper_dynamic;
   double x = 40.0;       ///< HBDelay = x / averageSpeed (paper: x = 40)
   double hb2bo = 2.0;    ///< paper: HB2BO = 2
   double hb2ngc = 2.5;   ///< paper: HB2NGC = 2.5

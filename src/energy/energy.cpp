@@ -12,6 +12,15 @@ namespace {
 }
 }  // namespace
 
+bool any_finite_battery(const EnergyConfig& config) {
+  if (config.battery_capacity_per_node_j.empty()) {
+    return config.battery_capacity_j > 0;
+  }
+  return std::any_of(config.battery_capacity_per_node_j.begin(),
+                     config.battery_capacity_per_node_j.end(),
+                     [](double capacity) { return capacity > 0; });
+}
+
 const char* to_string(RadioState state) {
   switch (state) {
     case RadioState::kOff:
@@ -35,6 +44,8 @@ EnergyModel::EnergyModel(std::size_t node_count, EnergyConfig config)
   FRUGAL_EXPECT(config.radio.rx_mw >= 0);
   FRUGAL_EXPECT(config.radio.idle_mw >= 0);
   FRUGAL_EXPECT(config.radio.sleep_mw >= 0);
+  FRUGAL_EXPECT(config.battery_capacity_per_node_j.empty() ||
+                config.battery_capacity_per_node_j.size() == node_count);
   FRUGAL_EXPECT(config.sleep_fraction >= 0 && config.sleep_fraction < 1);
   FRUGAL_EXPECT(config.duty_period.us() > 0);
   FRUGAL_EXPECT(config.sample_period.us() > 0);
@@ -69,7 +80,7 @@ void EnergyModel::advance(NodeId node, SimTime now) {
   }
 
   SimTime cursor = account.accounted_until;
-  const double capacity = config_.battery_capacity_j;
+  const double capacity = capacity_j(node);
   bool just_depleted = false;
   while (cursor < now) {
     // The account's flags (up, sleeping) are constant over the unaccounted
@@ -160,7 +171,7 @@ double EnergyModel::spent_j_at(NodeId node, SimTime t) const {
   // are constant over the unaccounted span, only tx/rx deadlines split it.
   double extra = 0.0;
   SimTime cursor = account.accounted_until;
-  const double capacity = config_.battery_capacity_j;
+  const double capacity = capacity_j(node);
   while (cursor < t) {
     const RadioState state = state_at(account, cursor);
     SimTime segment_end = t;
@@ -183,6 +194,20 @@ double EnergyModel::spent_j_at(NodeId node, SimTime t) const {
 double EnergyModel::spent_in_state_j(NodeId node, RadioState state) const {
   FRUGAL_EXPECT(node < nodes_.size());
   return nodes_[node].spent_by_state_j[index_of(state)];
+}
+
+double EnergyModel::capacity_j(NodeId node) const {
+  FRUGAL_EXPECT(node < nodes_.size());
+  return config_.battery_capacity_per_node_j.empty()
+             ? config_.battery_capacity_j
+             : config_.battery_capacity_per_node_j[node];
+}
+
+double EnergyModel::charge_fraction_at(NodeId node, SimTime t) const {
+  const double capacity = capacity_j(node);
+  if (capacity <= 0) return 1.0;  // unlimited battery: always full
+  const double remaining = capacity - spent_j_at(node, t);
+  return std::clamp(remaining / capacity, 0.0, 1.0);
 }
 
 SimDuration EnergyModel::time_asleep(NodeId node) const {

@@ -55,6 +55,12 @@ struct EnergyConfig {
   /// only). For scale: idle-listening alone draws ~0.84 J/s, so a 300 J
   /// battery idles out in ~6 minutes; a phone battery is ~10-40 kJ.
   double battery_capacity_j = 0.0;
+  /// Optional per-node battery capacities (heterogeneous fleets: some
+  /// devices start with more charge than others). Empty — the default —
+  /// gives every node the scalar `battery_capacity_j`; otherwise the size
+  /// must equal the node count and entries <= 0 mean unlimited for that
+  /// node.
+  std::vector<double> battery_capacity_per_node_j;
   /// Fraction of each duty-cycle round the radio spends in power-save
   /// sleep (0 disables duty cycling; must stay < 1). The sleep window is
   /// the tail of each round; rounds are staggered across nodes by the
@@ -68,6 +74,11 @@ struct EnergyConfig {
   /// (the recorded depletion instant is exact regardless).
   SimDuration sample_period = SimDuration::from_seconds(1.0);
 };
+
+/// True when at least one node runs on a finite battery — the experiment
+/// layer samples battery levels (so silent depleted radios still go dark)
+/// exactly when this holds.
+[[nodiscard]] bool any_finite_battery(const EnergyConfig& config);
 
 class EnergyModel final : public net::RadioActivityListener {
  public:
@@ -106,6 +117,13 @@ class EnergyModel final : public net::RadioActivityListener {
   /// node) this is exactly spent_j(node).
   [[nodiscard]] double spent_j_at(NodeId node, SimTime t) const;
   [[nodiscard]] double spent_in_state_j(NodeId node, RadioState state) const;
+  /// The node's battery capacity in joules (<= 0 = unlimited): the per-node
+  /// entry when configured, else the scalar.
+  [[nodiscard]] double capacity_j(NodeId node) const;
+  /// Remaining charge as a fraction of capacity in [0, 1], projected at `t`
+  /// without mutating the account (same walk as spent_j_at). Nodes with an
+  /// unlimited battery always report 1.
+  [[nodiscard]] double charge_fraction_at(NodeId node, SimTime t) const;
   [[nodiscard]] SimDuration time_asleep(NodeId node) const;
   [[nodiscard]] bool depleted(NodeId node) const;
   /// The exact crossing instant, when the node's battery emptied.

@@ -1,0 +1,72 @@
+#include "protocol/adaptive_frugal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace frugal::protocol {
+
+namespace {
+/// Deterministic per-node phase in [0, period): staggers the doze rounds so
+/// a low network never sleeps in lockstep (same idiom as the experiment
+/// layer's duty cycling, distinct salt).
+SimDuration doze_phase(NodeId id, SimDuration period) {
+  std::uint64_t state = 0xA24BAED4963EE407ULL ^ id;
+  const std::uint64_t h = splitmix64(state);
+  return SimDuration::from_us(static_cast<std::int64_t>(
+      h % static_cast<std::uint64_t>(std::max<std::int64_t>(period.us(), 1))));
+}
+}  // namespace
+
+AdaptiveFrugalNode::AdaptiveFrugalNode(NodeId id, sim::Scheduler& scheduler,
+                                       net::Medium& medium,
+                                       core::FrugalConfig config,
+                                       std::function<double()> speed_provider,
+                                       std::function<double()> charge_provider,
+                                       AdaptiveFrugalConfig adaptive)
+    : scheduler_{scheduler},
+      medium_{medium},
+      charge_{std::move(charge_provider)},
+      adaptive_{adaptive},
+      inner_{id, scheduler, medium, std::move(config),
+             std::move(speed_provider)},
+      doze_{scheduler, adaptive.doze_period, [this] { on_doze_tick(); }} {
+  FRUGAL_EXPECT(adaptive_.doze_below >= 0 && adaptive_.doze_below <= 1);
+  FRUGAL_EXPECT(adaptive_.doze_fraction >= 0 && adaptive_.doze_fraction < 1);
+  FRUGAL_EXPECT(adaptive_.doze_period.us() > 0);
+  if (charge_ && adaptive_.doze_below > 0 && adaptive_.doze_fraction > 0) {
+    doze_.start(doze_phase(id, adaptive_.doze_period));
+  }
+}
+
+AdaptiveFrugalNode::~AdaptiveFrugalNode() {
+  // The wake lambda captures `this`; cancel it so a scheduler outliving the
+  // node never runs into freed memory.
+  wake_.cancel();
+}
+
+void AdaptiveFrugalNode::on_doze_tick() {
+  const double charge = charge_();
+  if (charge <= 0.0) {
+    // Depleted: the experiment layer's kill switch owns the radio now, and
+    // an empty battery needs no further sleep/wake events.
+    doze_.stop();
+    return;
+  }
+  if (charge >= adaptive_.doze_below) {
+    dozing_ = false;
+    return;
+  }
+  if (!medium_.is_up(inner_.id())) return;  // blackout: nothing to doze
+  if (wake_.pending()) return;
+  dozing_ = true;
+  medium_.set_sleeping(inner_.id(), true);
+  const SimDuration asleep = adaptive_.doze_period * adaptive_.doze_fraction;
+  wake_ = scheduler_.schedule_after(asleep, [this] {
+    medium_.set_sleeping(inner_.id(), false);
+  });
+}
+
+}  // namespace frugal::protocol

@@ -1,0 +1,197 @@
+// Built-in protocol modules. Registration order is load-bearing: ordinals
+// reproduce the retired core::Protocol enum values (frugal = 0,
+// simple-flooding = 1, interests-aware-flooding = 2,
+// neighbors-interests-flooding = 3), so every sweep axis value, CSV row and
+// shard artifact written before the registry keeps its meaning. New
+// variants append after the legacy four.
+
+#include <memory>
+#include <utility>
+
+#include "core/flooding.hpp"
+#include "core/frugal_node.hpp"
+#include "protocol/adaptive_frugal.hpp"
+#include "protocol/gossip_node.hpp"
+#include "protocol/registry.hpp"
+
+namespace frugal::protocol {
+
+namespace {
+
+// Adaptive-variant knob defaults (the declared ProtocolParam defaults and
+// the factory fallbacks are these same constants).
+constexpr double kHbStretchDefault = 3.0;
+constexpr double kDozeBelowDefault = 0.35;
+constexpr double kDozeFractionDefault = 0.75;
+constexpr double kRefSpeedDefault = 10.0;
+constexpr double kGossipPDefault = 0.3;
+
+/// The frugal speed seam: wraps the context's per-id provider into the
+/// per-node closure FrugalNode expects (bitwise-identical to the lambda the
+/// experiment layer used to build inline).
+std::function<double()> speed_provider_for(NodeId id,
+                                           const BuildContext& ctx) {
+  if (!ctx.speed_of) return nullptr;
+  return [speed_of = ctx.speed_of, id] { return speed_of(id); };
+}
+
+ProtocolSpec frugal_spec() {
+  ProtocolSpec spec;
+  spec.name = "frugal";
+  spec.description =
+      "The paper's frugal dissemination algorithm (heartbeats, id exchange, "
+      "back-off; FrugalConfig knobs via ExperimentConfig::frugal)";
+  spec.make_node = [](NodeId id, const BuildContext& ctx) {
+    return std::make_unique<core::FrugalNode>(id, ctx.scheduler, ctx.medium,
+                                              ctx.config.frugal,
+                                              speed_provider_for(id, ctx));
+  };
+  return spec;
+}
+
+ProtocolSpec flooding_spec(const char* name, const char* description,
+                           core::FloodingVariant variant) {
+  ProtocolSpec spec;
+  spec.name = name;
+  spec.description = description;
+  spec.make_node = [variant](NodeId id, const BuildContext& ctx)
+      -> std::unique_ptr<core::ProtocolNode> {
+    core::FloodingConfig flooding = ctx.config.flooding;
+    flooding.variant = variant;
+    return std::make_unique<core::FloodingNode>(id, ctx.scheduler, ctx.medium,
+                                                flooding);
+  };
+  return spec;
+}
+
+ProtocolSpec battery_adaptive_frugal_spec() {
+  ProtocolSpec spec;
+  spec.name = "battery-adaptive-frugal";
+  spec.description =
+      "Frugal with charge-aware energy management: hb_upper stretches as "
+      "the battery drains, and below a charge threshold the node dozes a "
+      "fraction of every beat (power-save sleep). Static frugal without a "
+      "finite battery.";
+  spec.params = {
+      {"hb_stretch", kHbStretchDefault,
+       "hb_upper multiplier at empty battery: effective = hb_upper * (1 + "
+       "stretch * (1 - charge))"},
+      {"doze_below", kDozeBelowDefault,
+       "charge fraction that arms low-charge dozing (0 disables)"},
+      {"doze_fraction", kDozeFractionDefault,
+       "fraction of each beat spent in power-save sleep while dozing"},
+  };
+  spec.make_node = [](NodeId id, const BuildContext& ctx)
+      -> std::unique_ptr<core::ProtocolNode> {
+    core::FrugalConfig frugal = ctx.config.frugal;
+    const double stretch =
+        param_or(ctx.config, "hb_stretch", kHbStretchDefault);
+    if (ctx.charge_fraction_of && stretch > 0) {
+      frugal.hb_upper_dynamic = [charge_of = ctx.charge_fraction_of, id,
+                                 base = frugal.hb_upper, stretch] {
+        const double charge = std::clamp(charge_of(id), 0.0, 1.0);
+        return base * (1.0 + stretch * (1.0 - charge));
+      };
+    }
+    AdaptiveFrugalConfig adaptive;
+    adaptive.doze_below =
+        param_or(ctx.config, "doze_below", kDozeBelowDefault);
+    adaptive.doze_fraction =
+        param_or(ctx.config, "doze_fraction", kDozeFractionDefault);
+    adaptive.doze_period = frugal.hb_upper;  // doze between heartbeat rounds
+    std::function<double()> charge_provider;
+    if (ctx.charge_fraction_of) {
+      charge_provider = [charge_of = ctx.charge_fraction_of, id] {
+        return charge_of(id);
+      };
+    }
+    return std::make_unique<AdaptiveFrugalNode>(
+        id, ctx.scheduler, ctx.medium, std::move(frugal),
+        speed_provider_for(id, ctx), std::move(charge_provider), adaptive);
+  };
+  return spec;
+}
+
+ProtocolSpec speed_adaptive_frugal_spec() {
+  ProtocolSpec spec;
+  spec.name = "speed-adaptive-frugal";
+  spec.description =
+      "Frugal whose own hb_upper bound shrinks with the node's speed (fast "
+      "movers beacon more, independent of the neighborhood average): "
+      "effective = hb_upper / (1 + speed / ref_speed_mps)";
+  spec.params = {
+      {"ref_speed_mps", kRefSpeedDefault,
+       "speed at which the heartbeat bound halves"},
+  };
+  spec.make_node = [](NodeId id, const BuildContext& ctx)
+      -> std::unique_ptr<core::ProtocolNode> {
+    core::FrugalConfig frugal = ctx.config.frugal;
+    const double ref =
+        param_or(ctx.config, "ref_speed_mps", kRefSpeedDefault);
+    if (ctx.speed_of && ref > 0) {
+      frugal.hb_upper_dynamic = [speed_of = ctx.speed_of, id,
+                                 base = frugal.hb_upper, ref] {
+        const double speed = std::max(speed_of(id), 0.0);
+        return base / (1.0 + speed / ref);
+      };
+    }
+    return std::make_unique<core::FrugalNode>(id, ctx.scheduler, ctx.medium,
+                                              std::move(frugal),
+                                              speed_provider_for(id, ctx));
+  };
+  return spec;
+}
+
+ProtocolSpec gossip_spec() {
+  ProtocolSpec spec;
+  spec.name = "gossip";
+  spec.description =
+      "Probabilistic gossip baseline: interests-aware storage, each stored "
+      "valid event retransmitted with probability gossip_p per beat "
+      "(FloodingConfig::period drives the beat)";
+  spec.params = {
+      {"gossip_p", kGossipPDefault,
+       "per-tick retransmission probability of each stored event"},
+  };
+  spec.make_node = [](NodeId id, const BuildContext& ctx)
+      -> std::unique_ptr<core::ProtocolNode> {
+    GossipConfig gossip;
+    gossip.forward_probability =
+        param_or(ctx.config, "gossip_p", kGossipPDefault);
+    gossip.period = ctx.config.flooding.period;
+    gossip.store_capacity = ctx.config.flooding.store_capacity;
+    return std::make_unique<GossipNode>(id, ctx.scheduler, ctx.medium, gossip,
+                                        ctx.stream("gossip", id));
+  };
+  return spec;
+}
+
+}  // namespace
+
+void register_builtin_protocols() {
+  static const bool registered = [] {
+    ProtocolRegistry& registry = ProtocolRegistry::instance();
+    registry.add(frugal_spec());  // ordinal 0
+    registry.add(flooding_spec(
+        "simple-flooding",
+        "Every beat, every process retransmits every valid event it holds",
+        core::FloodingVariant::kSimple));  // ordinal 1
+    registry.add(flooding_spec(
+        "interests-aware-flooding",
+        "Flooding that stores and retransmits only events the process "
+        "itself subscribed to",
+        core::FloodingVariant::kInterestAware));  // ordinal 2
+    registry.add(flooding_spec(
+        "neighbors-interests-flooding",
+        "Interests-aware flooding plus heartbeat-derived neighbor "
+        "knowledge: one transmission per known interested neighbor",
+        core::FloodingVariant::kNeighborInterest));  // ordinal 3
+    registry.add(battery_adaptive_frugal_spec());    // ordinal 4
+    registry.add(speed_adaptive_frugal_spec());      // ordinal 5
+    registry.add(gossip_spec());                     // ordinal 6
+    return true;
+  }();
+  static_cast<void>(registered);
+}
+
+}  // namespace frugal::protocol

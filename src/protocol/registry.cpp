@@ -1,0 +1,125 @@
+#include "protocol/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/expect.hpp"
+
+namespace frugal::protocol {
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry;
+  return registry;
+}
+
+void ProtocolRegistry::add(ProtocolSpec spec) {
+  FRUGAL_EXPECT(!spec.name.empty());
+  FRUGAL_EXPECT(spec.make_node != nullptr);
+  FRUGAL_EXPECT(find(spec.name) == nullptr && "duplicate protocol name");
+  for (std::size_t i = 0; i < spec.params.size(); ++i) {
+    FRUGAL_EXPECT(!spec.params[i].key.empty());
+    for (std::size_t j = 0; j < i; ++j) {
+      FRUGAL_EXPECT(spec.params[i].key != spec.params[j].key &&
+                    "duplicate protocol param key");
+    }
+  }
+  spec.ordinal = static_cast<int>(specs_.size());
+  specs_.push_back(std::move(spec));
+}
+
+const ProtocolSpec* ProtocolRegistry::find(std::string_view name) const {
+  for (const ProtocolSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const ProtocolSpec* ProtocolRegistry::by_ordinal(int ordinal) const {
+  if (ordinal < 0 || static_cast<std::size_t>(ordinal) >= specs_.size()) {
+    return nullptr;
+  }
+  return &specs_[static_cast<std::size_t>(ordinal)];
+}
+
+std::vector<const ProtocolSpec*> ProtocolRegistry::all() const {
+  std::vector<const ProtocolSpec*> specs;
+  specs.reserve(specs_.size());
+  for (const ProtocolSpec& spec : specs_) specs.push_back(&spec);
+  return specs;
+}
+
+const ProtocolSpec* find_protocol(std::string_view name) {
+  register_builtin_protocols();
+  return ProtocolRegistry::instance().find(name);
+}
+
+const ProtocolSpec& require_protocol(std::string_view name) {
+  const ProtocolSpec* spec = find_protocol(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown protocol \"%.*s\"; registered protocols:",
+                 static_cast<int>(name.size()), name.data());
+    for (const ProtocolSpec* p : all_protocols()) {
+      std::fprintf(stderr, " %s", p->name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+  }
+  return *spec;
+}
+
+const ProtocolSpec* protocol_by_ordinal(int ordinal) {
+  register_builtin_protocols();
+  return ProtocolRegistry::instance().by_ordinal(ordinal);
+}
+
+std::vector<const ProtocolSpec*> all_protocols() {
+  register_builtin_protocols();
+  return ProtocolRegistry::instance().all();
+}
+
+double param_or(const core::ExperimentConfig& config, std::string_view key,
+                double fallback) {
+  const auto it = config.protocol_params.find(std::string{key});
+  return it == config.protocol_params.end() ? fallback : it->second;
+}
+
+void validate_params(const ProtocolSpec& spec,
+                     const core::ExperimentConfig& config) {
+  for (const auto& [key, value] : config.protocol_params) {
+    static_cast<void>(value);
+    bool declared = false;
+    for (const ProtocolParam& param : spec.params) {
+      declared |= param.key == key;
+    }
+    if (!declared) {
+      std::fprintf(stderr,
+                   "protocol \"%s\" declares no param \"%s\"; declared:",
+                   spec.name.c_str(), key.c_str());
+      for (const ProtocolParam& param : spec.params) {
+        std::fprintf(stderr, " %s", param.key.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::abort();
+    }
+  }
+}
+
+std::string describe_protocols() {
+  std::string out;
+  for (const ProtocolSpec* spec : all_protocols()) {
+    out += spec->name;
+    if (spec->name.size() < 30) out.append(30 - spec->name.size(), ' ');
+    out += ' ';
+    out += spec->description;
+    out += '\n';
+    for (const ProtocolParam& param : spec->params) {
+      char line[256];
+      std::snprintf(line, sizeof line, "  %-26s %g  %s\n", param.key.c_str(),
+                    param.default_value, param.description.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace frugal::protocol

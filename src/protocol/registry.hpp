@@ -1,0 +1,123 @@
+// The protocol plug-in registry: every dissemination protocol the
+// experiment layer can run, as self-contained modules.
+//
+// Mirrors the scenario registry (runner/registry.hpp): a ProtocolSpec is a
+// registered name plus declared config knobs and a factory producing one
+// ProtocolNode per process. ExperimentConfig carries only the registered
+// name (and opaque per-protocol knob overrides); run_experiment resolves it
+// here, so adding a protocol variant is a new module in src/protocol/ —
+// core/experiment.cpp never changes again for one.
+//
+// Ordinals: each spec gets a stable integer identity assigned in
+// registration order. The built-ins register in the order of the retired
+// Protocol enum (frugal = 0, simple-flooding = 1, interests-aware-flooding
+// = 2, neighbors-interests-flooding = 3), so every existing sweep axis
+// value, CSV row and shard artifact keeps its meaning; new variants append.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/node.hpp"
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace frugal::protocol {
+
+/// One declared per-protocol knob. Overrides arrive by key through
+/// ExperimentConfig::protocol_params; undeclared keys abort at run start so
+/// a typo cannot silently fall back to a default.
+struct ProtocolParam {
+  std::string key;
+  double default_value = 0.0;
+  std::string description;
+};
+
+/// Everything a protocol factory may wire a node into. The providers are
+/// narrow seams: a module sees a node's speed or remaining charge fraction,
+/// never the mobility model or the energy ledger behind them.
+struct BuildContext {
+  sim::Scheduler& scheduler;
+  net::Medium& medium;
+  const core::ExperimentConfig& config;
+  /// Current speed of a node in m/s (the heartbeat tachometer seam).
+  std::function<double(NodeId)> speed_of;
+  /// Remaining battery charge in [0, 1]; null when the run carries no
+  /// finite battery (metering-only or no EnergyConfig), in which case
+  /// battery-adaptive modules degrade to their static behaviour.
+  std::function<double(NodeId)> charge_fraction_of;
+  /// Named independent RNG streams (Simulator::stream): drawing a stream a
+  /// protocol owns never perturbs mobility/workload/jitter draws, so a
+  /// randomized module cannot move another protocol's golden traces.
+  std::function<Rng(std::string_view name, std::uint64_t index)> stream;
+};
+
+struct ProtocolSpec {
+  std::string name;         ///< registry key, e.g. "battery-adaptive-frugal"
+  std::string description;  ///< one-liner for --protocols
+  std::vector<ProtocolParam> params;
+  std::function<std::unique_ptr<core::ProtocolNode>(NodeId,
+                                                    const BuildContext&)>
+      make_node;
+  /// Stable numeric identity, assigned at registration. Sweep axes and
+  /// shard artifacts carry this value; names are the source of truth when
+  /// both round-trip.
+  int ordinal = -1;
+};
+
+class ProtocolRegistry {
+ public:
+  [[nodiscard]] static ProtocolRegistry& instance();
+
+  /// Registers a spec and assigns its ordinal; aborts on a duplicate or
+  /// empty name, a missing factory, or duplicate param keys.
+  void add(ProtocolSpec spec);
+
+  [[nodiscard]] const ProtocolSpec* find(std::string_view name) const;
+  [[nodiscard]] const ProtocolSpec* by_ordinal(int ordinal) const;
+  /// All registered specs in ordinal (registration) order. Pointers stay
+  /// valid for the process lifetime.
+  [[nodiscard]] std::vector<const ProtocolSpec*> all() const;
+
+ private:
+  ProtocolRegistry() = default;
+  /// deque: growth never invalidates the spec pointers handed out.
+  std::deque<ProtocolSpec> specs_;
+};
+
+/// Defined in builtin.cpp: registers every built-in protocol (idempotent).
+/// Explicit call, not a static initializer — a static library would be free
+/// to drop an unreferenced self-registering translation unit.
+void register_builtin_protocols();
+
+/// Convenience lookups that register the built-ins first.
+[[nodiscard]] const ProtocolSpec* find_protocol(std::string_view name);
+/// find_protocol that aborts with a message listing the registered names —
+/// the round-trip gate for misspelled CLI/artifact protocol names.
+[[nodiscard]] const ProtocolSpec& require_protocol(std::string_view name);
+[[nodiscard]] const ProtocolSpec* protocol_by_ordinal(int ordinal);
+[[nodiscard]] std::vector<const ProtocolSpec*> all_protocols();
+
+/// The run's override for `key` if present, else `fallback`. (The declared
+/// ProtocolParam default and the factory's fallback are the same constant
+/// in every built-in module; validate_params keeps stray keys out.)
+[[nodiscard]] double param_or(const core::ExperimentConfig& config,
+                              std::string_view key, double fallback);
+
+/// Aborts when config.protocol_params carries a key the spec never
+/// declared — run_experiment calls this before building any node.
+void validate_params(const ProtocolSpec& spec,
+                     const core::ExperimentConfig& config);
+
+/// Human-readable listing of every protocol with its knobs (the CLI's
+/// --protocols).
+[[nodiscard]] std::string describe_protocols();
+
+}  // namespace frugal::protocol

@@ -36,6 +36,11 @@ struct Axis {
   /// Optional pretty-printer for values (e.g. protocol index -> name). Used
   /// by every sink format, so axis cells stay stable across formats.
   std::function<std::string(double)> format;
+  /// Optional inverse of `format`: resolves a label token (e.g. a protocol
+  /// name in --grid or a shard artifact) to the axis value it stands for;
+  /// returns nullopt for an unknown label. Axes without a parser accept
+  /// only numeric tokens.
+  std::function<std::optional<double>(std::string_view)> parse;
 
   [[nodiscard]] const std::vector<double>& values_for(bool full) const {
     return full && !full_values.empty() ? full_values : values;

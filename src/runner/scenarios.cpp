@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <iterator>
 
+#include "protocol/registry.hpp"
 #include "runner/registry.hpp"
 #include "runner/sweep.hpp"
 #include "runner/worlds.hpp"
@@ -126,8 +127,16 @@ Axis axis(std::string name, std::vector<double> values,
 }
 
 std::string protocol_label(double value) {
-  return core::to_string(static_cast<core::Protocol>(
-      static_cast<std::uint8_t>(value)));
+  const protocol::ProtocolSpec* spec =
+      protocol::protocol_by_ordinal(static_cast<int>(value));
+  return spec != nullptr ? spec->name : stats::format_double(value, 0);
+}
+
+/// Registered ordinal of a protocol name; aborts (with a listing) on a name
+/// nobody registered, so a misspelled axis value cannot run the wrong
+/// protocol.
+double protocol_ordinal(std::string_view name) {
+  return static_cast<double>(protocol::require_protocol(name).ordinal);
 }
 
 Axis protocol_axis(std::vector<double> values) {
@@ -135,6 +144,13 @@ Axis protocol_axis(std::vector<double> values) {
   axis.name = "protocol";
   axis.values = std::move(values);
   axis.format = protocol_label;
+  // The inverse: lets --grid protocol=frugal,gossip and shard artifacts
+  // round-trip protocol identity by registered name.
+  axis.parse = [](std::string_view token) -> std::optional<double> {
+    const protocol::ProtocolSpec* spec = protocol::find_protocol(token);
+    if (spec == nullptr) return std::nullopt;
+    return static_cast<double>(spec->ordinal);
+  };
   return axis;
 }
 
@@ -158,9 +174,11 @@ Axis city_publisher_axis_sampled() {
   return axis;
 }
 
-core::Protocol protocol_of(const ParamPoint& point) {
-  return static_cast<core::Protocol>(
-      static_cast<std::uint8_t>(point.get("protocol")));
+std::string protocol_of(const ParamPoint& point) {
+  const protocol::ProtocolSpec* spec = protocol::protocol_by_ordinal(
+      static_cast<int>(point.get("protocol")));
+  FRUGAL_EXPECT(spec != nullptr);
+  return spec->name;
 }
 
 // ---------------------------------------------------------------------------
@@ -385,10 +403,9 @@ ScenarioSpec headline_spec() {
   spec.description =
       "The abstract's numbers in the paper's RWP setting: reliability, "
       "bandwidth, duplicates and parasites for frugal vs flooding";
-  spec.axes = {protocol_axis(
-      {static_cast<double>(core::Protocol::kFrugal),
-       static_cast<double>(core::Protocol::kFloodInterestAware),
-       static_cast<double>(core::Protocol::kFloodSimple)})};
+  spec.axes = {protocol_axis({protocol_ordinal("frugal"),
+                              protocol_ordinal("interests-aware-flooding"),
+                              protocol_ordinal("simple-flooding")})};
   spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
     core::ExperimentConfig config = rwp_world(10.0, 10.0, 0.8, seed);
     config.protocol = protocol_of(point);
@@ -397,16 +414,16 @@ ScenarioSpec headline_spec() {
   spec.metrics = {reliability_metric(), bytes_metric(), duplicates_metric(),
                   parasites_metric()};
   spec.post = [](const SweepResult& sweep) {
-    const auto row_for = [&sweep](core::Protocol protocol)
+    const auto row_for = [&sweep](std::string_view protocol)
         -> const PointResult* {
+      const double ordinal = protocol_ordinal(protocol);
       for (const PointResult& row : sweep.points) {
-        if (row.point.values[0] == static_cast<double>(protocol)) return &row;
+        if (row.point.values[0] == ordinal) return &row;
       }
       return nullptr;
     };
-    const PointResult* frugal_row = row_for(core::Protocol::kFrugal);
-    const PointResult* interest_row =
-        row_for(core::Protocol::kFloodInterestAware);
+    const PointResult* frugal_row = row_for("frugal");
+    const PointResult* interest_row = row_for("interests-aware-flooding");
     std::vector<stats::Table> tables;
     if (frugal_row == nullptr || interest_row == nullptr) return tables;
     stats::Table table{
@@ -754,13 +771,22 @@ ScenarioSpec energy_lifetime_spec() {
       "per delivered event, time of the first battery death and survivors, "
       "frugal vs interests-aware flooding under a shared beat period and "
       "optional duty-cycle sleep";
-  spec.axes = {protocol_axis(
-                   {static_cast<double>(core::Protocol::kFrugal),
-                    static_cast<double>(core::Protocol::kFloodInterestAware)}),
+  // The first two protocol values must stay {frugal, interests-aware}:
+  // reduced-grid helpers (telemetry tests, CI smoke) keep the leading pair.
+  spec.axes = {protocol_axis({protocol_ordinal("frugal"),
+                              protocol_ordinal("interests-aware-flooding"),
+                              protocol_ordinal("battery-adaptive-frugal"),
+                              protocol_ordinal("speed-adaptive-frugal"),
+                              protocol_ordinal("gossip")}),
                axis("battery_j", {300, 450, 800},
                     {200, 250, 300, 350, 400, 450, 500, 650, 800}),
                axis("hb_upper_s", {1, 3}, {1, 2, 3, 4, 5}),
-               axis("duty", {0}, {0, 0.25, 0.5})};
+               axis("duty", {0}, {0, 0.25, 0.5}),
+               // Per-node battery heterogeneity: capacities ramp linearly
+               // over node ids from battery_j*(1 - spread/2) to
+               // battery_j*(1 + spread/2) — mean preserved. 0 = the
+               // homogeneous fleet (scalar capacity).
+               axis("battery_spread", {0}, {0, 0.5})};
   spec.default_seeds = 2;
   spec.make_config = [](const ParamPoint& point, std::uint64_t seed) {
     // The frugality figures' density-preserving fast world with a shorter
@@ -781,6 +807,19 @@ ScenarioSpec energy_lifetime_spec() {
     config.flooding.period = beat;
     energy::EnergyConfig energy;
     energy.battery_capacity_j = point.get("battery_j");
+    const double spread = point.get_or("battery_spread", 0.0);
+    if (spread > 0) {
+      energy.battery_capacity_per_node_j.resize(config.node_count);
+      const auto n = static_cast<double>(config.node_count);
+      for (std::size_t i = 0; i < config.node_count; ++i) {
+        const double t =
+            config.node_count > 1
+                ? static_cast<double>(i) / (n - 1.0)
+                : 0.5;
+        energy.battery_capacity_per_node_j[i] =
+            energy.battery_capacity_j * (1.0 - spread / 2.0 + spread * t);
+      }
+    }
     energy.sleep_fraction = point.get("duty");
     energy.duty_period = beat;  // sleep between heartbeat rounds
     config.energy = energy;
@@ -796,7 +835,11 @@ ScenarioSpec energy_lifetime_spec() {
       "dies first — first_death_s grows monotonically with battery_j and is "
       "earlier for flooding at every capacity; slower beats (hb_upper_s up) "
       "spend less but deliver later; duty-cycle sleep (--full) trades a "
-      "bounded reliability loss for a visibly longer network lifetime.";
+      "bounded reliability loss for a visibly longer network lifetime. "
+      "battery-adaptive-frugal dozes below 35% charge and outlives static "
+      "frugal at the tightest batteries at equal reliability; "
+      "speed-adaptive-frugal beacons more when moving fast; gossip sits "
+      "between frugal and flooding on joules.";
   return spec;
 }
 

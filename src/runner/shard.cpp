@@ -96,6 +96,13 @@ ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
   artifact.seeds = plan.seeds;
   artifact.seed_base = plan.seed_base;
   artifact.axes = plan.axes;
+  artifact.axis_labels.resize(plan.axes.size());
+  for (std::size_t a = 0; a < plan.axes.size(); ++a) {
+    if (!plan.axes[a].format) continue;
+    for (const double value : plan.axes[a].values) {
+      artifact.axis_labels[a].push_back(plan.axes[a].format(value));
+    }
+  }
   for (const MetricSpec& metric : spec.metrics) {
     artifact.metrics.push_back(metric.name);
   }
@@ -137,6 +144,8 @@ std::string serialize_shard(const ShardArtifact& artifact) {
   out += ",\"seed_base\":";
   out += std::to_string(artifact.seed_base);
   out += ",\"axes\":[";
+  FRUGAL_EXPECT(artifact.axis_labels.empty() ||
+                artifact.axis_labels.size() == artifact.axes.size());
   for (std::size_t a = 0; a < artifact.axes.size(); ++a) {
     if (a > 0) out += ',';
     out += "{\"name\":\"";
@@ -146,7 +155,23 @@ std::string serialize_shard(const ShardArtifact& artifact) {
       if (v > 0) out += ',';
       out += number17(artifact.axes[a].values[v]);
     }
-    out += "]}";
+    out += ']';
+    if (a < artifact.axis_labels.size() && !artifact.axis_labels[a].empty()) {
+      // Labeled axes also round-trip their identity by name: the merge
+      // resolves labels back through the spec (registry) and aborts on a
+      // label nobody registered.
+      FRUGAL_EXPECT(artifact.axis_labels[a].size() ==
+                    artifact.axes[a].values.size());
+      out += ",\"labels\":[";
+      for (std::size_t v = 0; v < artifact.axis_labels[a].size(); ++v) {
+        if (v > 0) out += ',';
+        out += '"';
+        out += checked_name(artifact.axis_labels[a][v]);
+        out += '"';
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "],\"metrics\":[";
   for (std::size_t m = 0; m < artifact.metrics.size(); ++m) {
@@ -194,6 +219,7 @@ ShardArtifact parse_shard(const std::string& text) {
   expect_literal(cursor, ",\"axes\":[");
   while (*cursor.at == '{') {
     Axis axis;
+    std::vector<std::string> labels;
     expect_literal(cursor, "{\"name\":\"");
     axis.name = parse_name(cursor);
     expect_literal(cursor, "\",\"values\":[");
@@ -202,8 +228,22 @@ ShardArtifact parse_shard(const std::string& text) {
       if (*cursor.at != ',') break;
       ++cursor.at;
     }
-    expect_literal(cursor, "]}");
+    expect_literal(cursor, "]");
+    if (std::strncmp(cursor.at, ",\"labels\":[", 11) == 0) {
+      expect_literal(cursor, ",\"labels\":[");
+      while (*cursor.at == '"') {
+        ++cursor.at;
+        labels.push_back(parse_name(cursor));
+        expect_literal(cursor, "\"");
+        if (*cursor.at == ',') ++cursor.at;
+      }
+      expect_literal(cursor, "]");
+      FRUGAL_EXPECT(labels.size() == axis.values.size() &&
+                    "malformed shard artifact");
+    }
+    expect_literal(cursor, "}");
     artifact.axes.push_back(std::move(axis));
+    artifact.axis_labels.push_back(std::move(labels));
     if (*cursor.at == ',') ++cursor.at;
   }
   expect_literal(cursor, "],\"metrics\":[");
@@ -278,6 +318,8 @@ SweepResult merge_shards(const ScenarioSpec& spec,
       FRUGAL_EXPECT(shard.axes[a].values == first.axes[a].values &&
                     "shards ran different grids");
     }
+    FRUGAL_EXPECT(shard.axis_labels == first.axis_labels &&
+                  "shards ran different grids");
     FRUGAL_EXPECT(shard.metrics == first.metrics);
     FRUGAL_EXPECT(shard.range ==
                   shard_range(first.job_count, shard.shard));
@@ -296,6 +338,26 @@ SweepResult merge_shards(const ScenarioSpec& spec,
                   "artifact axes do not match the scenario spec");
     Axis axis = spec.axes[a];
     axis.values = first.axes[a].values;
+    // Labels are authoritative over the serialized numbers: resolve each one
+    // back through the spec's parser (the protocol registry, for the
+    // protocol axis), so an artifact naming an unregistered protocol aborts
+    // here instead of silently running whatever its ordinal now means.
+    if (a < first.axis_labels.size() && !first.axis_labels[a].empty()) {
+      FRUGAL_EXPECT(axis.parse &&
+                    "artifact carries labels for an axis without a parser");
+      for (std::size_t v = 0; v < first.axis_labels[a].size(); ++v) {
+        const std::optional<double> value =
+            axis.parse(first.axis_labels[a][v]);
+        if (!value.has_value()) {
+          std::fprintf(stderr,
+                       "shard artifact: unknown label \"%s\" for axis "
+                       "\"%s\"\n",
+                       first.axis_labels[a][v].c_str(), axis.name.c_str());
+          std::abort();
+        }
+        axis.values[v] = *value;
+      }
+    }
     axis.full_values.clear();
     resolved.push_back(std::move(axis));
   }

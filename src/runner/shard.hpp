@@ -37,6 +37,12 @@ struct ShardArtifact {
   /// Resolved effective axes (name + values only; rendering metadata comes
   /// from the spec at merge time).
   std::vector<Axis> axes;
+  /// Per-axis value labels for axes with a formatter (e.g. protocol names).
+  /// Labels are the source of truth at merge time: they are resolved back
+  /// to values through the spec's axis parser, so an artifact naming a
+  /// protocol nobody registered aborts instead of running the wrong one.
+  /// Empty inner vectors for plain numeric axes.
+  std::vector<std::vector<std::string>> axis_labels;
   std::vector<std::string> metrics;  ///< spec metric names, for validation
   /// values[i] holds the metric values of job range.begin + i.
   std::vector<std::vector<double>> values;

@@ -122,24 +122,24 @@ TEST(FrugalityShapes, FrugalBeatsAllFloodingVariants) {
   base.seed = 3;
 
   const RunResult frugal = run_experiment(base);
-  for (const Protocol protocol :
-       {Protocol::kFloodSimple, Protocol::kFloodInterestAware,
-        Protocol::kFloodNeighborInterest}) {
+  for (const char* protocol :
+       {"simple-flooding", "interests-aware-flooding",
+        "neighbors-interests-flooding"}) {
     ExperimentConfig config = base;
     config.protocol = protocol;
     const RunResult flooding = run_experiment(config);
     EXPECT_LT(frugal.mean_bytes_sent_per_node(),
               flooding.mean_bytes_sent_per_node())
-        << to_string(protocol);
+        << protocol;
     EXPECT_LT(frugal.mean_events_sent_per_node(),
               flooding.mean_events_sent_per_node())
-        << to_string(protocol);
+        << protocol;
     EXPECT_LT(frugal.mean_duplicates_per_node(),
               flooding.mean_duplicates_per_node())
-        << to_string(protocol);
+        << protocol;
     EXPECT_LE(frugal.mean_parasites_per_node(),
               flooding.mean_parasites_per_node())
-        << to_string(protocol);
+        << protocol;
   }
 }
 
@@ -159,10 +159,10 @@ TEST(FrugalityShapes, NeighborInterestFloodingIsMostExpensive) {
   base.event_count = 3;
   base.seed = 4;
 
-  base.protocol = Protocol::kFloodSimple;
+  base.protocol = "simple-flooding";
   const double simple_bytes =
       run_experiment(base).mean_bytes_sent_per_node();
-  base.protocol = Protocol::kFloodNeighborInterest;
+  base.protocol = "neighbors-interests-flooding";
   const double neighbor_bytes =
       run_experiment(base).mean_bytes_sent_per_node();
   EXPECT_GT(neighbor_bytes, simple_bytes);

@@ -127,6 +127,62 @@ TEST(EnergyModelTest, SmallerBatteriesCrossStrictlyEarlier) {
   }
 }
 
+TEST(EnergyModelTest, PerNodeCapacitiesOverrideTheScalar) {
+  const double idle_w = RadioPowerProfile{}.idle_mw / 1000.0;
+  EnergyConfig config;
+  config.battery_capacity_j = idle_w * 100.0;  // scalar is ignored when...
+  config.battery_capacity_per_node_j = {idle_w * 2.0, idle_w * 8.0,
+                                        0.0};  // ...the vector is set
+  EnergyModel model{3, config};
+  EXPECT_DOUBLE_EQ(model.capacity_j(0), idle_w * 2.0);
+  EXPECT_DOUBLE_EQ(model.capacity_j(1), idle_w * 8.0);
+  EXPECT_DOUBLE_EQ(model.capacity_j(2), 0.0);  // unlimited
+  for (NodeId id = 0; id < 3; ++id) model.advance(id, at_s(100.0));
+  // The smaller battery crosses strictly earlier; the unlimited node never.
+  ASSERT_TRUE(model.depleted(0));
+  ASSERT_TRUE(model.depleted(1));
+  EXPECT_EQ(*model.depleted_at(0), at_s(2.0));
+  EXPECT_EQ(*model.depleted_at(1), at_s(8.0));
+  EXPECT_FALSE(model.depleted(2));
+}
+
+TEST(EnergyModelTest, ChargeFractionProjectsWithoutMutating) {
+  const double idle_w = RadioPowerProfile{}.idle_mw / 1000.0;
+  EnergyConfig config;
+  config.battery_capacity_j = idle_w * 10.0;  // 10 idle seconds
+  EnergyModel model{2, config};
+  // Projection at a future time must not advance the ledger: the same
+  // queries again — and the depletion schedule — are unchanged.
+  EXPECT_DOUBLE_EQ(model.charge_fraction_at(0, at_s(5.0)), 0.5);
+  EXPECT_DOUBLE_EQ(model.charge_fraction_at(0, at_s(5.0)), 0.5);
+  EXPECT_DOUBLE_EQ(model.charge_fraction_at(0, at_s(20.0)), 0.0);  // clamped
+  EXPECT_FALSE(model.depleted(0));
+  model.advance(0, at_s(2.5));
+  EXPECT_DOUBLE_EQ(model.charge_fraction_at(0, at_s(2.5)), 0.75);
+
+  // Unlimited batteries always read full.
+  EnergyModel unlimited{1, metering_only()};
+  EXPECT_DOUBLE_EQ(unlimited.charge_fraction_at(0, at_s(1000.0)), 1.0);
+}
+
+TEST(EnergyModelTest, AnyFiniteBatteryReadsScalarAndVector) {
+  EnergyConfig config;
+  EXPECT_FALSE(any_finite_battery(config));
+  config.battery_capacity_j = 5.0;
+  EXPECT_TRUE(any_finite_battery(config));
+  config.battery_capacity_per_node_j = {0.0, 0.0};  // vector wins: unlimited
+  EXPECT_FALSE(any_finite_battery(config));
+  config.battery_capacity_per_node_j = {0.0, 3.0};
+  EXPECT_TRUE(any_finite_battery(config));
+}
+
+TEST(EnergyModelDeathTest, PerNodeCapacityVectorMustMatchNodeCount) {
+  EnergyConfig config;
+  config.battery_capacity_per_node_j = {1.0, 2.0};
+  EXPECT_DEATH(static_cast<void>(EnergyModel(3, config)),
+               "battery_capacity_per_node_j");
+}
+
 TEST(EnergyModelTest, DownRadioDrawsNothingAcrossChurn) {
   EnergyModel model{2, metering_only()};
   model.on_up_changed(0, false, at_s(0.0));
@@ -327,6 +383,62 @@ TEST(EnergyExperimentTest, DutyCyclingAccruesSleepAndSavesEnergy) {
   }
   EXPECT_GT(asleep_total, 0.0);
   EXPECT_LT(dozing.mean_joules_per_node(), awake.mean_joules_per_node());
+}
+
+TEST(EnergyExperimentTest, PerStateBreakdownConservesWindowSpend) {
+  // NodeOutcome splits the measurement-window joules by radio power state;
+  // the four states must sum back to the total (the off state draws
+  // nothing), and the run-level aggregates must see real TX/RX activity.
+  core::ExperimentConfig config = small_world(13);
+  EnergyConfig energy;
+  energy.sleep_fraction = 0.25;  // make the sleep bucket non-trivial too
+  energy.duty_period = config.frugal.hb_upper;
+  config.energy = energy;
+  const core::RunResult result = core::run_experiment(config);
+  double tx_total = 0.0;
+  for (const core::NodeOutcome& node : result.nodes) {
+    const double sum = node.energy_tx_j + node.energy_rx_j +
+                       node.energy_idle_j + node.energy_sleep_j;
+    EXPECT_NEAR(sum, node.energy_spent_j, 1e-9 + 1e-12 * sum);
+    EXPECT_GE(node.energy_tx_j, 0.0);
+    EXPECT_GE(node.energy_rx_j, 0.0);
+    EXPECT_GT(node.energy_idle_j, 0.0);  // nobody idles zero seconds
+    EXPECT_GT(node.energy_sleep_j, 0.0);  // duty cycle puts everyone down
+    tx_total += node.energy_tx_j;
+  }
+  EXPECT_GT(tx_total, 0.0);  // somebody transmitted during the window
+}
+
+TEST(EnergyExperimentTest, HeterogeneousBatteriesDieSmallestFirst) {
+  // Per-node capacities: a fleet whose batteries ramp from tiny to roomy
+  // must lose its small-battery processes first, and the tiny end must not
+  // drag down nodes with room to spare.
+  core::ExperimentConfig config = small_world(17);
+  const double idle_w = RadioPowerProfile{}.idle_mw / 1000.0;
+  EnergyConfig energy;
+  energy.battery_capacity_per_node_j.resize(config.node_count);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    // 20 idle-seconds for node 0 ramping to 2000 for the last: the run is
+    // ~91 s, so the small end dies mid-run and the large end survives.
+    energy.battery_capacity_per_node_j[i] =
+        idle_w * (20.0 + 2000.0 * static_cast<double>(i) /
+                             static_cast<double>(config.node_count - 1));
+  }
+  config.energy = energy;
+  const core::RunResult result = core::run_experiment(config);
+  ASSERT_TRUE(result.nodes[0].depleted_at.has_value());
+  EXPECT_GT(result.survivor_fraction(), 0.0);
+  EXPECT_LT(result.survivor_fraction(), 1.0);
+  // Depletion order follows capacity order: any depleted node died no
+  // earlier than every smaller-capacity node before it.
+  std::optional<SimTime> previous;
+  for (const core::NodeOutcome& node : result.nodes) {
+    if (!node.depleted_at.has_value()) break;
+    if (previous.has_value()) {
+      EXPECT_LE(*previous, *node.depleted_at);
+    }
+    previous = node.depleted_at;
+  }
 }
 
 TEST(EnergyExperimentTest, ChurnRecoveryDoesNotResurrectDepletedNodes) {

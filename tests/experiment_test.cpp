@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "protocol/registry.hpp"
+
 namespace frugal::core {
 namespace {
 
@@ -301,15 +303,16 @@ TEST(ExperimentTest, MultipleEventsAllTracked) {
 }
 
 TEST(ExperimentTest, AllProtocolsComplete) {
-  for (const Protocol protocol :
-       {Protocol::kFrugal, Protocol::kFloodSimple,
-        Protocol::kFloodInterestAware, Protocol::kFloodNeighborInterest}) {
+  // Every registered protocol — paper baselines and adaptive variants alike
+  // — must drive a run to completion through the registry factory path.
+  protocol::register_builtin_protocols();
+  for (const protocol::ProtocolSpec* spec : protocol::all_protocols()) {
     ExperimentConfig config = small_rwp();
     config.node_count = 20;
-    config.protocol = protocol;
+    config.protocol = spec->name;
     const RunResult result = run_experiment(config);
-    EXPECT_GE(result.reliability(), 0.0) << to_string(protocol);
-    EXPECT_GT(result.mean_bytes_sent_per_node(), 0.0) << to_string(protocol);
+    EXPECT_GE(result.reliability(), 0.0) << spec->name;
+    EXPECT_GT(result.mean_bytes_sent_per_node(), 0.0) << spec->name;
   }
 }
 
@@ -318,7 +321,7 @@ TEST(ExperimentTest, FrugalUsesLessBandwidthThanSimpleFlooding) {
   config.event_count = 5;
   config.publish_spacing = SimDuration::from_seconds(1);
   const RunResult frugal = run_experiment(config);
-  config.protocol = Protocol::kFloodSimple;
+  config.protocol = "simple-flooding";
   const RunResult flooding = run_experiment(config);
   EXPECT_LT(frugal.mean_bytes_sent_per_node(),
             flooding.mean_bytes_sent_per_node());

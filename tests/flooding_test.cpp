@@ -157,6 +157,32 @@ TEST(FloodingTest, UnsubscribeStopsDeliveries) {
   EXPECT_GE(w.node(1).metrics().parasites, 1u);
 }
 
+TEST(FloodingTest, ResubscribeAfterFullUnsubscribeDeliversAgain) {
+  // Regression companion to the frugal re-subscribe test: a flooding
+  // process that drops its last topic and re-subscribes must receive events
+  // published afterwards (the ticker keeps running; the subscription set
+  // alone gates delivery).
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kInterestAware};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(1).unsubscribe(Topic::parse(".a"));
+  w.run_for(2_sec);
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(3_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
+TEST(FloodingTest, DuplicateSubscribeIsIdempotent) {
+  // One unsubscribe undoes any number of identical subscribes.
+  World w{{{0, 0}, {50, 0}}, FloodingVariant::kInterestAware};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(1).unsubscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(3_sec);
+  EXPECT_TRUE(w.node(1).metrics().deliveries.empty());
+}
+
 TEST(FloodingTest, PublisherDeliversToItselfOnlyWhenSubscribed) {
   World unsub{{{0, 0}}, FloodingVariant::kSimple};
   unsub.node(0).publish(unsub.make_event(".a.x"));

@@ -75,6 +75,52 @@ TEST(FrugalNodeTest, UnsubscribeLastTopicStopsTasks) {
   EXPECT_FALSE(w.node(0).heartbeat_running());
 }
 
+TEST(FrugalNodeTest, ResubscribeAfterFullUnsubscribeRestartsMachinery) {
+  // Regression: a process that unsubscribes its last topic and later
+  // subscribes again must come back fully — heartbeats, neighborhood GC and
+  // the retrieve path all restart, so events published after the
+  // re-subscription reach it.
+  World w{{{0, 0}, {50, 0}}};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(1).unsubscribe(Topic::parse(".a"));
+  EXPECT_FALSE(w.node(1).heartbeat_running());
+  w.run_for(3_sec);  // fully quiesced while unsubscribed
+  w.node(1).subscribe(Topic::parse(".a"));
+  EXPECT_TRUE(w.node(1).heartbeat_running());
+  w.run_for(3_sec);  // let the revived heartbeats rebuild the neighborhood
+  w.node(0).publish(w.make_event(".a.x"));
+  w.run_for(5_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
+TEST(FrugalNodeTest, DuplicateSubscribeIsIdempotent) {
+  // Subscriptions are a set: subscribing the same topic twice needs no
+  // matching second unsubscribe, and one unsubscribe winds the tasks down.
+  World w{{{0, 0}}};
+  w.node(0).subscribe(Topic::parse(".a"));
+  w.node(0).subscribe(Topic::parse(".a"));
+  EXPECT_TRUE(w.node(0).heartbeat_running());
+  w.node(0).unsubscribe(Topic::parse(".a"));
+  EXPECT_FALSE(w.node(0).heartbeat_running());
+}
+
+TEST(FrugalNodeTest, SpuriousUnsubscribeLeavesPublisherMachineryArmed) {
+  // Regression: unsubscribing a topic that was never subscribed used to
+  // fall through into the empty-subscriptions teardown and cancel a pure
+  // publisher's armed back-off — silently killing its dissemination.
+  World w{{{0, 0}, {50, 0}}};
+  w.node(1).subscribe(Topic::parse(".a"));
+  w.node(0).publish(w.make_event(".a.x"));
+  for (int step = 0; step < 300 && !w.node(0).backoff_pending(); ++step) {
+    w.run_for(10_ms);
+  }
+  ASSERT_TRUE(w.node(0).backoff_pending());
+  w.node(0).unsubscribe(Topic::parse(".never.subscribed"));
+  EXPECT_TRUE(w.node(0).backoff_pending());
+  w.run_for(10_sec);
+  EXPECT_EQ(w.node(1).metrics().deliveries.size(), 1u);
+}
+
 TEST(FrugalNodeTest, UnsubscribeCancelsPendingRetrieve) {
   // Regression: with id exchange off, a freshly admitted neighbor arms the
   // deferred RETRIEVEEVENTSTOSEND. Unsubscribing the last topic must cancel

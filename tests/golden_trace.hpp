@@ -43,7 +43,7 @@ struct GoldenScenario {
   };
 
   append("scenario protocol=%s nodes=%zu seed=%" PRIu64 "\n",
-         core::to_string(config.protocol), config.node_count, config.seed);
+         config.protocol.c_str(), config.node_count, config.seed);
   append("publisher %u\n", result.publisher);
   for (const trace::TraceRecord& record : recorder.records()) {
     if (record.event.has_value()) {
@@ -80,7 +80,6 @@ struct GoldenScenario {
 /// still exercising radio contention, mobility and protocol timers.
 [[nodiscard]] inline std::vector<GoldenScenario> golden_scenarios() {
   using core::ExperimentConfig;
-  using core::Protocol;
 
   const auto base = [](std::uint64_t seed) {
     ExperimentConfig config;
@@ -118,26 +117,26 @@ struct GoldenScenario {
 
   std::vector<GoldenScenario> scenarios;
   const auto add = [&scenarios](std::string name, ExperimentConfig config,
-                                Protocol protocol) {
-    config.protocol = protocol;
+                                std::string protocol) {
+    config.protocol = std::move(protocol);
     scenarios.push_back({std::move(name), config});
   };
 
-  add("frugal_static", with_static(11), Protocol::kFrugal);
-  add("flooding_static", with_static(11), Protocol::kFloodSimple);
-  add("frugal_rwp", with_rwp(23), Protocol::kFrugal);
-  add("flooding_rwp", with_rwp(23), Protocol::kFloodSimple);
-  add("flooding_interest_rwp", with_rwp(23), Protocol::kFloodInterestAware);
-  add("flooding_neighbor_rwp", with_rwp(23), Protocol::kFloodNeighborInterest);
-  add("frugal_city", with_city(37), Protocol::kFrugal);
-  add("flooding_city", with_city(37), Protocol::kFloodSimple);
+  add("frugal_static", with_static(11), "frugal");
+  add("flooding_static", with_static(11), "simple-flooding");
+  add("frugal_rwp", with_rwp(23), "frugal");
+  add("flooding_rwp", with_rwp(23), "simple-flooding");
+  add("flooding_interest_rwp", with_rwp(23), "interests-aware-flooding");
+  add("flooding_neighbor_rwp", with_rwp(23), "neighbors-interests-flooding");
+  add("frugal_city", with_city(37), "frugal");
+  add("flooding_city", with_city(37), "simple-flooding");
 
   // Churn locks in the crash/recovery timeline as well (kNodeDown/kNodeUp
   // records appear in the trace).
   ExperimentConfig churn = with_rwp(51);
   churn.churn.crashes_per_node_per_minute = 2.0;
-  add("frugal_rwp_churn", churn, Protocol::kFrugal);
-  add("flooding_rwp_churn", churn, Protocol::kFloodSimple);
+  add("frugal_rwp_churn", churn, "frugal");
+  add("flooding_rwp_churn", churn, "simple-flooding");
   return scenarios;
 }
 

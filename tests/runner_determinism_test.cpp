@@ -52,9 +52,8 @@ ScenarioSpec fast_spec() {
     config.warmup = SimDuration::from_seconds(5);
     config.event_validity = SimDuration::from_seconds(20);
     config.event_count = 2;
-    config.protocol = point.get("protocol") == 0
-                          ? core::Protocol::kFrugal
-                          : core::Protocol::kFloodSimple;
+    config.protocol =
+        point.get("protocol") == 0 ? "frugal" : "simple-flooding";
     config.seed = seed;
     return config;
   };

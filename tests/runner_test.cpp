@@ -157,7 +157,9 @@ TEST(RegistryTest, DescribeListsAxesValuesAndMetricNames) {
   const std::string text = describe(*spec);
   EXPECT_NE(text.find("energy_lifetime"), std::string::npos);
   // Axis values are spelled out, through the axis formatter where set...
-  EXPECT_NE(text.find("protocol = {frugal, interests-aware-flooding}"),
+  EXPECT_NE(text.find("protocol = {frugal, interests-aware-flooding, "
+                      "battery-adaptive-frugal, speed-adaptive-frugal, "
+                      "gossip}"),
             std::string::npos)
       << text;
   EXPECT_NE(text.find("battery_j = {300, 450, 800}"), std::string::npos)
@@ -228,9 +230,8 @@ ScenarioSpec tiny_spec() {
     config.medium.range_m = 200.0;
     config.warmup = SimDuration::from_seconds(2);
     config.event_validity = SimDuration::from_seconds(10);
-    config.protocol = point.get("protocol") == 0
-                          ? core::Protocol::kFrugal
-                          : core::Protocol::kFloodSimple;
+    config.protocol =
+        point.get("protocol") == 0 ? "frugal" : "simple-flooding";
     config.publisher = static_cast<NodeId>(point.get("publisher"));
     config.seed = seed;
     return config;

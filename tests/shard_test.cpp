@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runner/registry.hpp"
@@ -27,6 +29,17 @@ ScenarioSpec tiny_spec() {
   Axis protocol;
   protocol.name = "protocol";
   protocol.values = {0, 1};
+  // Labeled axis: serialized artifacts carry these names, and merge
+  // resolves them back through the parser — the protocol-identity
+  // round-trip the registry scenarios rely on.
+  protocol.format = [](double value) {
+    return std::string{value == 0 ? "frugal" : "simple-flooding"};
+  };
+  protocol.parse = [](std::string_view token) -> std::optional<double> {
+    if (token == "frugal") return 0.0;
+    if (token == "simple-flooding") return 1.0;
+    return std::nullopt;
+  };
   Axis publisher;
   publisher.name = "publisher";
   publisher.values = {0, 1, 2};
@@ -41,9 +54,8 @@ ScenarioSpec tiny_spec() {
     config.medium.range_m = 200.0;
     config.warmup = SimDuration::from_seconds(2);
     config.event_validity = SimDuration::from_seconds(10);
-    config.protocol = point.get("protocol") == 0
-                          ? core::Protocol::kFrugal
-                          : core::Protocol::kFloodSimple;
+    config.protocol =
+        point.get("protocol") == 0 ? "frugal" : "simple-flooding";
     config.publisher = static_cast<NodeId>(point.get("publisher"));
     config.seed = seed;
     return config;
@@ -277,6 +289,70 @@ TEST(ShardDeathTest, MergeRejectsMismatchedSweeps) {
   const ScenarioSpec* city = find_scenario("fig13_heartbeat");
   ASSERT_NE(city, nullptr);
   EXPECT_DEATH(merge(*city, {base[0], base[1]}), "scenario == spec.name");
+}
+
+TEST(ShardArtifactFormat, LabeledAxisCarriesProtocolNames) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  options.shard = ShardSpec{0, 1};
+  const ShardArtifact artifact = run_sweep_shard(spec, options);
+  ASSERT_EQ(artifact.axis_labels.size(), 2u);
+  EXPECT_EQ(artifact.axis_labels[0],
+            (std::vector<std::string>{"frugal", "simple-flooding"}));
+  EXPECT_TRUE(artifact.axis_labels[1].empty());  // numeric axis: no labels
+  const std::string text = serialize_shard(artifact);
+  EXPECT_NE(text.find("\"labels\":[\"frugal\",\"simple-flooding\"]"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(parse_shard(text).axis_labels, artifact.axis_labels);
+}
+
+TEST(ShardDeathTest, MergeAbortsOnUnregisteredProtocolLabel) {
+  // An artifact naming a protocol this build does not know must die at
+  // merge, not silently run ordinal garbage.
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  options.shard = ShardSpec{0, 1};
+  std::string text = serialize_shard(run_sweep_shard(spec, options));
+  const std::size_t at = text.find("\"frugal\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 8, "\"fruggal\"");
+  std::vector<ShardArtifact> tampered;
+  tampered.push_back(parse_shard(text));
+  EXPECT_DEATH(static_cast<void>(merge_shards(spec, std::move(tampered))),
+               "unknown label \"fruggal\" for axis \"protocol\"");
+}
+
+TEST(ShardDeathTest, MergeAbortsWhenSpecAxisCannotParseLabels) {
+  // Labels in the artifact but no parser on the spec's axis: the merge has
+  // no way to honour the names, so it must refuse.
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  options.shard = ShardSpec{0, 1};
+  const ShardArtifact artifact = run_sweep_shard(spec, options);
+  ScenarioSpec unparsing = tiny_spec();
+  unparsing.axes[0].parse = nullptr;
+  EXPECT_DEATH(static_cast<void>(merge_shards(unparsing, {artifact})),
+               "labels for an axis without a parser");
+}
+
+TEST(ShardDeathTest, MergeRejectsShardsWithDifferentLabels) {
+  const ScenarioSpec spec = tiny_spec();
+  SweepOptions options;
+  options.seeds = 1;
+  const std::vector<ShardArtifact> base = run_all_shards(spec, options, 2);
+  std::string text = serialize_shard(base[1]);
+  const std::size_t at = text.find("\"simple-flooding\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 17, "\"gossip\"");
+  std::vector<ShardArtifact> mixed;
+  mixed.push_back(base[0]);
+  mixed.push_back(parse_shard(text));
+  EXPECT_DEATH(static_cast<void>(merge_shards(spec, std::move(mixed))),
+               "different grids");
 }
 
 TEST(ShardDeathTest, ParseRejectsMalformedArtifacts) {

@@ -59,7 +59,7 @@ TEST_P(DeterminismSweep, FrugalRunsAreBitIdentical) {
 
 TEST_P(DeterminismSweep, FloodingRunsAreBitIdentical) {
   ExperimentConfig config = tiny(GetParam());
-  config.protocol = Protocol::kFloodSimple;
+  config.protocol = "simple-flooding";
   const RunResult a = run_experiment(config);
   const RunResult b = run_experiment(config);
   EXPECT_EQ(fingerprint(a), fingerprint(b));
