@@ -58,6 +58,7 @@ namespace {
       "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
       "          [--telemetry] [--profile] [--window S]\n"
       "          [--timeseries FILE] [--perfetto FILE] [--manifest FILE]\n"
+      "          [--dissem-trace FILE] [--dissem-bounded]\n"
       "       %s --scenario NAME [sweep flags as above] --shard i/N\n"
       "       %s --merge FILE [--merge FILE]...\n"
       "          [--format table|csv|jsonl] [--csv-dir DIR]\n"
@@ -69,6 +70,12 @@ namespace {
       "--timeseries / --perfetto write windowed time-series JSONL / a\n"
       "Chrome trace for the run; both need a single-job sweep (one grid\n"
       "point, one seed — use --grid and --seeds 1).\n"
+      "--dissem-trace writes the causal dissemination trace (JSONL, one\n"
+      "record per published event's propagation DAG — see EXPERIMENTS.md\n"
+      "and scripts/explain_event.py); same single-job rule. With\n"
+      "--perfetto, per-event flow arrows are stitched onto the trace.\n"
+      "--dissem-bounded retires each event's DAG at validity expiry for\n"
+      "flat memory on long runs (identical stats and JSONL rows).\n"
       "--profile prints per-subsystem self-profiling; --manifest writes a\n"
       "run-manifest JSON (provenance + profile) after the sweep.\n"
       "--shard runs slice i of N of the job grid and prints the partial\n"
@@ -235,6 +242,12 @@ int main(int argc, char** argv) {
     } else if (is("--perfetto")) {
       options.perfetto_path = value();
       sweep_flags_used = true;
+    } else if (is("--dissem-trace")) {
+      options.dissem_trace_path = value();
+      sweep_flags_used = true;
+    } else if (is("--dissem-bounded")) {
+      options.dissem_bounded = true;
+      sweep_flags_used = true;
     } else if (is("--manifest")) {
       manifest_path = value();
       output_flags_used = true;
@@ -385,13 +398,15 @@ int main(int argc, char** argv) {
   }
 
   if (shard_requested) {
-    // Time-series / Perfetto artifacts describe one simulation; a shard
-    // slice is not one simulation. (--telemetry is fine: shards stream
-    // through the hub and the merge stays byte-identical.)
-    if (!options.timeseries_path.empty() || !options.perfetto_path.empty()) {
+    // Time-series / Perfetto / dissem-trace artifacts describe one
+    // simulation; a shard slice is not one simulation. (--telemetry is
+    // fine: shards stream through the hub and the merge stays
+    // byte-identical.)
+    if (!options.timeseries_path.empty() || !options.perfetto_path.empty() ||
+        !options.dissem_trace_path.empty()) {
       std::fprintf(stderr,
-                   "--timeseries/--perfetto need a single-job run, not a "
-                   "--shard slice\n");
+                   "--timeseries/--perfetto/--dissem-trace need a single-job "
+                   "run, not a --shard slice\n");
       usage(argv[0]);
     }
     // The partial artifact is the whole output — machine-to-machine
@@ -412,14 +427,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!options.timeseries_path.empty() || !options.perfetto_path.empty()) {
+  if (!options.timeseries_path.empty() || !options.perfetto_path.empty() ||
+      !options.dissem_trace_path.empty()) {
     // Friendlier than the runner's abort: these artifacts describe one
     // simulation, so the resolved sweep must be exactly one job.
     const SweepPlan plan = plan_sweep(*spec, options);
     if (plan.job_count != 1) {
       std::fprintf(stderr,
-                   "--timeseries/--perfetto describe one simulation but this "
-                   "sweep has %zu jobs; narrow it with --grid and --seeds 1\n",
+                   "--timeseries/--perfetto/--dissem-trace describe one "
+                   "simulation but this sweep has %zu jobs; narrow it with "
+                   "--grid and --seeds 1\n",
                    plan.job_count);
       return 2;
     }
@@ -447,6 +464,7 @@ int main(int argc, char** argv) {
         << ",\"telemetry\":" << (options.telemetry ? "true" : "false")
         << ",\"timeseries\":" << json_string(options.timeseries_path)
         << ",\"perfetto\":" << json_string(options.perfetto_path)
+        << ",\"dissem_trace\":" << json_string(options.dissem_trace_path)
         << ",\"profile\":" << profile_json(sweep.profile) << "}\n";
     if (format == Format::kTable) {
       std::printf("# manifest written to %s\n", manifest_path.c_str());

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Explain one event's dissemination — or one delivery failure — causally.
+
+Reads the causal dissemination trace (`experiment_cli --dissem-trace
+out.jsonl`, schema in EXPERIMENTS.md) and answers, for one published event:
+
+  * `--event P:S` alone: the event's propagation summary — who published it,
+    how far it spread, and the terminal-outcome partition over its eligible
+    subscribers (delivered / expired-in-table / gc-evicted / marooned /
+    died-with-node).
+  * `--event P:S --node N`: subscriber N's complete causal story. For a
+    delivery, the hop-by-hop relay chain from the publisher to N plus the
+    advert / retrieve-request exchange and the four-segment latency
+    decomposition. For a failure, the precise reason: every frame offer N
+    ever received for this event and what became of it (collided,
+    missed-busy, missed-asleep, missed-down), or the proof that nothing was
+    ever offered (marooned), ending with the terminal outcome.
+
+Stdlib only. Exit status: 0 on a successful explanation, 2 on usage errors
+(unknown event, node not eligible, malformed trace).
+
+Usage:
+    explain_event.py TRACE.jsonl --event PUBLISHER:SEQ [--node N]
+    explain_event.py TRACE.jsonl --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Phases whose frames carry full events (the rest are id-list exchanges).
+CARRYING_PHASES = {"publish", "event-push", "flood-forward", "gossip-forward"}
+
+OUTCOME_ORDER = [
+    "delivered", "died-with-node", "marooned", "gc-evicted",
+    "expired-in-table",
+]
+
+
+def die(message):
+    sys.exit(f"explain_event.py: {message}")
+
+
+def load_trace(path):
+    """-> (header dict, [event record, ...]); loud on schema violations."""
+    header = None
+    records = []
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as error:
+        die(f"cannot read {path}: {error}")
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            die(f"{path}:{line_no}: bad JSON: {error}")
+        if row.get("artifact") == "dissem-trace":
+            if header is not None:
+                die(f"{path}:{line_no}: second dissem-trace header")
+            header = row
+            continue
+        if "event" not in row or "subscribers" not in row:
+            die(f"{path}:{line_no}: not a dissem-trace record (is this a "
+                f"--timeseries or sink file?)")
+        if header is None:
+            die(f"{path}:{line_no}: record before the dissem-trace header")
+        records.append(row)
+    if header is None:
+        die(f"{path}: no dissem-trace header found")
+    return header, records
+
+
+def event_key(record):
+    return (record["event"]["publisher"], record["event"]["seq"])
+
+
+def parse_event_id(text):
+    parts = text.split(":")
+    if len(parts) != 2:
+        die(f"--event wants PUBLISHER:SEQ, got \"{text}\"")
+    try:
+        return (int(parts[0]), int(parts[1]))
+    except ValueError:
+        die(f"--event wants two integers, got \"{text}\"")
+
+
+def fmt_time(seconds):
+    return f"t={seconds:.6f}s"
+
+
+def first_carry_edge(record, node):
+    """The intact event-carrying reception that gave `node` the event."""
+    for edge in record["edges"]:
+        if (edge["to"] == node and edge["outcome"] == "delivered"
+                and edge["phase"] in CARRYING_PHASES):
+            return edge
+    return None
+
+
+def relay_chain(record, node):
+    """Hop chain publisher -> ... -> node via first intact receptions.
+
+    Stops at the publisher (hop depth 0 by definition — a redundant copy
+    pushed BACK to the publisher must not extend the chain past it).
+    """
+    publisher = record["event"]["publisher"]
+    chain = []
+    cursor = node
+    seen = set()
+    while cursor != publisher and cursor not in seen:
+        seen.add(cursor)
+        edge = first_carry_edge(record, cursor)
+        if edge is None:
+            break  # annotation gap (should not happen in a full trace)
+        chain.append(edge)
+        cursor = edge["from"]
+    chain.reverse()
+    return chain
+
+
+def describe_edge(edge):
+    return (f"frame {edge['frame']}"
+            f" [{edge['phase']}] {edge['from']} -> {edge['to']}, "
+            f"sent {fmt_time(edge['sent_s'])}, "
+            f"{edge['outcome']} at {fmt_time(edge['at_s'])}")
+
+
+def outcome_counts(record):
+    counts = {name: 0 for name in OUTCOME_ORDER}
+    for sub in record["subscribers"]:
+        counts[sub["outcome"]] += 1
+    return counts
+
+
+def explain_summary(record):
+    publisher, seq = event_key(record)
+    print(f"event {publisher}:{seq}")
+    print(f"  published by process {publisher} at "
+          f"{fmt_time(record['published_at_s'])}, "
+          f"validity {record['validity_s']:.1f}s "
+          f"(expiry {fmt_time(record['published_at_s'] + record['validity_s'])})")
+    counts = outcome_counts(record)
+    eligible = len(record["subscribers"])
+    print(f"  eligible subscribers: {eligible}")
+    for name in OUTCOME_ORDER:
+        if counts[name]:
+            print(f"    {name:<17} {counts[name]}")
+    print(f"  frame offers referencing the event: {len(record['edges'])} "
+          f"(intact event-carrying receptions: {record['receptions']})")
+    if record.get("first_carry_s") is not None:
+        print(f"  first intact copy beyond the publisher at "
+              f"{fmt_time(record['first_carry_s'])}")
+    failed = [s for s in record["subscribers"] if s["outcome"] != "delivered"]
+    if failed:
+        nodes = ", ".join(str(s["node"]) for s in failed[:20])
+        suffix = ", ..." if len(failed) > 20 else ""
+        print(f"  undelivered subscribers: {nodes}{suffix}")
+        print(f"  (re-run with --node N for any of them to see why)")
+
+
+def explain_delivery(record, sub):
+    node = sub["node"]
+    print(f"  outcome: DELIVERED at {fmt_time(sub['at_s'])} "
+          f"after {sub['hops']} hop(s)")
+    chain = relay_chain(record, node)
+    if chain:
+        print("  relay chain (first intact copy per hop):")
+        for hop, edge in enumerate(chain, start=1):
+            print(f"    hop {hop}: {describe_edge(edge)}")
+    else:
+        print("  publisher self-delivery (hop 0): the publishing process "
+              "is itself a subscriber")
+
+    # The control-plane exchange in front of the delivering push, if any —
+    # only milestones that PRECEDE the delivery (a node reached by a direct
+    # broadcast hears adverts afterwards too; those explain nothing).
+    advert = next((e for e in record["edges"]
+                   if e["to"] == node and e["outcome"] == "delivered"
+                   and e["phase"] == "advert"
+                   and e["at_s"] <= sub["at_s"]), None)
+    if advert is not None:
+        print(f"  first advert heard: {describe_edge(advert)}")
+        request = next((e for e in record["edges"]
+                        if e["from"] == node
+                        and e["phase"] in ("advert", "retrieve-request")
+                        and advert["at_s"] <= e["sent_s"] <= sub["at_s"]),
+                       None)
+        if request is not None:
+            print(f"  retrieve request:   {describe_edge(request)}")
+
+
+def explain_failure(record, sub):
+    node = sub["node"]
+    outcome = sub["outcome"]
+    offers = [e for e in record["edges"] if e["to"] == node]
+    print(f"  outcome: NOT delivered — {outcome} "
+          f"(decided at expiry, {fmt_time(sub['at_s'])})")
+    if outcome == "died-with-node":
+        print("  reason: the process's radio was down (crashed or battery "
+              "dead) when the event's validity expired.")
+    elif outcome == "marooned":
+        print("  reason: no frame referencing this event was EVER offered "
+              "to this process — it was never within range of a carrier "
+              "while one was transmitting.")
+    elif outcome == "gc-evicted":
+        print("  reason: the process heard of the event, but the event was "
+              "evicted from an event table by GC (Equation 1 memory "
+              "pressure) along the dissemination path before a copy could "
+              "be pushed.")
+    elif outcome == "expired-in-table":
+        print("  reason: the process heard of the event but the validity "
+              "period ran out before a retrieve completed.")
+    if offers:
+        print(f"  every offer to process {node} ({len(offers)} total):")
+        for edge in offers:
+            print(f"    {describe_edge(edge)}")
+    else:
+        print(f"  (no frame referencing the event was offered to process "
+              f"{node})")
+
+
+def explain_node(record, node):
+    sub = next((s for s in record["subscribers"] if s["node"] == node), None)
+    publisher, seq = event_key(record)
+    if sub is None:
+        die(f"process {node} is not an eligible subscriber of event "
+            f"{publisher}:{seq} (eligible: "
+            f"{[s['node'] for s in record['subscribers']]})")
+    print(f"event {publisher}:{seq}, subscriber {node}")
+    print(f"  published at {fmt_time(record['published_at_s'])}, "
+          f"validity {record['validity_s']:.1f}s")
+    if sub["outcome"] == "delivered":
+        explain_delivery(record, sub)
+    else:
+        explain_failure(record, sub)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="dissem-trace JSONL file")
+    parser.add_argument("--event", help="event id as PUBLISHER:SEQ")
+    parser.add_argument("--node", type=int,
+                        help="explain this subscriber's outcome")
+    parser.add_argument("--list", action="store_true",
+                        help="list every event in the trace and exit")
+    args = parser.parse_args()
+
+    _header, records = load_trace(args.trace)
+    if args.list:
+        for record in records:
+            publisher, seq = event_key(record)
+            counts = outcome_counts(record)
+            delivered = counts["delivered"]
+            print(f"{publisher}:{seq}  published "
+                  f"{fmt_time(record['published_at_s'])}  "
+                  f"{delivered}/{len(record['subscribers'])} delivered")
+        return
+    if args.event is None:
+        die("need --event PUBLISHER:SEQ (or --list)")
+    wanted = parse_event_id(args.event)
+    record = next((r for r in records if event_key(r) == wanted), None)
+    if record is None:
+        known = ", ".join(f"{p}:{s}" for p, s in
+                          (event_key(r) for r in records[:20]))
+        die(f"event {wanted[0]}:{wanted[1]} is not in the trace "
+            f"(events: {known}{', ...' if len(records) > 20 else ''})")
+    if args.node is None:
+        explain_summary(record)
+    else:
+        explain_node(record, args.node)
+
+
+if __name__ == "__main__":
+    main()

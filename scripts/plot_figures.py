@@ -10,10 +10,20 @@ the remaining axes becomes one series.
 Also understands the telemetry time-series artifact (`experiment_cli
 --timeseries out.jsonl`): a header line `{"artifact":"timeseries",...}`
 followed by one row per tumbling window. Those render with simulated time on
-the x axis, one chart per series field, null cells skipped. A file may hold
-sweep rows OR a time-series run, never both — mixed files are a hard error
-(a time-series row has no scenario/axes context, so silently merging the two
-would plot garbage). One invocation may freely mix *files* of both kinds.
+the x axis, one chart per series field, null cells skipped.
+
+Also understands the causal dissemination trace (`experiment_cli
+--dissem-trace out.jsonl`): a header line `{"artifact":"dissem-trace",...}`
+followed by one record per published event's propagation DAG. Those render
+as a hop-count histogram (deliveries per hop depth, chart name
+`hops_histogram`) and a per-phase latency stack (each event's mean delivery
+latency split into the publish->carry / carry->advert / advert->request /
+request->deliver segments, chart name `phase_latency_stack`).
+
+A file must hold exactly ONE artifact kind — sweep rows, a time-series run,
+or a dissemination trace; mixing kinds in one file is a hard error (rows of
+different artifacts share no context, so silently merging them would plot
+garbage). One invocation may freely mix *files* of all kinds.
 
 Rendering prefers matplotlib (PNG) when it is importable; otherwise a
 dependency-free built-in SVG writer is used, so the script runs anywhere the
@@ -58,24 +68,48 @@ TIMESERIES_FIELDS = [
     "joules_per_s",
 ]
 
+# Latency-decomposition segments of a dissem-trace record, in causal order.
+DISSEM_SEGMENTS = [
+    "publish_to_carry", "carry_to_advert", "advert_to_request",
+    "request_to_deliver",
+]
+
+# Chart names the dissemination trace renders to (usable with --metrics).
+DISSEM_CHARTS = ["hops_histogram", "phase_latency_stack"]
+
+
+def row_kind(row):
+    """Classifies one JSONL row: ("sweep"|"timeseries"|"dissem", is_header)."""
+    if row.get("artifact") == "timeseries":
+        return "timeseries", True
+    if row.get("artifact") == "dissem-trace":
+        return "dissem", True
+    if "scenario" in row and "metrics" in row:
+        return "sweep", False
+    if "t_s" in row:
+        return "timeseries", False
+    if "event" in row and "subscribers" in row:
+        return "dissem", False
+    return None, False
+
 
 def load_rows(paths):
     """Parses every JSONL line of the given files/directories.
 
-    -> (sweep_rows, timeseries_runs) where timeseries_runs is a list of
-    (file stem, header dict, [row dict, ...]). Each *file* must be entirely
-    one artifact kind; mixing sweep rows and time-series rows in one file is
-    a hard error.
+    -> (sweep_rows, timeseries_runs, dissem_runs) where the run lists hold
+    (file stem, header dict, [row dict, ...]) tuples. Each *file* must be
+    entirely one artifact kind; mixing kinds in one file is a hard error.
     """
     sweep_rows = []
     timeseries_runs = []
+    dissem_runs = []
     for raw in paths:
         path = Path(raw)
         files = sorted(path.glob("*.jsonl")) if path.is_dir() else [path]
         for file in files:
-            file_kind = None  # "sweep" | "timeseries", fixed by first row
+            file_kind = None  # fixed by the first row
             header = None
-            ts_rows = []
+            run_rows = []
             for line_no, line in enumerate(
                     file.read_text().splitlines(), start=1):
                 line = line.strip()
@@ -85,34 +119,34 @@ def load_rows(paths):
                     row = json.loads(line)
                 except json.JSONDecodeError as error:
                     sys.exit(f"{file}:{line_no}: bad JSON: {error}")
-                is_sweep = "scenario" in row and "metrics" in row
-                is_ts = row.get("artifact") == "timeseries" or "t_s" in row
-                if (is_sweep and file_kind == "timeseries") or (
-                        is_ts and file_kind == "sweep"):
+                kind, is_header = row_kind(row)
+                if kind is None:
+                    sys.exit(f"{file}:{line_no}: neither a sink row, a "
+                             f"time-series row nor a dissem-trace record")
+                if file_kind is not None and kind != file_kind:
                     sys.exit(
                         f"{file}:{line_no}: mixed artifacts — this file "
-                        f"holds both sweep rows and time-series rows; write "
+                        f"holds both {file_kind} and {kind} rows; write "
                         f"them to separate files")
-                if is_sweep:
+                if kind == "sweep":
                     file_kind = "sweep"
                     sweep_rows.append(row)
-                elif row.get("artifact") == "timeseries":
-                    if file_kind == "timeseries":
-                        sys.exit(f"{file}:{line_no}: second time-series "
-                                 f"header in one file")
-                    file_kind = "timeseries"
+                elif is_header:
+                    if header is not None:
+                        sys.exit(f"{file}:{line_no}: second {kind} header "
+                                 f"in one file")
+                    file_kind = kind
                     header = row
-                elif "t_s" in row:
-                    if file_kind != "timeseries":
-                        sys.exit(f"{file}:{line_no}: time-series row "
-                                 f"before its header line")
-                    ts_rows.append(row)
                 else:
-                    sys.exit(f"{file}:{line_no}: neither a sink row nor a "
-                             f"time-series row")
+                    if header is None:
+                        sys.exit(f"{file}:{line_no}: {kind} row before its "
+                                 f"header line")
+                    run_rows.append(row)
             if file_kind == "timeseries":
-                timeseries_runs.append((file.stem, header, ts_rows))
-    return sweep_rows, timeseries_runs
+                timeseries_runs.append((file.stem, header, run_rows))
+            elif file_kind == "dissem":
+                dissem_runs.append((file.stem, header, run_rows))
+    return sweep_rows, timeseries_runs, dissem_runs
 
 
 def pick_x_axis(rows):
@@ -153,6 +187,13 @@ def chart_data(rows, x_axis, metric):
     return series
 
 
+def with_ext(out_path, ext):
+    """Append `ext` to the file NAME — Path.with_suffix would treat
+    everything after the last dot of a dotted stem (fig11.dissem__hops)
+    as a suffix and silently collapse distinct charts onto one file."""
+    return out_path.parent / (out_path.name + ext)
+
+
 def render_matplotlib(title, x_label, y_label, series, out_path):
     fig, ax = plt.subplots(figsize=(7, 4.5))
     for color, (label, points) in zip(
@@ -169,9 +210,9 @@ def render_matplotlib(title, x_label, y_label, series, out_path):
         ax.legend(fontsize=7)
     ax.grid(True, alpha=0.3)
     fig.tight_layout()
-    fig.savefig(out_path.with_suffix(".png"), dpi=120)
+    fig.savefig(with_ext(out_path, ".png"), dpi=120)
     plt.close(fig)
-    return out_path.with_suffix(".png")
+    return with_ext(out_path, ".png")
 
 
 def render_svg(title, x_label, y_label, series, out_path):
@@ -244,9 +285,141 @@ def render_svg(title, x_label, y_label, series, out_path):
             parts.append(f'<text x="{left + plot_w - 136}" y="{ly + 1}">'
                          f'{esc(label)}</text>')
     parts.append("</svg>")
-    out = out_path.with_suffix(".svg")
+    out = with_ext(out_path, ".svg")
     out.write_text("\n".join(parts))
     return out
+
+
+def render_stacked_bars_matplotlib(title, x_label, y_label, xs, layers,
+                                   out_path):
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    positions = range(len(xs))
+    bottom = [0.0] * len(xs)
+    for color, (label, values) in zip(
+            PALETTE * (1 + len(layers) // len(PALETTE)), layers):
+        ax.bar(positions, values, bottom=bottom, label=label, color=color)
+        bottom = [b + v for b, v in zip(bottom, values)]
+    ax.set_title(title)
+    ax.set_xlabel(x_label)
+    ax.set_ylabel(y_label)
+    ax.set_xticks(list(positions))
+    ax.set_xticklabels([str(x) for x in xs], fontsize=7,
+                       rotation=90 if len(xs) > 24 else 0)
+    if len(layers) > 1:
+        ax.legend(fontsize=7)
+    ax.grid(True, axis="y", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(with_ext(out_path, ".png"), dpi=120)
+    plt.close(fig)
+    return with_ext(out_path, ".png")
+
+
+def render_stacked_bars_svg(title, x_label, y_label, xs, layers, out_path):
+    """Stacked bar chart, stdlib only (the histogram is one layer)."""
+    width, height = 720, 460
+    left, right, top, bottom = 70, 20, 40, 60
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    totals = [sum(values[i] for _, values in layers) for i in range(len(xs))]
+    y_hi = max(totals) if totals else 1.0
+    if y_hi <= 0:
+        y_hi = 1.0
+
+    def esc(text):
+        return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="13">{esc(title)}</text>',
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="black"/>',
+        f'<line x1="{left}" y1="{top}" x2="{left}" y2="{top + plot_h}" '
+        f'stroke="black"/>',
+        f'<text x="{width / 2}" y="{height - 8}" text-anchor="middle">'
+        f'{esc(x_label)}</text>',
+        f'<text x="14" y="{height / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height / 2})">{esc(y_label)}</text>',
+    ]
+    for tick in range(5):
+        y_val = y_hi * tick / 4
+        y_px = top + plot_h - plot_h * tick / 4
+        parts.append(f'<text x="{left - 6}" y="{y_px + 4}" '
+                     f'text-anchor="end">{y_val:.3g}</text>')
+        parts.append(f'<line x1="{left}" y1="{y_px}" x2="{left + plot_w}" '
+                     f'y2="{y_px}" stroke="#dddddd"/>')
+
+    slot = plot_w / max(len(xs), 1)
+    bar_w = max(slot * 0.7, 1.0)
+    label_step = max(1, len(xs) // 24)
+    for i, x in enumerate(xs):
+        x_px = left + slot * i + (slot - bar_w) / 2
+        y_cursor = top + plot_h
+        for layer_index, (_, values) in enumerate(layers):
+            bar_h = plot_h * values[i] / y_hi
+            y_cursor -= bar_h
+            color = PALETTE[layer_index % len(PALETTE)]
+            parts.append(f'<rect x="{x_px:.1f}" y="{y_cursor:.1f}" '
+                         f'width="{bar_w:.1f}" height="{bar_h:.1f}" '
+                         f'fill="{color}"/>')
+        if i % label_step == 0:
+            parts.append(f'<text x="{x_px + bar_w / 2:.1f}" '
+                         f'y="{top + plot_h + 16}" text-anchor="middle">'
+                         f'{esc(x)}</text>')
+    if len(layers) > 1:
+        for index, (label, _) in enumerate(layers):
+            ly = top + 14 * index
+            color = PALETTE[index % len(PALETTE)]
+            parts.append(f'<rect x="{left + plot_w - 150}" y="{ly - 8}" '
+                         f'width="10" height="10" fill="{color}"/>')
+            parts.append(f'<text x="{left + plot_w - 136}" y="{ly + 1}">'
+                         f'{esc(label)}</text>')
+    parts.append("</svg>")
+    out = with_ext(out_path, ".svg")
+    out.write_text("\n".join(parts))
+    return out
+
+
+def render_dissem_run(stem, rows, wanted, out_dir):
+    """Charts for one dissemination trace: hop histogram + phase stacks."""
+    written = []
+    render = (render_stacked_bars_matplotlib if HAVE_MATPLOTLIB
+              else render_stacked_bars_svg)
+
+    if not wanted or "hops_histogram" in wanted:
+        histogram = {}
+        for row in rows:
+            for sub in row["subscribers"]:
+                if sub["outcome"] == "delivered":
+                    histogram[sub["hops"]] = histogram.get(sub["hops"], 0) + 1
+        if histogram:
+            hops = sorted(histogram)
+            written.append(render(
+                f"{stem}: deliveries by hop depth", "hops to deliver",
+                "deliveries", hops,
+                [("deliveries", [histogram[h] for h in hops])],
+                out_dir / f"{stem}__hops_histogram"))
+
+    if not wanted or "phase_latency_stack" in wanted:
+        xs = []
+        layers = [(segment, []) for segment in DISSEM_SEGMENTS]
+        for index, row in enumerate(rows):
+            deliveries = row.get("deliveries", 0)
+            segments = row.get("segments_us")
+            if not deliveries or segments is None:
+                continue
+            xs.append(index)
+            for segment, values in layers:
+                values.append(segments[segment] / 1e6 / deliveries)
+        if xs:
+            written.append(render(
+                f"{stem}: mean delivery latency by phase", "event",
+                "seconds per delivery", xs, layers,
+                out_dir / f"{stem}__phase_latency_stack"))
+    return written
 
 
 def main():
@@ -261,13 +434,15 @@ def main():
     args = parser.parse_args()
     wanted = {name for name in args.metrics.split(",") if name}
 
-    rows, timeseries_runs = load_rows(args.paths)
-    if not rows and not timeseries_runs:
+    rows, timeseries_runs, dissem_runs = load_rows(args.paths)
+    if not rows and not timeseries_runs and not dissem_runs:
         sys.exit("no JSONL rows found")
     if wanted:
         known = {name for row in rows for name in row["metrics"]}
         if timeseries_runs:
             known |= set(TIMESERIES_FIELDS)
+        if dissem_runs:
+            known |= set(DISSEM_CHARTS)
         unknown = sorted(wanted - known)
         if unknown:
             sys.exit(f"--metrics names no metric in the input: {unknown} "
@@ -280,6 +455,9 @@ def main():
         by_scenario.setdefault(row["scenario"], []).append(row)
 
     written = []
+    for stem, _header, ev_rows in dissem_runs:
+        written.extend(render_dissem_run(stem, ev_rows, wanted, out_dir))
+
     for stem, header, ts_rows in timeseries_runs:
         window_s = header.get("window_s", "?")
         for field in TIMESERIES_FIELDS:

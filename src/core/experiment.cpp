@@ -441,6 +441,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
       [&simulator](std::string_view name, std::uint64_t index) {
         return simulator.stream(name, index);
       }};
+  telemetry::DisseminationTracer* tracer = config.dissem_tracer;
   std::vector<std::unique_ptr<ProtocolNode>> nodes;
   nodes.reserve(config.node_count);
   for (NodeId id = 0; id < config.node_count; ++id) {
@@ -449,15 +450,20 @@ RunResult run_experiment(const ExperimentConfig& config) {
     for (const topics::Topic& topic : node_subscriptions[id].topics()) {
       nodes.back()->subscribe(topic);
     }
-    if (telemetry != nullptr) {
+    if (telemetry != nullptr || tracer != nullptr) {
       ProtocolNode* node = nodes.back().get();
       node->set_delivery_callback(
-          [telemetry, id](const Event& event, SimTime at) {
-            telemetry->on_delivery(id, event, at);
+          [telemetry, tracer, id](const Event& event, SimTime at) {
+            if (telemetry != nullptr) telemetry->on_delivery(id, event, at);
+            if (tracer != nullptr) tracer->on_delivery(id, event, at);
           });
       node->set_gc_callback(
-          [telemetry, id](SimTime at) { telemetry->on_gc_eviction(id, at); });
-      if (bounded) {
+          [telemetry, tracer, id](EventId victim, SimTime at) {
+            if (telemetry != nullptr) telemetry->on_gc_eviction(id, at);
+            if (tracer != nullptr) tracer->on_gc_eviction(id, victim, at);
+          });
+      if (tracer != nullptr) node->set_phase_annotator(tracer);
+      if (telemetry != nullptr && bounded) {
         // Without per-event records nobody reads delivery times post-run;
         // let nodes drop records of long-expired events so the delivery
         // maps stay bounded by the validity window. The slack dwarfs any
@@ -466,6 +472,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
       }
     }
   }
+  if (tracer != nullptr) medium.set_frame_listener(tracer);
 
   // The publisher set: the configured (or default-drawn) first publisher,
   // then further processes in the seeded shuffle order. Events round-robin
@@ -514,6 +521,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
       // must know the event by then.
       telemetry->on_publish(i, EventId{publishing_node, seq}, simulator.now(),
                             event_topic_index[i]);
+    }
+    if (tracer != nullptr) {
+      // Same ordering constraint: the publisher's synchronous self-delivery
+      // must find the event already live in the tracer.
+      Event traced = event;
+      traced.id = EventId{publishing_node, seq};
+      traced.published_at = simulator.now();
+      tracer->on_publish(traced, simulator.now());
     }
     nodes[publishing_node]->publish(event);
     // publish() assigned the id; record it for result extraction.
@@ -597,6 +612,23 @@ RunResult run_experiment(const ExperimentConfig& config) {
     telemetry->begin_run(std::move(binding));
   }
 
+  if (tracer != nullptr) {
+    telemetry::DisseminationTracer::Binding binding;
+    binding.node_count = config.node_count;
+    // Borrows the same experiment-local tables as the hub's binding;
+    // tracer->end_run() likewise runs before collection moves them.
+    binding.node_eligible = [&subscribed, &node_subscriptions](
+                                NodeId id, const Event& event) {
+      return subscribed[id] && node_subscriptions[id].covers(event.topic);
+    };
+    tracer->begin_run(std::move(binding));
+    if (telemetry != nullptr) {
+      // Stitch flow events onto the hub's Perfetto tracks (null when the
+      // hub was not asked for a Perfetto artifact — flows simply off).
+      tracer->set_perfetto(telemetry->perfetto_writer());
+    }
+  }
+
   // Churn: pre-generate each node's crash/recovery timeline (Poisson crash
   // arrivals, uniform downtime) and schedule radio-down/up flips.
   if (config.churn.crashes_per_node_per_minute > 0) {
@@ -648,7 +680,9 @@ RunResult run_experiment(const ExperimentConfig& config) {
   simulator.run_until(run_end);
   if (energy_model != nullptr) energy_model->advance_all(run_end);
   // Drain the hub before collection: its binding borrows tables the
-  // collection phase moves out.
+  // collection phase moves out. The tracer drains first — its retirement
+  // rows must not observe the hub's Perfetto writer after finalization.
+  if (tracer != nullptr) tracer->end_run(run_end);
   if (telemetry != nullptr) telemetry->end_run(run_end);
 
   // Collect results.
@@ -700,6 +734,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
   }
   if (telemetry != nullptr) result.aggregates = telemetry->aggregates();
+  if (tracer != nullptr) result.dissem = tracer->stats();
 
   if (config.trace != nullptr) {
     // Assemble the run's records in (time, kind, node) order. Deliveries are

@@ -29,6 +29,7 @@
 #include "mobility/random_waypoint.hpp"
 #include "net/medium.hpp"
 #include "telemetry/aggregates.hpp"
+#include "telemetry/causal.hpp"
 
 namespace frugal::trace {
 class TraceRecorder;
@@ -159,6 +160,12 @@ struct ExperimentConfig {
   /// and call counts (scheduler tasks, medium, telemetry, experiment
   /// phases). Not owned; attaching it never affects simulated behaviour.
   sim::Profiler* profiler = nullptr;
+  /// Optional causal dissemination tracer (telemetry/causal.hpp): consumes
+  /// the medium's per-frame fates and the nodes' phase annotations and
+  /// reconstructs per-event propagation DAGs, hop/redundancy/phase-latency
+  /// metrics and the dissem-trace artifact. Pure observer — attaching it is
+  /// perturbation-free. Not owned; must outlive the run.
+  telemetry::DisseminationTracer* dissem_tracer = nullptr;
 };
 
 struct PublishedEventRecord {
@@ -228,6 +235,10 @@ struct RunResult {
   /// the delivery metrics from here instead; materialized runs keep both so
   /// tests can assert the streamed math is bit-equal to the legacy fold.
   std::optional<telemetry::RunAggregates> aggregates;
+  /// Causal-dissemination aggregates when the run carried a
+  /// DisseminationTracer: hop distribution, redundancy ratio, per-phase
+  /// latency decomposition and the terminal-outcome partition.
+  std::optional<telemetry::DisseminationStats> dissem;
 
   /// Fraction of *eligible* subscribers (those whose subscriptions cover
   /// the event's topic) that received each event within `validity` of its
@@ -274,6 +285,18 @@ struct RunResult {
   [[nodiscard]] std::vector<double> delivery_latencies_s() const;
   /// Mean delivery latency in seconds (0 when nothing was delivered).
   [[nodiscard]] double mean_delivery_latency_s() const;
+
+  // -- Causal-dissemination metrics (0 without a DisseminationTracer) ------
+  /// Mean hop count over delivered (subscriber, event) pairs, where the
+  /// publisher's own synchronous self-delivery is hop 0.
+  [[nodiscard]] double mean_hops_to_deliver() const {
+    return dissem.has_value() ? dissem->mean_hops() : 0.0;
+  }
+  /// Intact event-carrying frame receptions per unique fresh delivery —
+  /// the broadcast-redundancy headline (1.0 = every reception was useful).
+  [[nodiscard]] double redundancy_ratio() const {
+    return dissem.has_value() ? dissem->redundancy_ratio() : 0.0;
+  }
 };
 
 /// Runs one complete simulation. Deterministic in config.seed.

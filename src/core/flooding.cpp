@@ -50,7 +50,8 @@ void FloodingNode::publish(Event event) {
   FRUGAL_EXPECT(event.validity.us() > 0);
   maybe_store(event);
   if (subscriptions_.covers(event.topic)) deliver(event);
-  transmit_event(event);  // initial broadcast; the ticker takes over
+  // Initial broadcast; the ticker takes over.
+  transmit_event(event, DisseminationPhase::kPublish);
 }
 
 void FloodingNode::tick() {
@@ -69,18 +70,24 @@ void FloodingNode::tick() {
   store_.for_each_sorted(
       [&](const EventId&, const Event& event) { events.push_back(&event); });
 
-  for (const Event* event : events) transmit_event(*event);
+  for (const Event* event : events) {
+    transmit_event(*event, DisseminationPhase::kFloodForward);
+  }
 }
 
-void FloodingNode::transmit_event(const Event& event) {
+void FloodingNode::transmit_event(const Event& event,
+                                  DisseminationPhase phase) {
   const auto send_once = [&] {
     EventBundle bundle;
     bundle.sender = id_;
     bundle.events = {event};
     metrics_.events_sent += 1;
     const std::uint32_t size = wire_size(bundle);
-    medium_.broadcast(id_, size,
-                      std::make_shared<const Message>(std::move(bundle)));
+    const std::uint64_t frame_id = medium_.broadcast(
+        id_, size, std::make_shared<const Message>(std::move(bundle)));
+    if (annotator_ != nullptr) {
+      annotator_->annotate(frame_id, id_, phase, {event.id});
+    }
   };
 
   switch (config_.variant) {

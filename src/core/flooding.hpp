@@ -64,6 +64,9 @@ class FloodingNode final : public ProtocolNode {
   void enable_delivery_history_pruning(SimDuration slack) override {
     prune_slack_ = slack;
   }
+  void set_phase_annotator(PhaseAnnotator* annotator) override {
+    annotator_ = annotator;
+  }
 
   [[nodiscard]] const topics::SubscriptionSet& subscriptions() const {
     return subscriptions_;
@@ -83,7 +86,7 @@ class FloodingNode final : public ProtocolNode {
   void on_heartbeat(const Heartbeat& heartbeat);
   void on_event_bundle(const EventBundle& bundle);
   void maybe_store(const Event& event);
-  void transmit_event(const Event& event);
+  void transmit_event(const Event& event, DisseminationPhase phase);
   void deliver(const Event& event);
 
   NodeId id_;
@@ -100,6 +103,7 @@ class FloodingNode final : public ProtocolNode {
 
   DeliveryMetrics metrics_;
   DeliveryCallback delivery_callback_;
+  PhaseAnnotator* annotator_ = nullptr;
   std::optional<SimDuration> prune_slack_;
   std::uint32_t next_seq_ = 0;
 };

@@ -204,7 +204,14 @@ void FrugalNode::advertise_events_to(
   list.ids = events_.ids_matching(interests, scheduler_.now());
   // An empty list is still sent: hearing any id list from a new neighbor is
   // what triggers the peer's RETRIEVEEVENTSTOSEND for events *we* lack.
-  broadcast(Message{std::move(list)});
+  // For the tracer the two cases are distinct phases: a non-empty list
+  // advertises held events, an empty one is a pure retrieve trigger.
+  std::vector<EventId> ids = list.ids;
+  const DisseminationPhase phase = ids.empty()
+                                       ? DisseminationPhase::kRetrieveRequest
+                                       : DisseminationPhase::kAdvert;
+  const std::uint64_t frame_id = broadcast(Message{std::move(list)});
+  if (annotator_ != nullptr) annotator_->annotate(frame_id, id_, phase, ids);
 }
 
 void FrugalNode::on_event_ids(const EventIdList& list) {
@@ -314,10 +321,13 @@ void FrugalNode::on_backoff_expired() {
     }
   }
   events_to_send_.clear();
-  if (!bundle.empty()) send_bundle(std::move(bundle));
+  if (!bundle.empty()) {
+    send_bundle(std::move(bundle), DisseminationPhase::kEventPush);
+  }
 }
 
-void FrugalNode::send_bundle(std::vector<Event> events) {
+void FrugalNode::send_bundle(std::vector<Event> events,
+                             DisseminationPhase phase) {
   FRUGAL_EXPECT(!events.empty());
   EventBundle bundle;
   bundle.sender = id_;
@@ -331,7 +341,15 @@ void FrugalNode::send_bundle(std::vector<Event> events) {
     }
     events_.increment_forward_count(event.id);
   }
-  broadcast(Message{std::move(bundle)});
+  std::vector<EventId> carried;
+  if (annotator_ != nullptr) {
+    carried.reserve(bundle.events.size());
+    for (const Event& event : bundle.events) carried.push_back(event.id);
+  }
+  const std::uint64_t frame_id = broadcast(Message{std::move(bundle)});
+  if (annotator_ != nullptr) {
+    annotator_->annotate(frame_id, id_, phase, carried);
+  }
 }
 
 void FrugalNode::publish(Event event) {
@@ -350,14 +368,14 @@ void FrugalNode::publish(Event event) {
     }
   }
   if (interested) {
-    send_bundle({event});
+    send_bundle({event}, DisseminationPhase::kPublish);
     // send_bundle charged fwd(e) via the table, but the event is not stored
     // yet; re-apply after insertion below.
   }
 
-  if (events_.insert(event, now).has_value()) {
+  if (const auto victim = events_.insert(event, now); victim.has_value()) {
     ++metrics_.gc_evictions;
-    if (gc_callback_) gc_callback_(now);
+    if (gc_callback_) gc_callback_(*victim, now);
   }
   if (interested) events_.increment_forward_count(event.id);
   deliver(event);
@@ -397,7 +415,7 @@ void FrugalNode::on_event_bundle(const EventBundle& bundle) {
     const auto victim = events_.insert(event, now);
     if (victim.has_value()) {
       ++metrics_.gc_evictions;
-      if (gc_callback_) gc_callback_(now);
+      if (gc_callback_) gc_callback_(*victim, now);
     }
     if (victim.has_value() && *victim == event.id) {
       // The full table rejected the newcomer (it is the worst GC candidate,
@@ -463,9 +481,9 @@ void FrugalNode::on_frame(const net::Frame& frame) {
       **message);
 }
 
-void FrugalNode::broadcast(Message message) {
+std::uint64_t FrugalNode::broadcast(Message message) {
   const std::uint32_t size = wire_size(message);
-  medium_.broadcast(
+  return medium_.broadcast(
       id_, size,
       std::make_shared<const Message>(std::move(message)));
 }

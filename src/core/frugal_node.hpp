@@ -89,8 +89,12 @@ class FrugalNode final : public ProtocolNode {
   void set_delivery_callback(DeliveryCallback callback) override {
     delivery_callback_ = std::move(callback);
   }
-  void set_gc_callback(std::function<void(SimTime)> callback) override {
+  void set_gc_callback(
+      std::function<void(EventId, SimTime)> callback) override {
     gc_callback_ = std::move(callback);
+  }
+  void set_phase_annotator(PhaseAnnotator* annotator) override {
+    annotator_ = annotator;
   }
   void enable_delivery_history_pruning(SimDuration slack) override {
     prune_slack_ = slack;
@@ -141,8 +145,9 @@ class FrugalNode final : public ProtocolNode {
   void stop_tasks();
   void run_neighborhood_gc();
   void deliver(const Event& event);
-  void broadcast(Message message);
-  void send_bundle(std::vector<Event> events);
+  /// Broadcasts `message` and returns the medium frame id (for annotation).
+  std::uint64_t broadcast(Message message);
+  void send_bundle(std::vector<Event> events, DisseminationPhase phase);
 
   NodeId id_;
   sim::Scheduler& scheduler_;
@@ -178,7 +183,8 @@ class FrugalNode final : public ProtocolNode {
 
   DeliveryMetrics metrics_;
   DeliveryCallback delivery_callback_;
-  std::function<void(SimTime)> gc_callback_;
+  std::function<void(EventId, SimTime)> gc_callback_;
+  PhaseAnnotator* annotator_ = nullptr;
   std::optional<SimDuration> prune_slack_;
   std::uint32_t next_seq_ = 0;
 

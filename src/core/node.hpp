@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/event.hpp"
 #include "net/medium.hpp"
@@ -58,6 +59,30 @@ struct DeliveryMetrics {
   }
 };
 
+/// Protocol-level meaning of one broadcast frame, annotated by the sending
+/// node for observers (the dissemination tracer). Heartbeats are deliberately
+/// unannotated: they carry no event payload, so tracers ignore their frames.
+enum class DisseminationPhase : std::uint8_t {
+  kPublish,          ///< publisher's initial transmission of a fresh event
+  kAdvert,           ///< frugal: EventIdList advertising stored event ids
+  kRetrieveRequest,  ///< frugal: empty EventIdList — pure retrieve trigger
+  kEventPush,        ///< frugal: EventBundle answering a neighbor's advert
+  kFloodForward,     ///< flooding: periodic retransmission of a stored event
+  kGossipForward,    ///< gossip: coin-flip retransmission of a stored event
+};
+
+/// Pure observer of protocol-phase frame annotations. Nodes call `annotate`
+/// immediately after Medium::broadcast returns the frame id, passing the
+/// event ids the frame carries (advertised ids for an EventIdList, bundled
+/// event ids for an EventBundle; empty for a retrieve-request).
+class PhaseAnnotator {
+ public:
+  virtual ~PhaseAnnotator() = default;
+  virtual void annotate(std::uint64_t frame_id, NodeId sender,
+                        DisseminationPhase phase,
+                        const std::vector<EventId>& event_ids) = 0;
+};
+
 /// A pub/sub process: the software on one mobile device (paper §2).
 class ProtocolNode : public net::MediumClient {
  public:
@@ -79,10 +104,16 @@ class ProtocolNode : public net::MediumClient {
   /// Invoked on every application-level delivery (optional).
   virtual void set_delivery_callback(DeliveryCallback callback) = 0;
 
-  /// Invoked on every event-table GC collection (optional). Protocols
-  /// without an event table ignore it.
-  virtual void set_gc_callback(std::function<void(SimTime)> callback) {
+  /// Invoked on every event-table GC collection (optional), with the id of
+  /// the evicted/rejected event. Protocols without an event table ignore it.
+  virtual void set_gc_callback(std::function<void(EventId, SimTime)> callback) {
     static_cast<void>(callback);
+  }
+
+  /// Registers the (optional, not owned) phase annotator consulted on every
+  /// event-carrying broadcast. Protocols without annotations ignore it.
+  virtual void set_phase_annotator(PhaseAnnotator* annotator) {
+    static_cast<void>(annotator);
   }
 
   /// Lets the node drop delivery records of events expired more than

@@ -42,6 +42,9 @@ void Medium::set_up(NodeId node, bool up) {
   if (listener_ != nullptr) {
     listener_->on_up_changed(node, up, scheduler_.now());
   }
+  if (frame_listener_ != nullptr) {
+    frame_listener_->on_node_up_changed(node, up, scheduler_.now());
+  }
 }
 
 bool Medium::is_up(NodeId node) const {
@@ -92,21 +95,28 @@ std::vector<NodeId> Medium::nodes_in_range(NodeId node) const {
   return result;
 }
 
-void Medium::broadcast(NodeId sender, std::uint32_t size_bytes,
-                       std::any payload) {
+std::uint64_t Medium::broadcast(NodeId sender, std::uint32_t size_bytes,
+                                std::any payload) {
   sim::ProfileScope profile{scheduler_.profiler(), "medium.broadcast"};
   FRUGAL_EXPECT(sender < clients_.size());
   FRUGAL_EXPECT(size_bytes > 0);
+  // Every issued frame gets an id, even one dropped on the spot: the fate
+  // contract (exactly one of sent/dropped per issue) then holds per id too.
+  const std::uint64_t frame_id = next_frame_id_++;
   if (!up_[sender]) {
     // Issued while down: the counters contract promises every issued frame
     // lands in exactly one of frames_sent / frames_dropped, same as the
     // crashed-while-queued path below.
     counters_[sender].frames_dropped += 1;
-    return;
+    if (frame_listener_ != nullptr) {
+      frame_listener_->on_frame_dropped(
+          Frame{sender, size_bytes, {}, frame_id}, scheduler_.now());
+    }
+    return frame_id;
   }
 
   auto frame = std::make_shared<Frame>(
-      Frame{sender, size_bytes, std::move(payload)});
+      Frame{sender, size_bytes, std::move(payload), frame_id});
   const SimDuration jitter =
       config_.max_jitter.us() > 0
           ? SimDuration::from_us(static_cast<std::int64_t>(rng_.uniform_u64(
@@ -115,6 +125,7 @@ void Medium::broadcast(NodeId sender, std::uint32_t size_bytes,
   scheduler_.schedule_after(jitter, [this, sender, frame] {
     start_transmission(sender, frame, /*attempt=*/0);
   });
+  return frame_id;
 }
 
 SimTime Medium::sensed_busy_until(NodeId sender, SimTime at) const {
@@ -150,6 +161,9 @@ void Medium::start_transmission(NodeId sender,
   sim::ProfileScope profile{scheduler_.profiler(), "medium.transmission"};
   if (!up_[sender]) {  // crashed while the frame was queued
     counters_[sender].frames_dropped += 1;
+    if (frame_listener_ != nullptr) {
+      frame_listener_->on_frame_dropped(*frame, scheduler_.now());
+    }
     return;
   }
   const SimTime now = scheduler_.now();
@@ -162,6 +176,9 @@ void Medium::start_transmission(NodeId sender,
   if (free_at > now) {
     if (attempt >= config_.max_defers) {
       counters_[sender].frames_dropped += 1;
+      if (frame_listener_ != nullptr) {
+        frame_listener_->on_frame_dropped(*frame, now);
+      }
       return;
     }
     // Contention window grows with the attempt number (DCF stand-in).
@@ -182,6 +199,9 @@ void Medium::start_transmission(NodeId sender,
     listener_->before_tx(sender, now);
     if (!up_[sender]) {  // battery died while the frame was queued
       counters_[sender].frames_dropped += 1;
+      if (frame_listener_ != nullptr) {
+        frame_listener_->on_frame_dropped(*frame, now);
+      }
       return;
     }
   }
@@ -194,6 +214,9 @@ void Medium::start_transmission(NodeId sender,
   counters_[sender].frames_sent += 1;
   counters_[sender].bytes_sent += frame->size_bytes;
   if (listener_ != nullptr) listener_->on_tx(sender, now, end);
+  if (frame_listener_ != nullptr) {
+    frame_listener_->on_frame_sent(*frame, now, end);
+  }
 
   const Vec2 origin = mobility_.position(sender, now);
   const double range_sq = config_.range_m * config_.range_m;
@@ -224,12 +247,20 @@ void Medium::offer_to_receiver(NodeId receiver,
   // Half-duplex: a radio that is transmitting cannot hear this frame.
   if (config_.enable_collisions && tx_busy_until_[receiver] > now) {
     counters_[receiver].frames_missed_busy += 1;
+    if (frame_listener_ != nullptr) {
+      frame_listener_->on_frame_missed(*frame, receiver,
+                                       FrameLossReason::kBusy, now);
+    }
     return;
   }
 
   // Power-save sleep: the radio is dozing and never locks on the frame.
   if (sleeping_[receiver]) {
     counters_[receiver].frames_missed_asleep += 1;
+    if (frame_listener_ != nullptr) {
+      frame_listener_->on_frame_missed(*frame, receiver,
+                                       FrameLossReason::kAsleep, now);
+    }
     return;
   }
 
@@ -252,9 +283,12 @@ void Medium::offer_to_receiver(NodeId receiver,
   receptions_[receiver].push_back(Reception{now, end, corrupted});
   if (listener_ != nullptr) listener_->on_rx(receiver, now, end);
 
-  scheduler_.schedule_at(end, [this, receiver, frame, corrupted] {
+  scheduler_.schedule_at(end, [this, receiver, frame, corrupted, end] {
     if (*corrupted) {
       counters_[receiver].frames_collided += 1;
+      if (frame_listener_ != nullptr) {
+        frame_listener_->on_frame_collided(*frame, receiver, end);
+      }
       return;
     }
     if (!up_[receiver] || clients_[receiver] == nullptr) {
@@ -262,10 +296,17 @@ void Medium::offer_to_receiver(NodeId receiver,
       // counted so (delivered + collided + missed_down covers every
       // reception the radio started).
       counters_[receiver].frames_missed_down += 1;
+      if (frame_listener_ != nullptr) {
+        frame_listener_->on_frame_missed(*frame, receiver,
+                                         FrameLossReason::kDown, end);
+      }
       return;
     }
     counters_[receiver].frames_delivered += 1;
     counters_[receiver].bytes_delivered += frame->size_bytes;
+    if (frame_listener_ != nullptr) {
+      frame_listener_->on_frame_delivered(*frame, receiver, end);
+    }
     clients_[receiver]->on_frame(*frame);
   });
 }

@@ -34,6 +34,10 @@ struct Frame {
   NodeId sender = kInvalidNode;
   std::uint32_t size_bytes = 0;
   std::any payload;
+  /// Stable, monotonically increasing per-medium id, assigned at broadcast()
+  /// in issue order. Observer-only: nothing in the medium or the protocols
+  /// branches on it, so goldens are byte-identical with or without consumers.
+  std::uint64_t id = 0;
 };
 
 /// Implemented by protocol nodes to receive frames.
@@ -72,6 +76,67 @@ class RadioActivityListener {
   /// Radio entered or left power-save sleep (duty cycling). Only actual
   /// flips are reported.
   virtual void on_sleep_changed(NodeId node, bool sleeping, SimTime at) = 0;
+};
+
+/// Why a frame that was offered to a receiver never reached its client.
+enum class FrameLossReason : std::uint8_t {
+  kBusy,    ///< receiver's radio was transmitting (half-duplex)
+  kAsleep,  ///< receiver was in power-save sleep
+  kDown,    ///< receiver powered down between lock-on and frame end
+};
+
+/// Per-frame fate observer, implemented by the dissemination tracer
+/// (src/telemetry/causal.hpp). Separate from RadioActivityListener on
+/// purpose: that interface reports airtime physics to the energy model,
+/// this one reports the *outcome* of every issued frame at every receiver.
+/// All methods default to no-ops so implementors subscribe selectively.
+class FrameListener {
+ public:
+  virtual ~FrameListener() = default;
+  /// The frame committed to air over [start, end).
+  virtual void on_frame_sent(const Frame& frame, SimTime start, SimTime end) {
+    static_cast<void>(frame);
+    static_cast<void>(start);
+    static_cast<void>(end);
+  }
+  /// The frame was issued but never got on air: sender down at issue time,
+  /// crashed or battery-died while queued, or gave up after max_defers.
+  virtual void on_frame_dropped(const Frame& frame, SimTime at) {
+    static_cast<void>(frame);
+    static_cast<void>(at);
+  }
+  /// The frame arrived intact at `receiver` (called immediately before the
+  /// client's on_frame).
+  virtual void on_frame_delivered(const Frame& frame, NodeId receiver,
+                                  SimTime end) {
+    static_cast<void>(frame);
+    static_cast<void>(receiver);
+    static_cast<void>(end);
+  }
+  /// The frame was corrupted by overlap at `receiver`.
+  virtual void on_frame_collided(const Frame& frame, NodeId receiver,
+                                 SimTime end) {
+    static_cast<void>(frame);
+    static_cast<void>(receiver);
+    static_cast<void>(end);
+  }
+  /// The frame never reached `receiver`'s client for `reason` (busy/asleep
+  /// are reported at offer time, down at the frame's scheduled end).
+  virtual void on_frame_missed(const Frame& frame, NodeId receiver,
+                               FrameLossReason reason, SimTime at) {
+    static_cast<void>(frame);
+    static_cast<void>(receiver);
+    static_cast<void>(reason);
+    static_cast<void>(at);
+  }
+  /// Radio powered up or down. Mirrors RadioActivityListener::on_up_changed
+  /// so a frame observer can track liveness without also being the energy
+  /// listener.
+  virtual void on_node_up_changed(NodeId node, bool up, SimTime at) {
+    static_cast<void>(node);
+    static_cast<void>(up);
+    static_cast<void>(at);
+  }
 };
 
 struct MediumConfig {
@@ -138,9 +203,18 @@ class Medium {
   /// must outlive the medium's use. nullptr detaches.
   void set_listener(RadioActivityListener* listener) { listener_ = listener; }
 
+  /// Registers the (single, optional) per-frame fate observer. Not owned;
+  /// must outlive the medium's use. nullptr detaches.
+  void set_frame_listener(FrameListener* listener) {
+    frame_listener_ = listener;
+  }
+
   /// Queues a broadcast from `sender`. The frame goes on air after jitter and
-  /// carrier-sense deferral, and reaches every up node within range.
-  void broadcast(NodeId sender, std::uint32_t size_bytes, std::any payload);
+  /// carrier-sense deferral, and reaches every up node within range. Returns
+  /// the frame's stable id (assigned even when the sender is down and the
+  /// frame is dropped on the spot); callers that don't trace may ignore it.
+  std::uint64_t broadcast(NodeId sender, std::uint32_t size_bytes,
+                          std::any payload);
 
   [[nodiscard]] const TrafficCounters& counters(NodeId node) const;
   [[nodiscard]] std::size_t node_count() const { return clients_.size(); }
@@ -189,6 +263,8 @@ class Medium {
   Rng rng_;
   std::vector<MediumClient*> clients_;
   RadioActivityListener* listener_ = nullptr;
+  FrameListener* frame_listener_ = nullptr;
+  std::uint64_t next_frame_id_ = 0;
   std::vector<bool> up_;
   std::vector<bool> sleeping_;
   std::vector<TrafficCounters> counters_;

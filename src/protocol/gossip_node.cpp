@@ -50,7 +50,8 @@ void GossipNode::publish(core::Event event) {
   FRUGAL_EXPECT(event.validity.us() > 0);
   maybe_store(event);
   if (subscriptions_.covers(event.topic)) deliver(event);
-  transmit_event(event);  // initial broadcast is unconditional
+  // Initial broadcast is unconditional.
+  transmit_event(event, core::DisseminationPhase::kPublish);
 }
 
 void GossipNode::tick() {
@@ -66,18 +67,24 @@ void GossipNode::tick() {
     events.push_back(&event);
   });
   for (const core::Event* event : events) {
-    if (rng_.bernoulli(config_.forward_probability)) transmit_event(*event);
+    if (rng_.bernoulli(config_.forward_probability)) {
+      transmit_event(*event, core::DisseminationPhase::kGossipForward);
+    }
   }
 }
 
-void GossipNode::transmit_event(const core::Event& event) {
+void GossipNode::transmit_event(const core::Event& event,
+                                core::DisseminationPhase phase) {
   core::EventBundle bundle;
   bundle.sender = id_;
   bundle.events = {event};
   metrics_.events_sent += 1;
   const std::uint32_t size = core::wire_size(bundle);
-  medium_.broadcast(
+  const std::uint64_t frame_id = medium_.broadcast(
       id_, size, std::make_shared<const core::Message>(std::move(bundle)));
+  if (annotator_ != nullptr) {
+    annotator_->annotate(frame_id, id_, phase, {event.id});
+  }
 }
 
 void GossipNode::maybe_store(const core::Event& event) {

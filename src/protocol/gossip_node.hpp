@@ -59,6 +59,9 @@ class GossipNode final : public core::ProtocolNode {
   void enable_delivery_history_pruning(SimDuration slack) override {
     prune_slack_ = slack;
   }
+  void set_phase_annotator(core::PhaseAnnotator* annotator) override {
+    annotator_ = annotator;
+  }
 
   [[nodiscard]] const topics::SubscriptionSet& subscriptions() const {
     return subscriptions_;
@@ -71,7 +74,8 @@ class GossipNode final : public core::ProtocolNode {
   void tick();
   void on_event_bundle(const core::EventBundle& bundle);
   void maybe_store(const core::Event& event);
-  void transmit_event(const core::Event& event);
+  void transmit_event(const core::Event& event,
+                      core::DisseminationPhase phase);
   void deliver(const core::Event& event);
 
   NodeId id_;
@@ -87,6 +91,7 @@ class GossipNode final : public core::ProtocolNode {
 
   core::DeliveryMetrics metrics_;
   DeliveryCallback delivery_callback_;
+  core::PhaseAnnotator* annotator_ = nullptr;
   std::optional<SimDuration> prune_slack_;
   std::uint32_t next_seq_ = 0;
 };

@@ -204,6 +204,7 @@ std::string describe_json(const ScenarioSpec& spec) {
       out += ",\"probe_validity_s\":";
       out += json_number(*metric.probe_validity_s);
     }
+    if (metric.needs_dissem) out += ",\"needs_dissem\":true";
     out += '}';
   }
   out += "]}";

@@ -70,6 +70,12 @@ struct MetricSpec {
   /// register every declared probe with the hub before the run — the only
   /// validities the streamed aggregates can answer.
   std::optional<double> probe_validity_s = std::nullopt;
+  /// True when the extractor reads RunResult::dissem (hop counts, redundancy
+  /// ratio, phase-latency decomposition): the sweep runner attaches a
+  /// stats-only DisseminationTracer to every job whenever any declared
+  /// metric needs one, so the column never depends on whether the
+  /// dissem-trace artifact was also requested.
+  bool needs_dissem = false;
 };
 
 struct ScenarioSpec {

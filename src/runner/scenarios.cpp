@@ -79,6 +79,28 @@ MetricSpec latency_metric() {
           }};
 }
 
+/// Causal-dissemination metrics (RunResult::dissem). Declaring needs_dissem
+/// makes the sweep runner attach a stats-only DisseminationTracer to every
+/// job of the scenario — columns identical whether or not --dissem-trace
+/// also asked for the artifact.
+MetricSpec mean_hops_metric() {
+  MetricSpec metric{"mean_hops_to_deliver", 2,
+                    [](const core::RunResult& result, const ParamPoint&) {
+                      return result.mean_hops_to_deliver();
+                    }};
+  metric.needs_dissem = true;
+  return metric;
+}
+
+MetricSpec redundancy_metric() {
+  MetricSpec metric{"redundancy_ratio", 2,
+                    [](const core::RunResult& result, const ParamPoint&) {
+                      return result.redundancy_ratio();
+                    }};
+  metric.needs_dissem = true;
+  return metric;
+}
+
 MetricSpec gc_evictions_metric() {
   return {"gc_evictions_per_node", 1,
           [](const core::RunResult& result, const ParamPoint&) {
@@ -603,8 +625,10 @@ ScenarioSpec topic_fanout_spec() {
     config.publish_spacing = SimDuration::from_seconds(1.0);
     return config;
   };
-  spec.metrics = {reliability_metric(), bytes_metric(), copies_metric(),
-                  duplicates_metric(), parasites_metric(), latency_metric()};
+  spec.metrics = {reliability_metric(),  bytes_metric(),
+                  copies_metric(),       duplicates_metric(),
+                  parasites_metric(),    latency_metric(),
+                  mean_hops_metric(),    redundancy_metric()};
   spec.expected_shape =
       "Expected shape: deeper hierarchies and narrower interests shrink "
       "each event's eligible audience, so per-event reliability holds "
@@ -825,9 +849,10 @@ ScenarioSpec energy_lifetime_spec() {
     config.energy = energy;
     return config;
   };
-  spec.metrics = {reliability_metric(), joules_per_event_metric(),
-                  joules_per_node_metric(), first_death_metric(),
-                  survivors_metric()};
+  spec.metrics = {reliability_metric(),      joules_per_event_metric(),
+                  joules_per_node_metric(),  first_death_metric(),
+                  survivors_metric(),        mean_hops_metric(),
+                  redundancy_metric()};
   spec.expected_shape =
       "Expected shape: flooding's joules per delivered event strictly "
       "exceeds frugal's wherever both reach comparable reliability (equal "

@@ -112,6 +112,14 @@ ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
   // (telemetry_test pins a 3-shard merge against the single-box CSV).
   std::optional<telemetry::TelemetryConfig> hub_config;
   if (options.telemetry) hub_config = telemetry_config_for(spec, options);
+  // Specs with needs_dissem metrics get their per-job tracer in shard mode
+  // too (stats-only — the dissem-trace artifact is single-box only, like
+  // the time-series/Perfetto paths this mode already ignores), so a merged
+  // shard set reproduces the single-box columns byte-for-byte.
+  SweepOptions stats_only = options;
+  stats_only.dissem_trace_path.clear();
+  const std::optional<telemetry::TracerConfig> dissem_config =
+      dissem_config_for(spec, stats_only);
 
   artifact.values.resize(range.size());
   parallel_for(range.begin, range.end, resolve_jobs(options.jobs),
@@ -120,7 +128,9 @@ ShardArtifact run_sweep_shard(const ScenarioSpec& spec,
                      run_sweep_job_instrumented(
                          spec, plan, job,
                          hub_config.has_value() ? &*hub_config : nullptr,
-                         /*profiler=*/nullptr);
+                         /*profiler=*/nullptr,
+                         dissem_config.has_value() ? &*dissem_config
+                                                   : nullptr);
                });
   return artifact;
 }

@@ -130,10 +130,24 @@ telemetry::TelemetryConfig telemetry_config_for(const ScenarioSpec& spec,
   return config;
 }
 
+std::optional<telemetry::TracerConfig> dissem_config_for(
+    const ScenarioSpec& spec, const SweepOptions& options) {
+  bool needed = !options.dissem_trace_path.empty();
+  for (const MetricSpec& metric : spec.metrics) {
+    needed = needed || metric.needs_dissem;
+  }
+  if (!needed) return std::nullopt;
+  telemetry::TracerConfig config;
+  config.trace_path = options.dissem_trace_path;
+  config.bounded = options.dissem_bounded;
+  return config;
+}
+
 std::vector<double> run_sweep_job_instrumented(
     const ScenarioSpec& spec, const SweepPlan& plan, std::size_t job,
     const telemetry::TelemetryConfig* telemetry_config,
-    sim::Profiler* profiler) {
+    sim::Profiler* profiler,
+    const telemetry::TracerConfig* dissem_config) {
   FRUGAL_EXPECT(job < plan.job_count);
   const auto seeds = static_cast<std::size_t>(plan.seeds);
   const ParamPoint& point = plan.grid[job / seeds];
@@ -144,6 +158,11 @@ std::vector<double> run_sweep_job_instrumented(
   if (telemetry_config != nullptr) {
     hub.emplace(*telemetry_config);
     config.telemetry = &*hub;
+  }
+  std::optional<telemetry::DisseminationTracer> tracer;
+  if (dissem_config != nullptr) {
+    tracer.emplace(*dissem_config);
+    config.dissem_tracer = &*tracer;
   }
   config.profiler = profiler;
   const core::RunResult result = core::run_experiment(config);
@@ -194,13 +213,17 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
 
   const bool artifacts =
       !options.timeseries_path.empty() || !options.perfetto_path.empty();
-  // A time-series / Perfetto artifact describes ONE simulation; demand a
-  // single-job sweep rather than let the grid silently overwrite it.
+  // A time-series / Perfetto / dissem-trace artifact describes ONE
+  // simulation; demand a single-job sweep rather than let the grid silently
+  // overwrite it.
   FRUGAL_EXPECT(!artifacts || plan.job_count == 1);
+  FRUGAL_EXPECT(options.dissem_trace_path.empty() || plan.job_count == 1);
   std::optional<telemetry::TelemetryConfig> hub_config;
   if (options.telemetry || artifacts) {
     hub_config = telemetry_config_for(spec, options);
   }
+  const std::optional<telemetry::TracerConfig> dissem_config =
+      dissem_config_for(spec, options);
 
   // Execute the job grid: job = point-major, seed-minor. Every job writes
   // only its own metric slot, keyed by job index — the one invariant the
@@ -217,7 +240,8 @@ SweepResult run_sweep(const ScenarioSpec& spec, const SweepOptions& options) {
     job_metrics[job] = run_sweep_job_instrumented(
         spec, plan, job,
         hub_config.has_value() ? &*hub_config : nullptr,
-        options.profile ? &job_profiles[job] : nullptr);
+        options.profile ? &job_profiles[job] : nullptr,
+        dissem_config.has_value() ? &*dissem_config : nullptr);
   });
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - started;

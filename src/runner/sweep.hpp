@@ -22,6 +22,7 @@
 #include "runner/scenario.hpp"
 #include "sim/profiler.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/causal.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace frugal::runner {
@@ -86,6 +87,17 @@ struct SweepOptions {
   /// also set) hub.
   std::string timeseries_path;
   std::string perfetto_path;
+  /// When non-empty, write the causal dissemination trace (JSONL, one
+  /// record per published event's propagation DAG) here. Same
+  /// one-simulation rule as the artifacts above. Independently of the path,
+  /// a stats-only tracer attaches whenever any spec metric declares
+  /// needs_dissem — metric columns are byte-identical with and without the
+  /// artifact.
+  std::string dissem_trace_path;
+  /// Bounded-memory dissemination tracing: free each event's DAG at its
+  /// validity expiry instead of keeping it for post-run introspection
+  /// (stats and JSONL rows are identical either way).
+  bool dissem_bounded = false;
 };
 
 /// One output row: a point of the *output* grid (aggregate axes collapsed)
@@ -159,14 +171,22 @@ struct SweepPlan {
 [[nodiscard]] telemetry::TelemetryConfig telemetry_config_for(
     const ScenarioSpec& spec, const SweepOptions& options);
 
+/// The dissemination-tracer configuration a sweep's options resolve to:
+/// engaged when the options name a dissem-trace artifact or any spec metric
+/// declares needs_dissem; nullopt otherwise (no tracer attached).
+[[nodiscard]] std::optional<telemetry::TracerConfig> dissem_config_for(
+    const ScenarioSpec& spec, const SweepOptions& options);
+
 /// run_sweep_job with observability attached: when `telemetry_config` is
-/// non-null the job runs through a fresh RunTelemetry hub built from it, and
-/// when `profiler` is non-null the job's self-profile accumulates there.
-/// Both null degrades to exactly run_sweep_job.
+/// non-null the job runs through a fresh RunTelemetry hub built from it,
+/// when `dissem_config` is non-null through a fresh DisseminationTracer,
+/// and when `profiler` is non-null the job's self-profile accumulates
+/// there. All null degrades to exactly run_sweep_job.
 [[nodiscard]] std::vector<double> run_sweep_job_instrumented(
     const ScenarioSpec& spec, const SweepPlan& plan, std::size_t job,
     const telemetry::TelemetryConfig* telemetry_config,
-    sim::Profiler* profiler);
+    sim::Profiler* profiler,
+    const telemetry::TracerConfig* dissem_config = nullptr);
 
 /// Serial aggregation of per-job metric vectors in canonical job order:
 /// identical summation order — hence bit-identical floating-point results —

@@ -70,6 +70,41 @@ void PerfettoWriter::counter(const char* name, SimTime at, double value) {
                name, kPid, at.us(), value);
 }
 
+void PerfettoWriter::flow_start(NodeId node, const char* name,
+                                const char* category, SimTime at,
+                                std::uint64_t flow_id) {
+  if (out_ == nullptr) return;
+  begin_event();
+  std::fprintf(out_,
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"s\",\"pid\":%u,"
+               "\"tid\":%lu,\"ts\":%" PRId64 ",\"id\":%" PRIu64 "}",
+               name, category, kPid, tid_of(node), at.us(), flow_id);
+}
+
+void PerfettoWriter::flow_step(NodeId node, const char* name,
+                               const char* category, SimTime at,
+                               std::uint64_t flow_id) {
+  if (out_ == nullptr) return;
+  begin_event();
+  std::fprintf(out_,
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"t\",\"pid\":%u,"
+               "\"tid\":%lu,\"ts\":%" PRId64 ",\"id\":%" PRIu64 "}",
+               name, category, kPid, tid_of(node), at.us(), flow_id);
+}
+
+void PerfettoWriter::flow_end(NodeId node, const char* name,
+                              const char* category, SimTime at,
+                              std::uint64_t flow_id) {
+  if (out_ == nullptr) return;
+  begin_event();
+  // "bp":"e" binds the arrowhead to the enclosing slice at this timestamp.
+  std::fprintf(out_,
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\","
+               "\"pid\":%u,\"tid\":%lu,\"ts\":%" PRId64 ",\"id\":%" PRIu64
+               "}",
+               name, category, kPid, tid_of(node), at.us(), flow_id);
+}
+
 void PerfettoWriter::finish() {
   if (out_ == nullptr) return;
   std::fputs("\n]}\n", out_);

@@ -13,6 +13,7 @@
 // destructor calls it if the caller forgot.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -43,6 +44,19 @@ class PerfettoWriter {
 
   /// Counter sample ("C") on a process-level counter track.
   void counter(const char* name, SimTime at, double value);
+
+  /// Flow events ("s"/"t"/"f"): arrows the trace viewer draws between
+  /// events on different tracks sharing the same `flow_id`. The
+  /// dissemination tracer uses one flow per published event, stitching the
+  /// publish instant -> frame airtime spans -> delivery instants. A flow
+  /// event binds to the enclosing slice at the same (pid, tid, ts), so
+  /// callers emit these at timestamps where a span/instant already exists.
+  void flow_start(NodeId node, const char* name, const char* category,
+                  SimTime at, std::uint64_t flow_id);
+  void flow_step(NodeId node, const char* name, const char* category,
+                 SimTime at, std::uint64_t flow_id);
+  void flow_end(NodeId node, const char* name, const char* category,
+                SimTime at, std::uint64_t flow_id);
 
   /// Closes the JSON document and the file. Idempotent.
   void finish();

@@ -130,6 +130,11 @@ class RunTelemetry final : public net::RadioActivityListener {
     return live_high_water_;
   }
 
+  /// The Perfetto writer, when the config asked for one (null otherwise).
+  /// Valid between begin_run and end_run; the dissemination tracer threads
+  /// its flow events onto the same per-node tracks through this.
+  [[nodiscard]] PerfettoWriter* perfetto_writer() { return perfetto_.get(); }
+
  private:
   /// One event still inside some probe's validity horizon.
   struct LiveEvent {
